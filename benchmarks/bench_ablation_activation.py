@@ -1,0 +1,17 @@
+"""ABL1 bench: spreading activation vs distance-only prioritization."""
+
+from repro.experiments.ablations import run_ablation_activation
+
+from conftest import as_float, run_report
+
+
+def test_activation_ablation(benchmark):
+    report = run_report(benchmark, run_ablation_activation)
+    assert len(report.rows) == 6  # 5 mus + si-backward reference
+    rows = {row[0]: row for row in report.rows}
+    paper_default = rows["bidirectional mu=0.5"]
+    reference = rows["si-backward (distance only)"]
+    if paper_default[1] != "-" and reference[1] != "-":
+        # Activation prioritization should generate relevant answers in
+        # no more pops than pure distance ordering, in aggregate.
+        assert as_float(paper_default[1]) <= as_float(reference[1]) * 1.5

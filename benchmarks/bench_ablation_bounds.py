@@ -1,0 +1,19 @@
+"""ABL3 bench: exact NRA-style output bound vs the loose heuristic."""
+
+from repro.experiments.ablations import run_ablation_bounds
+
+from conftest import as_float, run_report
+
+
+def test_bounds_ablation(benchmark):
+    report = run_report(benchmark, run_ablation_bounds)
+    rows = {row[0]: row for row in report.rows}
+    assert set(rows) == {"exact", "heuristic"}
+    # The heuristic releases answers earlier (smaller out/gen lag).
+    exact_lag = as_float(rows["exact"][1])
+    heuristic_lag = as_float(rows["heuristic"][1])
+    assert heuristic_lag <= exact_lag * 1.05
+    # Both modes keep recall high (Section 5.7's finding).
+    for mode in ("exact", "heuristic"):
+        if rows[mode][2] != "-":
+            assert as_float(rows[mode][2]) >= 0.9

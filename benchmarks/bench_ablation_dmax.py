@@ -1,0 +1,18 @@
+"""ABL2 bench: the dmax depth cutoff trade-off."""
+
+from repro.experiments.ablations import run_ablation_dmax
+
+from conftest import as_float, run_report
+
+
+def test_dmax_ablation(benchmark):
+    report = run_report(benchmark, run_ablation_dmax)
+    assert [row[0] for row in report.rows] == ["4", "6", "8", "10"]
+    recalls = [as_float(row[1]) for row in report.rows if row[1] != "-"]
+    pops = [as_float(row[2]) for row in report.rows if row[2] != "-"]
+    # Recall is non-decreasing in dmax; exploration cost non-decreasing.
+    assert recalls == sorted(recalls)
+    assert pops == sorted(pops)
+    # The paper's default dmax=8 reaches (near-)full recall here; the
+    # residue is relevant trees beyond the finite output window.
+    assert recalls[-2] >= 0.85

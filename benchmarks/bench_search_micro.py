@@ -1,0 +1,46 @@
+"""Micro-benchmarks: raw end-to-end latency of each algorithm on a
+fixed mid-skew query (statistically tight, multiple rounds) — the
+absolute-seconds companion to the ratio tables.
+"""
+
+import pytest
+
+from repro.experiments.common import build_bench, workload_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bench = build_bench("dblp", 0.4)
+    rng = workload_rng(31337)
+    query = bench.generator.sample_query(
+        rng, n_keywords=3, result_size=4, band_combo=("T", "S", "L")
+    )
+    assert query is not None
+    return bench, list(query.keywords)
+
+
+@pytest.mark.parametrize("algorithm", ["bidirectional", "si-backward", "mi-backward"])
+def test_search_latency(benchmark, setup, algorithm):
+    bench, keywords = setup
+    result = benchmark(
+        lambda: bench.engine.search(keywords, algorithm=algorithm)
+    )
+    assert result.stats.nodes_explored > 0
+
+
+def test_prestige_latency(benchmark, setup):
+    bench, _ = setup
+    from repro.graph.prestige import compute_prestige
+
+    vector = benchmark(lambda: compute_prestige(bench.engine.graph))
+    assert abs(float(vector.sum()) - 1.0) < 1e-6
+
+
+def test_graph_build_latency(benchmark, setup):
+    bench, _ = setup
+    from repro.graph.builder import build_search_graph
+
+    graph = benchmark(
+        lambda: build_search_graph(bench.db, compute_prestige=False)
+    )
+    assert graph.num_nodes == bench.engine.graph.num_nodes

@@ -1,0 +1,39 @@
+"""Sparse baseline micro-bench: CN enumeration + execution cost.
+
+Supports the Figure 5 "Sparse does progressively worse as the number of
+candidate networks increases" observation: executing CNs up to size 5
+costs strictly more than up to size 3 on the same query.
+"""
+
+import time
+
+from repro.experiments.common import build_bench, workload_rng
+from repro.sparse.sparse_search import SparseSearch
+
+
+def test_sparse_cost_grows_with_cn_size(benchmark):
+    bench = build_bench("dblp", 0.4)
+    rng = workload_rng(4242)
+    query = bench.generator.sample_query(
+        rng, n_keywords=2, result_size=3, band_combo=("T", "S")
+    )
+    assert query is not None
+    sparse = SparseSearch(bench.db)
+
+    def run():
+        times = {}
+        networks = {}
+        for size in (2, 3, 4, 5):
+            start = time.perf_counter()
+            out = sparse.search(list(query.keywords), k=None, max_cn_size=size)
+            times[size] = time.perf_counter() - start
+            networks[size] = out.num_networks
+        return times, networks
+
+    times, networks = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"query: {query.keywords}")
+    for size in (2, 3, 4, 5):
+        print(f"  max CN size {size}: {networks[size]:4d} CNs  {times[size]:.3f}s")
+    assert networks[5] >= networks[3] >= networks[2]
+    assert times[5] >= times[2]

@@ -1,0 +1,28 @@
+"""Benchmark harness glue.
+
+Each benchmark runs one experiment from :mod:`repro.experiments` once
+(``pedantic`` mode — these are macro-benchmarks whose interesting output
+is the printed table, not a statistically tight timing), prints the
+regenerated table, and applies *loose* shape assertions so a silently
+broken reproduction fails the bench run.
+
+Scale every dataset up or down with the ``REPRO_SCALE`` env var.
+"""
+
+from __future__ import annotations
+
+
+def run_report(benchmark, fn, **kwargs):
+    """Run ``fn`` under pytest-benchmark and print its Report."""
+    report = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(report.render())
+    return report
+
+
+def cell(report, row: int, col: int) -> str:
+    return report.rows[row][col]
+
+
+def as_float(text: str) -> float:
+    return float(text.replace(",", ""))

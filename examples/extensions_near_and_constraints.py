@@ -1,0 +1,75 @@
+"""Extensions the paper sketches: near queries and edge-type constraints.
+
+* Near queries (Section 4.3, footnote 6): rank individual nodes by
+  aggregated spreading activation — "find the entities most related to
+  these keywords" instead of connecting trees.
+* Edge-type policies (Section 1): "enforce constraints using edge types
+  to restrict search to specified search paths, or to prioritize
+  certain paths over others" — here, searching with and without
+  citation links, and de-prioritizing conference hubs.
+
+Run:  python examples/extensions_near_and_constraints.py
+"""
+
+import random
+
+from repro import KeywordSearchEngine
+from repro.datasets import DblpConfig, make_dblp
+from repro.graph import EdgePolicy
+from repro.render import render_tree
+from repro.workload import WorkloadGenerator
+
+
+def main() -> None:
+    db = make_dblp(DblpConfig().scaled(0.5))
+    engine = KeywordSearchEngine.from_database(db)
+    generator = WorkloadGenerator(db, engine.graph, engine.index)
+    rng = random.Random(42)
+    query = generator.sample_query(
+        rng, n_keywords=2, result_size=3, band_combo=("T", "S")
+    )
+    keywords = list(query.keywords)
+    print(f"query: {keywords}  origins={query.origin_sizes}")
+    print()
+
+    # ----- near query: which entities sit closest to both keywords? ---
+    near = engine.near(keywords, k=5)
+    print("near query — top related nodes:")
+    for node, score in near:
+        print(
+            f"  {score:.6f}  {engine.graph.table(node)}#{node} "
+            f"{engine.graph.label(node)[:50]}"
+        )
+    print()
+
+    # ----- unconstrained tree search ----------------------------------
+    result = engine.search(keywords, k=1)
+    if result.answers:
+        print("best unconstrained answer:")
+        print(render_tree(result.best().tree, engine.graph))
+    print()
+
+    # ----- forbid citation links --------------------------------------
+    no_cites = engine.constrained(
+        EdgePolicy(rules={("cites", "*"): None, ("*", "cites"): None})
+    )
+    result = no_cites.search(keywords, k=1)
+    print("best answer with citation links forbidden:")
+    if result.answers:
+        print(render_tree(result.best().tree, no_cites.graph))
+    else:
+        print("  (no citation-free connection exists)")
+    print()
+
+    # ----- de-prioritize conference hubs ------------------------------
+    fewer_hubs = engine.constrained(
+        EdgePolicy(rules={("*", "conference"): 5.0, ("conference", "*"): 5.0})
+    )
+    result = fewer_hubs.search(keywords, k=1)
+    print("best answer with conference hops 5x more expensive:")
+    if result.answers:
+        print(render_tree(result.best().tree, fewer_hubs.graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""US-Patent-style session: hub-node stress (UQ1 "Microsoft recovery").
+
+Assignee companies are extreme hubs — one company node is referenced by
+a large fraction of all patents.  Backward search entering such a hub
+must fan out over every patent; Bidirectional search instead runs
+forward from candidate roots.  This example measures exactly that, and
+shows the depth-cutoff (dmax) and top-k knobs of the public API.
+
+Run:  python examples/patents_queries.py
+"""
+
+import time
+
+from repro import KeywordSearchEngine, SearchParams
+from repro.datasets import PatentsConfig, make_patents
+from repro.render import render_tree
+
+
+def main() -> None:
+    db = make_patents(PatentsConfig())
+    engine = KeywordSearchEngine.from_database(db)
+    print(f"synthetic patents: {db.total_rows()} tuples -> {engine.graph}")
+
+    # The biggest assignee hub (company 1 by construction).
+    company = db.get("company", 1)["name"]
+    hub_node = engine.graph.node_by_ref("company", 1)
+    print(
+        f"hub: {company} holds "
+        f"{len(db.lookup('patent', 'company_id', 1))} patents "
+        f"(graph in-degree {engine.graph.in_degree(hub_node)})"
+    )
+    print()
+
+    query = f"{company.split()[0].lower()} recovery"
+    print(f"query: {query!r}  origins={engine.origin_sizes(query)}")
+    for algorithm in ("bidirectional", "si-backward", "mi-backward"):
+        start = time.perf_counter()
+        result = engine.search(query, algorithm=algorithm)
+        elapsed = time.perf_counter() - start
+        print(
+            f"  {algorithm:<13} answers={len(result.answers):<3} "
+            f"explored={result.stats.nodes_explored:<6} time={elapsed:.3f}s"
+        )
+    print()
+
+    result = engine.search(query, k=2)
+    for rank, answer in enumerate(result.answers, start=1):
+        print(f"answer {rank}:")
+        print(render_tree(answer.tree, engine.graph))
+        print()
+
+    # Tighter depth cutoff: cheaper, may lose distant answers (ABL2).
+    for dmax in (4, 8):
+        params = SearchParams(dmax=dmax)
+        result = engine.search(query, params=params)
+        print(
+            f"dmax={dmax}: {len(result.answers)} answers, "
+            f"{result.stats.nodes_explored} nodes explored"
+        )
+
+
+if __name__ == "__main__":
+    main()

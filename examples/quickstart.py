@@ -1,0 +1,114 @@
+"""Quickstart: keyword search over a tiny bibliography.
+
+Builds a five-table database by hand, turns it into a search graph with
+PageRank prestige and a keyword index, then runs the three search
+algorithms of the paper on the classic query ``gray transaction``
+(Section 1: find the connection between an author and a topic).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Database,
+    ForeignKey,
+    KeywordSearchEngine,
+    Schema,
+    Table,
+    render_result,
+)
+
+SCHEMA = Schema(
+    tables=(
+        Table("author", ("id", "name"), text_columns=("name",)),
+        Table("conference", ("id", "name"), text_columns=("name",)),
+        Table("paper", ("id", "title", "conf_id"), text_columns=("title",)),
+        Table("writes", ("id", "author_id", "paper_id")),
+        Table("cites", ("id", "citing_id", "cited_id")),
+    ),
+    foreign_keys=(
+        ForeignKey("paper", "conf_id", "conference"),
+        ForeignKey("writes", "author_id", "author"),
+        ForeignKey("writes", "paper_id", "paper"),
+        ForeignKey("cites", "citing_id", "paper"),
+        ForeignKey("cites", "cited_id", "paper"),
+    ),
+)
+
+
+def build_database() -> Database:
+    db = Database(SCHEMA)
+    db.insert_many(
+        "author",
+        [
+            {"id": 1, "name": "Jim Gray"},
+            {"id": 2, "name": "Pat Selinger"},
+            {"id": 3, "name": "Michael Stonebraker"},
+        ],
+    )
+    db.insert_many(
+        "conference",
+        [
+            {"id": 1, "name": "VLDB"},
+            {"id": 2, "name": "SIGMOD"},
+        ],
+    )
+    db.insert_many(
+        "paper",
+        [
+            {"id": 1, "title": "The Transaction Concept", "conf_id": 1},
+            {"id": 2, "title": "Access Path Selection", "conf_id": 2},
+            {"id": 3, "title": "The Design of Postgres", "conf_id": 2},
+            {"id": 4, "title": "Granularity of Locks", "conf_id": 1},
+        ],
+    )
+    db.insert_many(
+        "writes",
+        [
+            {"id": 1, "author_id": 1, "paper_id": 1},
+            {"id": 2, "author_id": 2, "paper_id": 2},
+            {"id": 3, "author_id": 3, "paper_id": 3},
+            {"id": 4, "author_id": 1, "paper_id": 4},
+        ],
+    )
+    db.insert_many(
+        "cites",
+        [
+            {"id": 1, "citing_id": 2, "cited_id": 1},
+            {"id": 2, "citing_id": 3, "cited_id": 1},
+            {"id": 3, "citing_id": 3, "cited_id": 2},
+        ],
+    )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    engine = KeywordSearchEngine.from_database(db)
+
+    print("graph:", engine.graph)
+    print("origin sizes for 'gray transaction':",
+          engine.origin_sizes("gray transaction"))
+    print()
+
+    for algorithm in ("bidirectional", "si-backward", "mi-backward"):
+        result = engine.search("gray transaction", algorithm=algorithm, k=3)
+        stats = result.stats
+        print(
+            f"{algorithm}: {len(result.answers)} answers, "
+            f"{stats.nodes_explored} nodes explored, "
+            f"{stats.nodes_touched} touched"
+        )
+    print()
+
+    # Render the best bidirectional answers as trees.
+    result = engine.search("gray transaction", k=3)
+    print(render_result(result, engine.graph, limit=3))
+
+    # Multi-word keywords use double quotes, as in the paper's DQ1.
+    result = engine.search('"jim gray" selinger', k=1)
+    print()
+    print(render_result(result, engine.graph, limit=1))
+
+
+if __name__ == "__main__":
+    main()

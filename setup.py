@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` (legacy
+``setup.py develop``) on offline machines whose setuptools cannot build
+wheels.
+"""
+
+from setuptools import setup
+
+setup()

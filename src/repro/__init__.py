@@ -1,0 +1,90 @@
+"""repro — reproduction of "Bidirectional Expansion For Keyword Search on
+Graph Databases" (Kacholia et al., VLDB 2005; the BANKS-II paper).
+
+Public API highlights
+---------------------
+:class:`~repro.core.engine.KeywordSearchEngine`
+    One-call facade: database -> graph + prestige + index -> search.
+:class:`~repro.core.bidirectional.BidirectionalSearch`
+    The paper's algorithm (incoming + outgoing iterators, spreading
+    activation, bounded top-k output).
+:class:`~repro.core.backward_si.SingleIteratorBackwardSearch`,
+:class:`~repro.core.backward_mi.BackwardExpandingSearch`
+    The SI-/MI-Backward baselines of Sections 3 and 4.6.
+:mod:`repro.sparse`
+    The candidate-network Sparse baseline (Hristidis et al.).
+:mod:`repro.datasets`
+    Synthetic DBLP/IMDB/US-Patent-shaped databases.
+:mod:`repro.experiments`
+    Harness regenerating every table and figure of Section 5
+    (``python -m repro.experiments --list``).
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    AnswerTree,
+    BackwardExpandingSearch,
+    BidirectionalSearch,
+    DEFAULT_PARAMS,
+    KeywordSearchEngine,
+    OutputAnswer,
+    SearchParams,
+    SearchResult,
+    SearchStats,
+    Scorer,
+    SingleIteratorBackwardSearch,
+    exhaustive_answers,
+    parse_query,
+)
+from repro.errors import (
+    EmptyQueryError,
+    KeywordNotFoundError,
+    ReproError,
+)
+from repro.graph import (
+    DataGraph,
+    SearchGraph,
+    build_data_graph,
+    build_search_graph,
+    compute_prestige,
+)
+from repro.index import InvertedIndex, build_index, tokenize
+from repro.relational import Database, ForeignKey, Schema, Table
+from repro.render import render_result, render_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ALGORITHMS",
+    "AnswerTree",
+    "BackwardExpandingSearch",
+    "BidirectionalSearch",
+    "DEFAULT_PARAMS",
+    "KeywordSearchEngine",
+    "OutputAnswer",
+    "SearchParams",
+    "SearchResult",
+    "SearchStats",
+    "Scorer",
+    "SingleIteratorBackwardSearch",
+    "exhaustive_answers",
+    "parse_query",
+    "EmptyQueryError",
+    "KeywordNotFoundError",
+    "ReproError",
+    "DataGraph",
+    "SearchGraph",
+    "build_data_graph",
+    "build_search_graph",
+    "compute_prestige",
+    "InvertedIndex",
+    "build_index",
+    "tokenize",
+    "Database",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "render_result",
+    "render_tree",
+]

@@ -1,0 +1,45 @@
+"""Core search algorithms and answer model (S7-S11, S13)."""
+
+from repro.core.activation import ActivationTable
+from repro.core.answer import AnswerTree, OutputAnswer, SearchResult, is_minimal_rooting
+from repro.core.backward_mi import BackwardExpandingSearch, ShortestPathIterator
+from repro.core.backward_si import SingleIteratorBackwardSearch
+from repro.core.bidirectional import BidirectionalSearch
+from repro.core.driver import nra_edge_bound
+from repro.core.engine import ALGORITHMS, KeywordSearchEngine, parse_query
+from repro.core.exhaustive import exhaustive_answers, keyword_distances
+from repro.core.heaps import LazyMaxHeap, LazyMinHeap
+from repro.core.output_heap import BufferedAnswer, OutputHeap
+from repro.core.params import DEFAULT_PARAMS, SearchParams
+from repro.core.pathtable import PathTable
+from repro.core.scoring import Scorer, edge_score, overall_score
+from repro.core.stats import SearchStats
+
+__all__ = [
+    "ActivationTable",
+    "AnswerTree",
+    "OutputAnswer",
+    "SearchResult",
+    "is_minimal_rooting",
+    "BackwardExpandingSearch",
+    "ShortestPathIterator",
+    "SingleIteratorBackwardSearch",
+    "BidirectionalSearch",
+    "nra_edge_bound",
+    "ALGORITHMS",
+    "KeywordSearchEngine",
+    "parse_query",
+    "exhaustive_answers",
+    "keyword_distances",
+    "LazyMaxHeap",
+    "LazyMinHeap",
+    "BufferedAnswer",
+    "OutputHeap",
+    "DEFAULT_PARAMS",
+    "SearchParams",
+    "PathTable",
+    "Scorer",
+    "edge_score",
+    "overall_score",
+    "SearchStats",
+]

@@ -1,0 +1,192 @@
+"""Shared machinery of the three search algorithms.
+
+Emission (minimality filter -> output heap -> stats), the Section 4.5
+output bounds, flush scheduling and result assembly are identical across
+MI-Backward, SI-Backward and Bidirectional; this module implements them
+once.
+
+Bound computation (Section 4.5): per keyword ``i`` the frontier minimum
+``m_i`` lower-bounds the ``s(T, t_i)`` of answers not yet generated; the
+NRA-style refinement (Fagin et al.) also considers every *seen but
+incomplete* node, trusting its known distances and bounding missing ones
+by ``m_i``.  The resulting edge-score lower bound converts to a score
+upper bound through the scorer.  As the paper notes, activation-ordered
+frontiers make this a heuristic; the RP experiment measures how ordered
+the output actually is.
+"""
+
+from __future__ import annotations
+
+from math import inf, isinf
+from typing import Iterable, Optional, Sequence
+
+from repro.core.answer import OutputAnswer, SearchResult, is_minimal_rooting
+from repro.core.output_heap import OutputHeap
+from repro.core.params import SearchParams
+from repro.core.scoring import Scorer
+from repro.core.stats import SearchStats
+
+__all__ = ["BaseSearch", "nra_edge_bound", "frontier_minima"]
+
+
+def nra_edge_bound(
+    ms: Sequence[float],
+    incomplete_dist_vectors: Iterable[Sequence[float]],
+) -> float:
+    """Lower bound on the edge score ``E`` of any future answer.
+
+    ``ms`` are the per-keyword frontier minima; ``incomplete_dist_vectors``
+    iterates the per-keyword distance vectors of seen-but-incomplete
+    nodes (``inf`` marks an unknown distance, replaced by the
+    corresponding ``m_i``).
+    """
+    best = sum(ms)
+    for vector in incomplete_dist_vectors:
+        total = 0.0
+        for d, m in zip(vector, ms):
+            total += m if isinf(d) else d
+            if total >= best:
+                break
+        else:
+            best = total
+    return best
+
+
+class BaseSearch:
+    """Common state and emission/flush/termination logic."""
+
+    algorithm = "base"
+
+    def __init__(
+        self,
+        graph,
+        keywords: Sequence[str],
+        keyword_sets: Sequence[frozenset[int]],
+        *,
+        params: Optional[SearchParams] = None,
+        scorer: Optional[Scorer] = None,
+    ) -> None:
+        if len(keywords) != len(keyword_sets):
+            raise ValueError("keywords and keyword_sets must align")
+        if not keyword_sets:
+            raise ValueError("at least one keyword is required")
+        self.graph = graph
+        self.keywords = tuple(keywords)
+        self.keyword_sets = tuple(frozenset(s) for s in keyword_sets)
+        self.k = len(self.keyword_sets)
+        self.params = params if params is not None else SearchParams()
+        self.scorer = scorer if scorer is not None else Scorer(graph, self.params.lam)
+        self.stats = SearchStats()
+        self.output = OutputHeap(self.params.output_mode)
+        self._result = SearchResult(
+            algorithm=self.algorithm, keywords=self.keywords, stats=self.stats
+        )
+        self._pops_since_flush = 0
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _emit_tree(self, root, paths, dists) -> None:
+        """Score and buffer a candidate tree (Figure 3 EMIT)."""
+        if not is_minimal_rooting(root, paths):
+            return
+        tree = self.scorer.build_tree(root, paths, dists)
+        status = self.output.add(
+            tree,
+            self.stats.now(),
+            self.stats.nodes_explored,
+            self.stats.nodes_touched,
+        )
+        if status == "duplicate":
+            self.stats.duplicates_discarded += 1
+        elif status == "new":
+            self.stats.answers_generated += 1
+
+    # ------------------------------------------------------------------
+    # flushing (Section 4.5)
+    # ------------------------------------------------------------------
+    def _should_flush(self) -> bool:
+        """Throttle bound recomputation: at least ``flush_interval``
+        pops apart, growing with the explored set so total bound upkeep
+        stays linear-ish in search size."""
+        if not self.output:
+            self._pops_since_flush = 0
+            return False
+        interval = max(self.params.flush_interval, self.stats.nodes_explored // 8)
+        if self._pops_since_flush < interval:
+            return False
+        self._pops_since_flush = 0
+        return True
+
+    def _flush(self, edge_bound: float) -> None:
+        """Release buffered answers the bound allows; sets ``_done`` when
+        the top-k quota is filled."""
+        if self.params.output_mode == "exact":
+            score_bound = self.scorer.score_upper_bound(edge_bound, self.k)
+            ready = self.output.pop_ready(score_bound=score_bound)
+        else:
+            ready = self.output.pop_ready(edge_bound=edge_bound)
+        for buffered in ready:
+            self._result.answers.append(
+                OutputAnswer(
+                    tree=buffered.tree,
+                    generated_at=buffered.generated_at,
+                    generated_pops=buffered.generated_pops,
+                    output_at=self.stats.now(),
+                    output_pops=self.stats.nodes_explored,
+                    generated_touched=buffered.generated_touched,
+                    output_touched=self.stats.nodes_touched,
+                )
+            )
+            self.stats.answers_output += 1
+            if self.stats.answers_output >= self.params.max_results:
+                self._done = True
+                return
+
+    def _drain(self) -> None:
+        """Search exhausted: release everything left, best first, up to k."""
+        for buffered in self.output.drain():
+            if self.stats.answers_output >= self.params.max_results:
+                break
+            self._result.answers.append(
+                OutputAnswer(
+                    tree=buffered.tree,
+                    generated_at=buffered.generated_at,
+                    generated_pops=buffered.generated_pops,
+                    output_at=self.stats.now(),
+                    output_pops=self.stats.nodes_explored,
+                    generated_touched=buffered.generated_touched,
+                    output_touched=self.stats.nodes_touched,
+                )
+            )
+            self.stats.answers_output += 1
+
+    # ------------------------------------------------------------------
+    def _budget_exhausted(self) -> bool:
+        budget = self.params.node_budget
+        return budget is not None and self.stats.nodes_explored >= budget
+
+    def _finish(self) -> SearchResult:
+        if not self._done:
+            self._drain()
+        self.stats.finish()
+        return self._result
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+def frontier_minima(k: int, frontiers: Iterable[Iterable[int]], dist_fn) -> list[float]:
+    """Per-keyword minimum known distance over the given frontier node
+    iterables (``m_i`` of Section 4.5).  ``dist_fn(node, i)`` returns the
+    node's known distance to keyword ``i`` or ``inf``."""
+    ms = [inf] * k
+    for frontier in frontiers:
+        for node in frontier:
+            for i in range(k):
+                d = dist_fn(node, i)
+                if d < ms[i]:
+                    ms[i] = d
+    return ms

@@ -1,0 +1,212 @@
+"""Public facade: keyword search over a graph + index pair.
+
+Ties together the search graph, the inverted index, the scorer and the
+three algorithms behind one call::
+
+    engine = KeywordSearchEngine.from_database(db)
+    result = engine.search("gray transaction", algorithm="bidirectional")
+
+Query syntax: whitespace-separated keywords; double quotes group a
+multi-word keyword (the paper's DQ1 ``"David Fernandez" parametric``),
+which matches nodes containing *all* of its words.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence, Union
+
+from repro.core.answer import SearchResult
+from repro.core.backward_mi import BackwardExpandingSearch
+from repro.core.backward_si import SingleIteratorBackwardSearch
+from repro.core.bidirectional import BidirectionalSearch
+from repro.core.exhaustive import exhaustive_answers
+from repro.core.params import SearchParams
+from repro.core.scoring import Scorer
+from repro.errors import EmptyQueryError, KeywordNotFoundError
+from repro.index.tokenizer import tokenize
+
+__all__ = ["KeywordSearchEngine", "parse_query", "ALGORITHMS"]
+
+_QUERY_TOKEN_RE = re.compile(r'"([^"]*)"|(\S+)')
+
+#: Algorithm name -> search class.
+ALGORITHMS = {
+    "bidirectional": BidirectionalSearch,
+    "si-backward": SingleIteratorBackwardSearch,
+    "mi-backward": BackwardExpandingSearch,
+}
+
+
+def parse_query(query: Union[str, Sequence[str]]) -> tuple[str, ...]:
+    """Split a query string into keywords, honouring double quotes.
+
+    A sequence of keywords passes through unchanged (stripped).
+    """
+    if isinstance(query, str):
+        keywords = [
+            quoted if quoted else bare
+            for quoted, bare in _QUERY_TOKEN_RE.findall(query)
+        ]
+    else:
+        keywords = [str(keyword) for keyword in query]
+    keywords = [keyword.strip() for keyword in keywords if keyword.strip()]
+    if not keywords:
+        raise EmptyQueryError("query contains no keywords")
+    return tuple(keywords)
+
+
+class KeywordSearchEngine:
+    """Search facade over a frozen graph and its keyword index."""
+
+    def __init__(self, graph, index, *, params: Optional[SearchParams] = None) -> None:
+        self.graph = graph
+        self.index = index
+        self.params = params if params is not None else SearchParams()
+        self.scorer = Scorer(graph, self.params.lam)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_database(
+        cls,
+        db,
+        *,
+        params: Optional[SearchParams] = None,
+        compute_prestige: bool = True,
+    ) -> "KeywordSearchEngine":
+        """Build graph, prestige and index from a relational database."""
+        from repro.graph.builder import build_search_graph
+        from repro.index.inverted import build_index
+
+        graph = build_search_graph(db, compute_prestige=compute_prestige)
+        index = build_index(db, graph)
+        return cls(graph, index, params=params)
+
+    # ------------------------------------------------------------------
+    def resolve(self, query: Union[str, Sequence[str]]) -> tuple[tuple[str, ...], list[frozenset[int]]]:
+        """Parse the query and resolve each keyword to its node set ``S_i``.
+
+        A multi-word keyword matches the intersection of its words'
+        postings.  Raises :class:`KeywordNotFoundError` for a keyword
+        with no matches (AND semantics admit no answer then).
+        """
+        keywords = parse_query(query)
+        keyword_sets: list[frozenset[int]] = []
+        for keyword in keywords:
+            words = list(tokenize(keyword))
+            if not words:
+                raise KeywordNotFoundError(keyword)
+            nodes = self.index.lookup(words[0])
+            for word in words[1:]:
+                nodes = nodes & self.index.lookup(word)
+            if not nodes:
+                raise KeywordNotFoundError(keyword)
+            keyword_sets.append(frozenset(nodes))
+        return keywords, keyword_sets
+
+    def origin_sizes(self, query: Union[str, Sequence[str]]) -> tuple[int, ...]:
+        """Per-keyword origin-set sizes (the paper's "#Keyword nodes")."""
+        _, keyword_sets = self.resolve(query)
+        return tuple(len(nodes) for nodes in keyword_sets)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Union[str, Sequence[str]],
+        *,
+        algorithm: str = "bidirectional",
+        k: Optional[int] = None,
+        params: Optional[SearchParams] = None,
+    ) -> SearchResult:
+        """Run a keyword search and return its :class:`SearchResult`.
+
+        Parameters
+        ----------
+        query:
+            Query string or keyword sequence.
+        algorithm:
+            One of ``"bidirectional"``, ``"si-backward"``,
+            ``"mi-backward"``.
+        k:
+            Top-k override (defaults to ``params.max_results``).
+        params:
+            Full parameter override for this call.
+        """
+        try:
+            search_cls = ALGORITHMS[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{sorted(ALGORITHMS)}"
+            ) from None
+        run_params = params if params is not None else self.params
+        if k is not None:
+            run_params = run_params.with_(max_results=k)
+        keywords, keyword_sets = self.resolve(query)
+        scorer = (
+            self.scorer
+            if run_params.lam == self.params.lam
+            else Scorer(self.graph, run_params.lam)
+        )
+        search = search_cls(
+            self.graph, keywords, keyword_sets, params=run_params, scorer=scorer
+        )
+        return search.run()
+
+    # ------------------------------------------------------------------
+    def constrained(self, policy) -> "KeywordSearchEngine":
+        """An engine over an edge-policy view of the graph (paper
+        Section 1: restrict or prioritize search paths by edge type).
+
+        ``policy`` is an :class:`~repro.graph.policy.EdgePolicy` or any
+        callable ``(src_table, dst_table, is_forward) -> multiplier|None``.
+        The keyword index, prestige and parameters are shared.
+        """
+        from repro.graph.policy import apply_edge_policy
+
+        view = apply_edge_policy(self.graph, policy)
+        return KeywordSearchEngine(view, self.index, params=self.params)
+
+    # ------------------------------------------------------------------
+    def near(
+        self,
+        query: Union[str, Sequence[str]],
+        *,
+        k: Optional[int] = 10,
+        node_budget: int = 1000,
+        mu: Optional[float] = None,
+    ):
+        """Near query (paper footnote 6): rank individual nodes by
+        aggregated spreading activation from the query keywords.
+
+        Returns a :class:`~repro.core.near.NearResult` whose ranking
+        pairs node ids with proximity scores.
+        """
+        from repro.core.near import NearSearch
+
+        _, keyword_sets = self.resolve(query)
+        search = NearSearch(
+            self.graph,
+            keyword_sets,
+            mu=mu if mu is not None else self.params.mu,
+            node_budget=node_budget,
+        )
+        return search.run(k)
+
+    # ------------------------------------------------------------------
+    def exhaustive(
+        self,
+        query: Union[str, Sequence[str]],
+        *,
+        max_results: Optional[int] = None,
+        max_edge_score: Optional[float] = None,
+    ):
+        """Oracle enumeration of every answer (small graphs only)."""
+        _, keyword_sets = self.resolve(query)
+        return exhaustive_answers(
+            self.graph,
+            keyword_sets,
+            self.scorer,
+            max_results=max_results,
+            max_edge_score=max_edge_score,
+        )

@@ -1,0 +1,129 @@
+"""Near queries (paper Section 4.3, footnote 6).
+
+The BANKS system exposes a query form that ranks *individual nodes* by
+their aggregate proximity to the query keywords — "near queries" —
+implemented by spreading activation with sum-combining instead of
+max-combining ("With scoring models that aggregate scores along
+multiple paths ... we could use other ways of combining the activation,
+such as adding them up").
+
+:class:`NearSearch` runs a best-first activation-ordered exploration
+from the keyword nodes (both edge directions — proximity is
+direction-agnostic) and returns nodes ranked by total received
+activation.  Useful for "find entities related to X and Y" queries
+where a connecting tree is not the desired answer shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.activation import ActivationTable
+from repro.core.heaps import LazyMaxHeap
+from repro.core.stats import SearchStats
+
+__all__ = ["NearSearch", "NearResult"]
+
+
+class NearResult:
+    """Ranked nodes with their activation scores plus run statistics."""
+
+    def __init__(self, ranking: list[tuple[int, float]], stats: SearchStats) -> None:
+        self.ranking = ranking
+        self.stats = stats
+
+    def nodes(self) -> list[int]:
+        return [node for node, _ in self.ranking]
+
+    def __iter__(self):
+        return iter(self.ranking)
+
+    def __len__(self) -> int:
+        return len(self.ranking)
+
+
+class NearSearch:
+    """Rank nodes by aggregated spreading activation from keywords."""
+
+    def __init__(
+        self,
+        graph,
+        keyword_sets: Sequence[frozenset[int]],
+        *,
+        mu: float = 0.5,
+        node_budget: int = 1000,
+        combine: str = "sum",
+        include_keyword_nodes: bool = False,
+    ) -> None:
+        if node_budget < 1:
+            raise ValueError(f"node_budget must be >= 1, got {node_budget!r}")
+        self.graph = graph
+        self.keyword_sets = tuple(frozenset(s) for s in keyword_sets)
+        if not self.keyword_sets:
+            raise ValueError("at least one keyword set is required")
+        self.node_budget = node_budget
+        self.include_keyword_nodes = include_keyword_nodes
+        self.stats = SearchStats()
+        self._queue = LazyMaxHeap()
+        self._act = ActivationTable(
+            graph,
+            self.keyword_sets,
+            mu=mu,
+            combine=combine,
+            on_activation_change=self._on_change,
+        )
+
+    def _on_change(self, node: int) -> None:
+        if node in self._queue:
+            self._queue.push(node, self._act.total(node))
+
+    # ------------------------------------------------------------------
+    def run(self, k: Optional[int] = 10) -> NearResult:
+        """Explore and return the top-``k`` nodes by activation (``None``
+        returns every activated node)."""
+        self._act.seed_all()
+        seeds: set[int] = set()
+        for nodes in self.keyword_sets:
+            seeds.update(nodes)
+        for node in sorted(seeds):
+            self._queue.push(node, self._act.total(node))
+            self.stats.touch()
+
+        explored: set[int] = set()
+        # Explored edges in both directions feed the ACTIVATE cascade.
+        parents: dict[int, dict[int, float]] = {}
+        while self._queue and len(explored) < self.node_budget:
+            node, _ = self._queue.pop()
+            if node in explored:
+                continue
+            explored.add(node)
+            self.stats.explore()
+            for u, w, _ in self.graph.in_edges(node):
+                self.stats.explore_edge()
+                bucket = parents.setdefault(node, {})
+                if u not in bucket or w < bucket[u]:
+                    bucket[u] = w
+                if u not in explored and u not in self._queue:
+                    self._queue.push(u, self._act.total(u))
+                    self.stats.touch()
+            for v, w, _ in self.graph.out_edges(node):
+                self.stats.explore_edge()
+                bucket = parents.setdefault(v, {})
+                if node not in bucket or w < bucket[node]:
+                    bucket[node] = w
+                if v not in explored and v not in self._queue:
+                    self._queue.push(v, self._act.total(v))
+                    self.stats.touch()
+            self._act.spread_backward(node, parents)
+            self._act.spread_forward(node, parents)
+
+        ranking = [
+            (node, total)
+            for node, total in self._act.totals()
+            if total > 0.0 and (self.include_keyword_nodes or node not in seeds)
+        ]
+        ranking.sort(key=lambda item: (-item[1], item[0]))
+        if k is not None:
+            ranking = ranking[:k]
+        self.stats.finish()
+        return NearResult(ranking, self.stats)

@@ -1,0 +1,103 @@
+"""Search parameters with the paper's defaults (Section 5.1).
+
+"We used the default values noted earlier in the paper for all
+parameters (such as mu, lambda and dmax)" — i.e. ``mu = 0.5``
+(Section 4.3), ``lambda = 0.2`` (Section 2.3), ``dmax = 8``
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["SearchParams", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Tunable knobs shared by every search algorithm.
+
+    Attributes
+    ----------
+    mu:
+        Activation attenuation: a node spreads fraction ``mu`` of its
+        received activation to neighbours and keeps ``1 - mu``
+        (Section 4.3).  Only Bidirectional uses it.
+    lam:
+        Exponent on the tree node-prestige score in the overall
+        relevance ``Escore * N**lam`` (Section 2.3).
+    dmax:
+        Depth cutoff: nodes at depth >= dmax from the keyword nodes are
+        not expanded, preventing unintuitively long answer paths and
+        ensuring termination (Section 4.2).
+    max_results:
+        Top-k: stop after this many answers have been *output* (the
+        paper measures at the 10th relevant result).
+    node_budget:
+        Optional hard cap on nodes explored (popped); a safety valve for
+        adversarial graphs, disabled by default like in the paper.
+    activation_combine:
+        How per-keyword activation from multiple edges merges:
+        ``"max"`` (the paper's tree model) or ``"sum"`` (the footnote-6
+        extension aggregating along multiple paths).
+    output_mode:
+        ``"exact"`` uses the NRA-style upper bound of Section 4.5;
+        ``"heuristic"`` uses the looser edge-score-only bound the paper
+        describes as "cheaper ... outputs answers faster".
+    flush_interval:
+        Recompute the output bound every this many pops.  Purely a
+        constant-factor engineering knob; 16 keeps bound upkeep under a
+        few percent of runtime.
+    max_combos_per_node:
+        MI-Backward only: cap on origin combinations emitted per
+        confluence node, bounding the cross-product blowup inherent to
+        the multi-iterator algorithm.
+    """
+
+    mu: float = 0.5
+    activation_combine: str = "max"
+    lam: float = 0.2
+    dmax: int = 8
+    max_results: int = 10
+    node_budget: Optional[int] = None
+    output_mode: str = "exact"
+    flush_interval: int = 16
+    max_combos_per_node: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mu <= 1.0:
+            raise ValueError(f"mu must be in [0, 1], got {self.mu!r}")
+        if self.activation_combine not in ("max", "sum"):
+            raise ValueError(
+                "activation_combine must be 'max' or 'sum', got "
+                f"{self.activation_combine!r}"
+            )
+        if self.lam < 0.0:
+            raise ValueError(f"lambda must be >= 0, got {self.lam!r}")
+        if self.dmax < 1:
+            raise ValueError(f"dmax must be >= 1, got {self.dmax!r}")
+        if self.max_results < 1:
+            raise ValueError(f"max_results must be >= 1, got {self.max_results!r}")
+        if self.node_budget is not None and self.node_budget < 1:
+            raise ValueError(f"node_budget must be >= 1, got {self.node_budget!r}")
+        if self.output_mode not in ("exact", "heuristic"):
+            raise ValueError(
+                f"output_mode must be 'exact' or 'heuristic', got {self.output_mode!r}"
+            )
+        if self.flush_interval < 1:
+            raise ValueError(
+                f"flush_interval must be >= 1, got {self.flush_interval!r}"
+            )
+        if self.max_combos_per_node < 1:
+            raise ValueError(
+                f"max_combos_per_node must be >= 1, got {self.max_combos_per_node!r}"
+            )
+
+    def with_(self, **changes) -> "SearchParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The paper's defaults.
+DEFAULT_PARAMS = SearchParams()

@@ -1,0 +1,66 @@
+"""Search instrumentation: the paper's three performance metrics.
+
+Section 5.2: "the nodes explored (i.e. popped from Qin or Qout and
+processed) and the nodes touched ... (i.e. inserted in Qin or Qout), and
+the time taken".  Additionally Section 5.3 distinguishes the time an
+answer was *generated* from the time it could be *output* (once the
+upper bound allowed it); :class:`SearchStats` records both, in wall
+seconds and in pop counts (pop counts are deterministic and are what the
+unit tests assert on).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters and timers for one search run."""
+
+    nodes_explored: int = 0
+    nodes_touched: int = 0
+    edges_explored: int = 0
+    answers_generated: int = 0
+    answers_output: int = 0
+    duplicates_discarded: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    finished_at: Optional[float] = None
+
+    def touch(self, count: int = 1) -> None:
+        self.nodes_touched += count
+
+    def explore(self) -> None:
+        self.nodes_explored += 1
+
+    def explore_edge(self, count: int = 1) -> None:
+        self.edges_explored += count
+
+    def finish(self) -> None:
+        if self.finished_at is None:
+            self.finished_at = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds from construction to :meth:`finish` (or now)."""
+        end = self.finished_at if self.finished_at is not None else time.perf_counter()
+        return end - self.started_at
+
+    def now(self) -> float:
+        """Seconds since the search started; stamps generation/output times."""
+        return time.perf_counter() - self.started_at
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "nodes_explored": self.nodes_explored,
+            "nodes_touched": self.nodes_touched,
+            "edges_explored": self.edges_explored,
+            "answers_generated": self.answers_generated,
+            "answers_output": self.answers_output,
+            "duplicates_discarded": self.duplicates_discarded,
+            "elapsed": self.elapsed,
+        }

@@ -1,0 +1,31 @@
+"""Synthetic dataset generators (substrate S14).
+
+Each generator returns a deterministic :class:`~repro.relational.Database`
+whose *shape* matches the corresponding real dataset of the paper's
+Section 5 — Zipfian term frequencies, hub nodes with large fan-in,
+link tuples as first-class rows, preferential-attachment citations —
+scaled down to sizes a pure-Python search explores in seconds
+(substitution documented in DESIGN.md Section 3).
+"""
+
+from repro.datasets.dblp import DBLP_SCHEMA, DblpConfig, make_dblp
+from repro.datasets.imdb import IMDB_SCHEMA, ImdbConfig, make_imdb
+from repro.datasets.names import NamePool
+from repro.datasets.patents import PATENTS_SCHEMA, PatentsConfig, make_patents
+from repro.datasets.vocab import TOPIC_WORDS, ZipfVocabulary, make_vocabulary
+
+__all__ = [
+    "DBLP_SCHEMA",
+    "DblpConfig",
+    "make_dblp",
+    "IMDB_SCHEMA",
+    "ImdbConfig",
+    "make_imdb",
+    "PATENTS_SCHEMA",
+    "PatentsConfig",
+    "make_patents",
+    "NamePool",
+    "TOPIC_WORDS",
+    "ZipfVocabulary",
+    "make_vocabulary",
+]

@@ -1,0 +1,85 @@
+"""Person/organization name pools with realistic frequency skew.
+
+IMDB's ``John`` problem (paper Section 4.1) needs very common first
+names; query DQ3's ``Giora`` needs nearly unique ones.  First names are
+drawn Zipfian from a common pool; surnames mix a common pool with a
+generated long tail so every frequency band is populated.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.vocab import ZipfVocabulary
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "COMPANY_WORDS",
+    "NamePool",
+]
+
+FIRST_NAMES: tuple[str, ...] = (
+    "john", "david", "michael", "james", "robert", "mary", "william",
+    "richard", "thomas", "susan", "joseph", "charles", "linda", "daniel",
+    "matthew", "anthony", "mark", "paul", "steven", "andrew", "karen",
+    "joshua", "kevin", "brian", "george", "timothy", "ronald", "edward",
+    "jason", "jeffrey", "cindy", "keanu", "nicole", "jude", "renee",
+    "divesh", "jignesh", "giora", "varun", "shashank", "soumen", "rushi",
+    "hrishikesh", "arvind", "govind", "philip", "chen", "wei", "yi",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "taylor", "moore", "jackson", "martin", "lee",
+    "thompson", "white", "harris", "clark", "lewis", "robinson", "walker",
+    "fernandez", "naughton", "dewitt", "jagadish", "chawathe", "mohan",
+    "rothermel", "krishnamurthy", "chakrabarti", "sudarshan", "kacholia",
+    "hulgeri", "nakhe", "bhalotia", "hristidis", "gravano", "zellweger",
+    "reeves", "kidman", "gray", "codd", "stonebraker", "ullman", "widom",
+)
+
+COMPANY_WORDS: tuple[str, ...] = (
+    "microsoft", "oracle", "ibm", "intel", "motorola", "xerox", "kodak",
+    "siemens", "philips", "hitachi", "toshiba", "fujitsu", "samsung",
+    "nokia", "ericsson", "lucent", "honeywell", "boeing", "dupont",
+    "monsanto", "pfizer", "merck", "genentech", "amgen",
+)
+
+
+class NamePool:
+    """Draws person names with a Zipfian head and a unique-ish tail."""
+
+    def __init__(
+        self,
+        *,
+        first_zipf: float = 1.0,
+        last_zipf: float = 0.7,
+        rare_last_fraction: float = 0.25,
+        rare_prefix: str = "surname",
+    ) -> None:
+        if not 0.0 <= rare_last_fraction <= 1.0:
+            raise ValueError("rare_last_fraction must be in [0, 1]")
+        self._first = ZipfVocabulary(FIRST_NAMES, s=first_zipf)
+        self._last = ZipfVocabulary(LAST_NAMES, s=last_zipf)
+        self._rare_fraction = rare_last_fraction
+        self._rare_prefix = rare_prefix
+        self._rare_counter = 0
+
+    def person(self, rng: random.Random) -> str:
+        """A "First Last" name; a fraction of surnames are unique."""
+        first = self._first.sample(rng)
+        if rng.random() < self._rare_fraction:
+            self._rare_counter += 1
+            last = f"{self._rare_prefix}{self._rare_counter:05d}"
+        else:
+            last = self._last.sample(rng)
+        return f"{first.capitalize()} {last.capitalize()}"
+
+    def company(self, rng: random.Random, index: int) -> str:
+        """Company names cycle the pool, suffixed when exhausted."""
+        base = COMPANY_WORDS[index % len(COMPANY_WORDS)]
+        suffix = index // len(COMPANY_WORDS)
+        name = base.capitalize()
+        return name if suffix == 0 else f"{name} {suffix + 1}"

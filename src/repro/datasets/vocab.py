@@ -1,0 +1,86 @@
+"""Zipf-distributed vocabularies for synthetic text generation.
+
+The paper's stress cases come from term-frequency skew: ``database``
+matches thousands of DBLP tuples while ``Giora`` matches five.  A
+:class:`ZipfVocabulary` reproduces that skew: rank-``r`` word drawn with
+probability proportional to ``1 / r**s``.  Head words double as the
+workload's Large-origin keywords, tail words as Tiny ones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Optional, Sequence
+
+__all__ = ["ZipfVocabulary", "TOPIC_WORDS", "make_vocabulary"]
+
+#: Head of the synthetic research vocabulary (frequency rank order).
+TOPIC_WORDS: tuple[str, ...] = (
+    "database", "query", "system", "data", "analysis", "model", "network",
+    "distributed", "parallel", "transaction", "optimization", "processing",
+    "search", "keyword", "index", "graph", "algorithm", "performance",
+    "recovery", "storage", "memory", "cache", "stream", "mining", "learning",
+    "xml", "web", "relational", "semantic", "schema", "join", "aggregation",
+    "concurrency", "replication", "consistency", "partition", "cluster",
+    "scalable", "adaptive", "approximate", "ranking", "retrieval", "text",
+    "spatial", "temporal", "probabilistic", "incremental", "dynamic",
+    "efficient", "robust", "secure", "privacy", "compression", "sampling",
+    "estimation", "workload", "benchmark", "prototype", "architecture",
+    "framework", "language", "compiler", "scheduler", "protocol", "sensor",
+    "mobile", "wireless", "energy", "fault", "tolerance", "availability",
+    "latency", "throughput", "bandwidth", "topology", "routing", "caching",
+    "materialized", "view", "cube", "warehouse", "olap", "oltp", "logging",
+    "checkpoint", "serializable", "snapshot", "isolation", "locking",
+    "validation", "versioning", "provenance", "lineage", "integration",
+    "federation", "mediation", "wrapper", "crawler", "parser", "tokenizer",
+)
+
+
+class ZipfVocabulary:
+    """Draws words with Zipfian rank-frequency skew."""
+
+    def __init__(self, words: Sequence[str], *, s: float = 1.0) -> None:
+        if not words:
+            raise ValueError("vocabulary must be non-empty")
+        if s < 0.0:
+            raise ValueError(f"zipf exponent must be >= 0, got {s!r}")
+        self.words = tuple(words)
+        self.s = s
+        weights = [1.0 / (rank ** s) for rank in range(1, len(self.words) + 1)]
+        self._cumulative = list(itertools.accumulate(weights))
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one word."""
+        point = rng.random() * self._cumulative[-1]
+        return self.words[bisect.bisect_left(self._cumulative, point)]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[str]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def phrase(self, rng: random.Random, min_words: int, max_words: int) -> str:
+        """A title-like phrase of ``min_words..max_words`` distinct-ish words."""
+        count = rng.randint(min_words, max_words)
+        return " ".join(self.sample_many(rng, count))
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def make_vocabulary(
+    size: int,
+    *,
+    s: float = 1.0,
+    head: Optional[Sequence[str]] = None,
+    tail_prefix: str = "term",
+) -> ZipfVocabulary:
+    """Vocabulary of ``size`` words: a realistic head plus a generated
+    tail (``term0001``, ...) providing arbitrarily rare keywords."""
+    base = tuple(head) if head is not None else TOPIC_WORDS
+    if size <= len(base):
+        return ZipfVocabulary(base[:size], s=s)
+    tail = tuple(
+        f"{tail_prefix}{i:04d}" for i in range(size - len(base))
+    )
+    return ZipfVocabulary(base + tail, s=s)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base class.  Input-validation failures raise the standard
+:class:`ValueError` / :class:`KeyError` subclasses below so they also
+behave idiomatically with generic ``except ValueError`` handlers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFrozenError",
+    "UnknownNodeError",
+    "SchemaError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "IntegrityError",
+    "QueryError",
+    "EmptyQueryError",
+    "KeywordNotFoundError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for data-graph construction and access errors."""
+
+
+class GraphFrozenError(GraphError):
+    """Raised when mutating a :class:`~repro.graph.DataGraph` after freeze."""
+
+
+class UnknownNodeError(GraphError, KeyError):
+    """Raised when a node id is out of range for the graph."""
+
+
+class SchemaError(ReproError):
+    """Base class for relational-schema violations."""
+
+
+class UnknownTableError(SchemaError, KeyError):
+    """Raised when a table name is not part of the schema."""
+
+
+class UnknownColumnError(SchemaError, KeyError):
+    """Raised when a column name is not part of a table."""
+
+
+class IntegrityError(SchemaError):
+    """Raised on primary-key or foreign-key violations at insert time."""
+
+
+class QueryError(ReproError):
+    """Base class for keyword-query problems."""
+
+
+class EmptyQueryError(QueryError, ValueError):
+    """Raised when a query contains no keywords."""
+
+
+class KeywordNotFoundError(QueryError, LookupError):
+    """Raised when a query keyword matches no node at all.
+
+    Under the paper's AND semantics such a query can have no answers; the
+    engine raises rather than silently returning an empty result so
+    callers can distinguish "no connection found" from "keyword absent".
+    """
+
+    def __init__(self, keyword: str):
+        super().__init__(f"keyword {keyword!r} matches no node in the index")
+        self.keyword = keyword

@@ -1,0 +1,86 @@
+"""Relational database -> data graph (paper Section 2.1).
+
+Every tuple becomes a node (including link tuples such as ``writes`` —
+see paper Figure 4, where Writes rows are nodes of their own) and every
+non-null foreign-key value becomes a forward edge from the referencing
+tuple's node to the referenced tuple's node, weighted by the FK's schema
+weight.  Backward edges are derived later, at freeze time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.digraph import DataGraph
+from repro.relational.database import Database
+
+__all__ = ["build_data_graph", "build_search_graph", "node_label_for_row"]
+
+
+def node_label_for_row(table, row) -> str:
+    """Display label: the first text-column value, else ``table:pk``."""
+    for column in table.text_columns:
+        value = row[column]
+        if value:
+            return str(value)
+    return f"{table.name}:{row[table.pk]}"
+
+
+def build_data_graph(db: Database) -> DataGraph:
+    """Build the (mutable) data graph of ``db``.
+
+    Node insertion order is table order then primary-key insertion
+    order, so graphs built from the same database are identical — the
+    determinism every experiment relies on.
+    """
+    graph = DataGraph()
+    node_of: dict[tuple[str, object], int] = {}
+    for table in db.schema.tables:
+        for row in db.rows(table.name):
+            pk = row[table.pk]
+            node = graph.add_node(
+                node_label_for_row(table, row),
+                table=table.name,
+                ref=(table.name, pk),
+            )
+            node_of[(table.name, pk)] = node
+    for fk in db.schema.foreign_keys:
+        for row in db.rows(fk.table):
+            value = row[fk.column]
+            if value is None:
+                continue
+            src = node_of[(fk.table, row[db.schema.table(fk.table).pk])]
+            dst = node_of[(fk.ref_table, value)]
+            graph.add_edge(src, dst, fk.weight)
+    return graph
+
+
+def build_search_graph(
+    db: Database,
+    *,
+    prestige: Optional[object] = None,
+    compute_prestige: bool = True,
+    damping: float = 0.85,
+):
+    """Build, freeze and (by default) prestige-rank the graph of ``db``.
+
+    Parameters
+    ----------
+    db:
+        Source database.
+    prestige:
+        Precomputed prestige vector; skips the PageRank computation.
+    compute_prestige:
+        When True (default) and no vector was given, run the biased
+        PageRank of :func:`repro.graph.prestige.compute_prestige`.
+        Setting it False leaves uniform prestige — useful in unit tests
+        where prestige is irrelevant.
+    damping:
+        Damping factor forwarded to the prestige computation.
+    """
+    from repro.graph.prestige import compute_prestige as _compute
+
+    graph = build_data_graph(db).freeze(prestige=prestige)
+    if prestige is None and compute_prestige and graph.num_nodes:
+        graph = graph.with_prestige(_compute(graph, damping=damping))
+    return graph

@@ -1,0 +1,268 @@
+"""Frozen search graph: forward + derived backward edges, compact arrays.
+
+The :class:`SearchGraph` is what every search algorithm operates on.  It
+contains, for each original forward edge ``u -> v`` of the
+:class:`~repro.graph.digraph.DataGraph`, both that edge and the derived
+backward edge ``v -> u`` weighted per :func:`repro.graph.weights.backward_edge_weight`.
+Answer trees are rooted directed trees over this combined edge set
+(paper Sections 2.1 and 2.3).
+
+Two representations coexist:
+
+* tuple-based adjacency lists, used by the pure-Python search loops
+  (fastest for per-node neighbour iteration), and
+* a lazily built CSR array set mirroring the paper's compact
+  ``16*|V| + 8*|E|`` byte index (Section 5.1): an ``int64`` indptr plus a
+  ``float64`` prestige value per vertex (16 bytes) and an ``int32``
+  target plus ``float32`` weight per combined edge (8 bytes).  The
+  memory-footprint benchmark validates this formula.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import UnknownNodeError
+from repro.graph.weights import backward_edge_weight
+
+__all__ = ["SearchGraph", "Edge"]
+
+#: Adjacency entry: (neighbour, weight, is_forward).
+Edge = tuple[int, float, bool]
+
+
+class SearchGraph:
+    """Immutable weighted directed graph with forward and backward edges."""
+
+    def __init__(self) -> None:
+        # Populated by the _from_datagraph factory only.
+        self._out: tuple[tuple[Edge, ...], ...] = ()
+        self._in: tuple[tuple[Edge, ...], ...] = ()
+        self._labels: tuple[str, ...] = ()
+        self._tables: tuple[Optional[str], ...] = ()
+        self._refs: tuple[Optional[tuple[str, Hashable]], ...] = ()
+        self._num_forward_edges = 0
+        self._prestige: np.ndarray = np.zeros(0)
+        self._in_inv_weight_sum: tuple[float, ...] = ()
+        self._out_inv_weight_sum: tuple[float, ...] = ()
+        self._csr_cache: Optional[dict[str, np.ndarray]] = None
+        self._ref_to_node: Optional[dict[tuple[str, Hashable], int]] = None
+
+    # ------------------------------------------------------------------
+    # construction (from DataGraph.freeze only)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_datagraph(cls, dg, prestige=None) -> "SearchGraph":
+        n = dg.num_nodes
+        out_lists: list[list[Edge]] = [[] for _ in range(n)]
+        in_lists: list[list[Edge]] = [[] for _ in range(n)]
+        for u, v, w in dg.forward_edges():
+            out_lists[u].append((v, w, True))
+            in_lists[v].append((u, w, True))
+            bw = backward_edge_weight(w, dg.indegree(v))
+            out_lists[v].append((u, bw, False))
+            in_lists[u].append((v, bw, False))
+
+        g = cls()
+        g._out = tuple(tuple(edges) for edges in out_lists)
+        g._in = tuple(tuple(edges) for edges in in_lists)
+        g._labels = tuple(dg.label(i) for i in range(n))
+        g._tables = tuple(dg.table(i) for i in range(n))
+        g._refs = tuple(dg.ref(i) for i in range(n))
+        g._num_forward_edges = dg.num_edges
+        if prestige is None:
+            g._prestige = (
+                np.full(n, 1.0 / n, dtype=np.float64) if n else np.zeros(0, dtype=np.float64)
+            )
+        else:
+            g._prestige = cls._validate_prestige(prestige, n)
+        g._in_inv_weight_sum = tuple(
+            sum(1.0 / w for _, w, _ in edges) for edges in g._in
+        )
+        g._out_inv_weight_sum = tuple(
+            sum(1.0 / w for _, w, _ in edges) for edges in g._out
+        )
+        return g
+
+    @staticmethod
+    def _validate_prestige(prestige, n: int) -> np.ndarray:
+        vec = np.asarray(prestige, dtype=np.float64)
+        if vec.shape != (n,):
+            raise ValueError(f"prestige vector must have shape ({n},), got {vec.shape}")
+        if np.any(vec < 0.0):
+            raise ValueError("prestige values must be non-negative")
+        return vec.copy()
+
+    def with_prestige(self, prestige) -> "SearchGraph":
+        """Return a structurally shared copy using the given prestige vector."""
+        g = SearchGraph()
+        g._out = self._out
+        g._in = self._in
+        g._labels = self._labels
+        g._tables = self._tables
+        g._refs = self._refs
+        g._num_forward_edges = self._num_forward_edges
+        g._in_inv_weight_sum = self._in_inv_weight_sum
+        g._out_inv_weight_sum = self._out_inv_weight_sum
+        g._prestige = self._validate_prestige(prestige, self.num_nodes)
+        g._ref_to_node = self._ref_to_node
+        return g
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_forward_edges(self) -> int:
+        """Number of original (forward) edges."""
+        return self._num_forward_edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of combined directed edges.
+
+        Equals ``2 * num_forward_edges`` on a freshly frozen graph; an
+        edge-policy view (:mod:`repro.graph.policy`) may drop forward
+        and backward edges asymmetrically, so the count comes from the
+        adjacency itself.
+        """
+        return sum(len(edges) for edges in self._out)
+
+    def out_edges(self, u: int) -> Sequence[Edge]:
+        """Edges leaving ``u`` as ``(target, weight, is_forward)`` tuples."""
+        self._check_node(u)
+        return self._out[u]
+
+    def in_edges(self, v: int) -> Sequence[Edge]:
+        """Edges entering ``v`` as ``(source, weight, is_forward)`` tuples."""
+        self._check_node(v)
+        return self._in[v]
+
+    def out_degree(self, u: int) -> int:
+        self._check_node(u)
+        return len(self._out[u])
+
+    def in_degree(self, v: int) -> int:
+        self._check_node(v)
+        return len(self._in[v])
+
+    def label(self, node: int) -> str:
+        self._check_node(node)
+        return self._labels[node]
+
+    def table(self, node: int) -> Optional[str]:
+        self._check_node(node)
+        return self._tables[node]
+
+    def ref(self, node: int) -> Optional[tuple[str, Hashable]]:
+        """The ``(table, primary key)`` the node was built from, if any."""
+        self._check_node(node)
+        return self._refs[node]
+
+    def node_by_ref(self, table: str, pk: Hashable) -> int:
+        """Inverse of :meth:`ref`; built lazily on first use."""
+        if self._ref_to_node is None:
+            self._ref_to_node = {
+                ref: node for node, ref in enumerate(self._refs) if ref is not None
+            }
+        return self._ref_to_node[(table, pk)]
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Smallest weight among (possibly parallel) edges ``u -> v``."""
+        self._check_node(u)
+        best = None
+        for target, w, _ in self._out[u]:
+            if target == v and (best is None or w < best):
+                best = w
+        if best is None:
+            raise UnknownNodeError(v)
+        return best
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchGraph(nodes={self.num_nodes}, "
+            f"forward_edges={self.num_forward_edges}, edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # prestige and activation support
+    # ------------------------------------------------------------------
+    @property
+    def prestige(self) -> np.ndarray:
+        """Per-node prestige vector (read-only view)."""
+        view = self._prestige.view()
+        view.flags.writeable = False
+        return view
+
+    def node_prestige(self, node: int) -> float:
+        self._check_node(node)
+        return float(self._prestige[node])
+
+    @property
+    def max_prestige(self) -> float:
+        return float(self._prestige.max()) if self.num_nodes else 0.0
+
+    def in_inv_weight_sum(self, v: int) -> float:
+        """``sum(1/w)`` over edges entering ``v``; activation normalizer."""
+        self._check_node(v)
+        return self._in_inv_weight_sum[v]
+
+    def out_inv_weight_sum(self, u: int) -> float:
+        """``sum(1/w)`` over edges leaving ``u``; activation normalizer."""
+        self._check_node(u)
+        return self._out_inv_weight_sum[u]
+
+    # ------------------------------------------------------------------
+    # compact CSR arrays (paper Section 5.1 memory model)
+    # ------------------------------------------------------------------
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """Compact out-adjacency arrays, built once and cached.
+
+        Returns a dict with keys ``indptr`` (int64, n+1), ``dst``
+        (int32, m), ``weight`` (float32, m) and ``prestige``
+        (float64, n), where m counts combined edges.
+        """
+        if self._csr_cache is None:
+            n = self.num_nodes
+            m = self.num_edges
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            dst = np.zeros(m, dtype=np.int32)
+            weight = np.zeros(m, dtype=np.float32)
+            pos = 0
+            for u in range(n):
+                indptr[u] = pos
+                for v, w, _ in self._out[u]:
+                    dst[pos] = v
+                    weight[pos] = w
+                    pos += 1
+            indptr[n] = pos
+            self._csr_cache = {
+                "indptr": indptr,
+                "dst": dst,
+                "weight": weight,
+                "prestige": self._prestige.astype(np.float64),
+            }
+        return self._csr_cache
+
+    def compact_nbytes(self) -> int:
+        """Bytes used by the compact index (paper: ``16|V| + 8|E|``)."""
+        arrays = self.csr_arrays()
+        return sum(int(a.nbytes) for a in arrays.values())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self._out):
+            raise UnknownNodeError(node)

@@ -1,0 +1,33 @@
+"""Keyword tokenization.
+
+The paper's index "is built on values from selected string-valued
+attributes from multiple tables" (Section 3).  We tokenize by splitting
+on non-alphanumeric characters and lower-casing — the behaviour keyword
+queries such as ``"Gray transaction"`` expect.  No stemming or stopword
+removal: the paper relies on raw term frequency (frequent terms like
+``database`` are exactly what stresses Backward search), so normalizing
+them away would change the workload.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = ["tokenize", "normalize_term"]
+
+_TOKEN_RE = re.compile(r"[0-9a-z]+")
+
+
+def normalize_term(term: str) -> str:
+    """Canonical form of a query keyword (lower-cased, stripped)."""
+    return term.strip().lower()
+
+
+def tokenize(text: str) -> Iterator[str]:
+    """Yield normalized tokens of ``text`` in order, with duplicates.
+
+    >>> list(tokenize("Bidirectional Expansion, For KEYWORD-search!"))
+    ['bidirectional', 'expansion', 'for', 'keyword', 'search']
+    """
+    return (match.group(0) for match in _TOKEN_RE.finditer(text.lower()))

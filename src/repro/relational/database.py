@@ -1,0 +1,152 @@
+"""In-memory relational store.
+
+Rows are plain dicts keyed by column name, stored per table and indexed
+by primary key.  The store enforces column shape, primary-key uniqueness
+and (by default) referential integrity at insert time — the behaviours
+the graph builder and Sparse executor rely on.
+
+Attribute values live here, not in the search graph, mirroring the
+paper's split between the disk-resident tuples and the in-memory graph
+index (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Optional
+
+from repro.errors import IntegrityError, UnknownColumnError
+from repro.relational.indexes import HashIndex
+from repro.relational.schema import Schema
+
+__all__ = ["Database"]
+
+Row = dict[str, Any]
+
+
+class Database:
+    """A schema-validated collection of tables with hash indexes."""
+
+    def __init__(self, schema: Schema, *, enforce_fk: bool = True) -> None:
+        self.schema = schema
+        self._enforce_fk = enforce_fk
+        self._rows: dict[str, dict[Hashable, Row]] = {
+            name: {} for name in schema.table_names()
+        }
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Row) -> Hashable:
+        """Insert ``row`` into ``table`` and return its primary key."""
+        tbl = self.schema.table(table)
+        unknown = set(row) - set(tbl.columns)
+        if unknown:
+            raise UnknownColumnError(f"{table}.{sorted(unknown)[0]}")
+        missing = set(tbl.columns) - set(row)
+        if missing:
+            raise IntegrityError(
+                f"insert into {table!r} missing columns {sorted(missing)}"
+            )
+        pk = row[tbl.pk]
+        store = self._rows[table]
+        if pk in store:
+            raise IntegrityError(f"duplicate primary key {pk!r} in table {table!r}")
+        if self._enforce_fk:
+            self._check_references(table, row)
+        stored = dict(row)
+        store[pk] = stored
+        for (idx_table, idx_col), index in self._indexes.items():
+            if idx_table == table:
+                index.add(stored[idx_col], pk)
+        return pk
+
+    def insert_many(self, table: str, rows: Iterable[Row]) -> list[Hashable]:
+        return [self.insert(table, row) for row in rows]
+
+    def _check_references(self, table: str, row: Row) -> None:
+        for fk in self.schema.fks_from(table):
+            value = row[fk.column]
+            if value is None:
+                continue  # nullable reference
+            if value not in self._rows[fk.ref_table]:
+                raise IntegrityError(
+                    f"{table}.{fk.column}={value!r} references missing "
+                    f"{fk.ref_table} row"
+                )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, table: str, pk: Hashable) -> Row:
+        self.schema.table(table)
+        try:
+            return self._rows[table][pk]
+        except KeyError:
+            raise KeyError(f"no row {pk!r} in table {table!r}") from None
+
+    def has(self, table: str, pk: Hashable) -> bool:
+        self.schema.table(table)
+        return pk in self._rows[table]
+
+    def rows(self, table: str) -> Iterator[Row]:
+        """Iterate all rows of ``table`` in insertion order."""
+        self.schema.table(table)
+        return iter(self._rows[table].values())
+
+    def primary_keys(self, table: str) -> Iterator[Hashable]:
+        self.schema.table(table)
+        return iter(self._rows[table].keys())
+
+    def count(self, table: str) -> int:
+        self.schema.table(table)
+        return len(self._rows[table])
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def select(self, table: str, predicate) -> Iterator[Row]:
+        """Filter rows of ``table`` by an arbitrary predicate (full scan)."""
+        return (row for row in self.rows(table) if predicate(row))
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def build_index(self, table: str, column: str) -> HashIndex:
+        """Build (or return the existing) hash index on ``table.column``."""
+        tbl = self.schema.table(table)
+        if not tbl.has_column(column):
+            raise UnknownColumnError(f"{table}.{column}")
+        key = (table, column)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(table, column)
+            for pk, row in self._rows[table].items():
+                index.add(row[column], pk)
+            self._indexes[key] = index
+        return index
+
+    def build_join_indexes(self) -> None:
+        """Index every FK column, both ends — the paper's "indices were
+        created on all join columns" setup for the Sparse comparison."""
+        for fk in self.schema.foreign_keys:
+            self.build_index(fk.table, fk.column)
+            self.build_index(fk.ref_table, fk.ref_column)
+
+    def index(self, table: str, column: str) -> Optional[HashIndex]:
+        return self._indexes.get((table, column))
+
+    def lookup(self, table: str, column: str, value) -> list[Row]:
+        """Rows of ``table`` with ``column == value``; indexed when possible."""
+        index = self._indexes.get((table, column))
+        if index is not None:
+            store = self._rows[table]
+            return [store[pk] for pk in index.get(value)]
+        return [row for row in self.rows(table) if row[column] == value]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(
+            f"{name}={len(rows)}" for name, rows in self._rows.items()
+        )
+        return f"Database({sizes})"

@@ -1,0 +1,51 @@
+"""Hash indexes on table columns.
+
+Candidate-network execution in the Sparse baseline uses indexed
+nested-loop joins; the paper builds "indices ... on all join columns"
+before timing (Section 5.2).  A :class:`HashIndex` maps a column value
+to the list of primary keys holding it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """An equality index ``value -> [primary keys]`` for one column."""
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._buckets: dict[Hashable, list[Hashable]] = {}
+        self._entries = 0
+
+    def add(self, value: Hashable, pk: Hashable) -> None:
+        self._buckets.setdefault(value, []).append(pk)
+        self._entries += 1
+
+    def get(self, value: Hashable) -> list[Hashable]:
+        """Primary keys of rows whose column equals ``value``."""
+        return self._buckets.get(value, [])
+
+    def contains(self, value: Hashable) -> bool:
+        return value in self._buckets
+
+    def distinct_values(self) -> Iterator[Hashable]:
+        return iter(self._buckets.keys())
+
+    def selectivity(self, value: Hashable) -> int:
+        """Number of matching rows; the join planner orders by this."""
+        return len(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        """Total indexed entries (rows), not distinct values."""
+        return self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashIndex({self.table}.{self.column}, "
+            f"values={len(self._buckets)}, entries={self._entries})"
+        )

@@ -1,0 +1,66 @@
+"""Small join primitives over the in-memory store.
+
+These are the building blocks of the Sparse executor's indexed
+nested-loop joins and of the workload generator's ground-truth "SQL"
+evaluation (paper Section 5.4: "we executed SQL queries to find relevant
+answers").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey
+
+__all__ = ["follow_fk", "follow_fk_reverse", "join_step"]
+
+Row = dict[str, Any]
+
+
+def follow_fk(db: Database, row: Row, fk: ForeignKey) -> Iterator[Row]:
+    """Rows of ``fk.ref_table`` referenced by ``row`` (0 or 1 rows).
+
+    ``row`` must belong to ``fk.table``.  A ``None`` reference yields
+    nothing (nullable foreign key).
+    """
+    value = row[fk.column]
+    if value is None:
+        return
+    if db.has(fk.ref_table, value):
+        yield db.get(fk.ref_table, value)
+
+
+def follow_fk_reverse(db: Database, row: Row, fk: ForeignKey) -> Iterator[Row]:
+    """Rows of ``fk.table`` that reference ``row`` of ``fk.ref_table``.
+
+    Uses the hash index on ``fk.table.fk.column`` when present, falling
+    back to a full scan otherwise.
+    """
+    value = row[fk.ref_column]
+    yield from db.lookup(fk.table, fk.column, value)
+
+
+def join_step(db: Database, row: Row, from_table: str, fk: ForeignKey) -> Iterator[Row]:
+    """Join one step along ``fk`` from a row of ``from_table``.
+
+    The FK may point either out of or into ``from_table``; the matching
+    rows of the *other* table are yielded.  Self-referencing foreign
+    keys (``fk.table == fk.ref_table``) are ambiguous here and are not
+    supported; model self-relationships through a link table (as the
+    bundled datasets do with ``cites``).
+    """
+    if fk.table == fk.ref_table:
+        raise ValueError(
+            "join_step cannot disambiguate a self-referencing foreign key; "
+            "use a link table instead"
+        )
+    if fk.table == from_table:
+        yield from follow_fk(db, row, fk)
+    elif fk.ref_table == from_table:
+        yield from follow_fk_reverse(db, row, fk)
+    else:
+        raise ValueError(
+            f"foreign key {fk.table}.{fk.column} does not touch table "
+            f"{from_table!r}"
+        )

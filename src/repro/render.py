@@ -1,0 +1,56 @@
+"""ASCII rendering of answer trees for the examples and CLI output."""
+
+from __future__ import annotations
+
+from repro.core.answer import AnswerTree
+
+__all__ = ["render_tree", "render_result"]
+
+
+def _node_name(graph, node: int) -> str:
+    if graph is None:
+        return str(node)
+    label = graph.label(node)
+    table = graph.table(node)
+    prefix = f"{table}#" if table else "#"
+    return f"{prefix}{node} {label}".strip()
+
+
+def render_tree(tree: AnswerTree, graph=None, *, matched_marker: str = "*") -> str:
+    """Indented ASCII view of an answer tree.
+
+    Matched keyword nodes are marked; edge weights resolved through the
+    graph when available.
+    """
+    children: dict[int, list[int]] = {}
+    for parent, child in sorted(tree.edges()):
+        children.setdefault(parent, []).append(child)
+    matched = set(tree.matched_nodes())
+
+    lines = [
+        f"score={tree.score:.4g}  E={tree.edge_score:.3g}  "
+        f"N={tree.node_score:.3g}  size={tree.size()}"
+    ]
+
+    def walk(node: int, depth: int) -> None:
+        marker = f" {matched_marker}" if node in matched else ""
+        indent = "  " * depth + ("+- " if depth else "")
+        lines.append(f"{indent}{_node_name(graph, node)}{marker}")
+        for child in children.get(node, ()):  # deterministic order
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def render_result(result, graph=None, *, limit: int = 5) -> str:
+    """Render the top answers of a :class:`SearchResult`."""
+    header = (
+        f"{result.algorithm}: {len(result.answers)} answers for "
+        f"{' '.join(result.keywords)}"
+    )
+    blocks = [header]
+    for rank, answer in enumerate(result.answers[:limit], start=1):
+        blocks.append(f"--- answer {rank} ---")
+        blocks.append(render_tree(answer.tree, graph))
+    return "\n".join(blocks)

@@ -1,0 +1,260 @@
+"""Candidate-network enumeration over the schema graph.
+
+A candidate network (CN) is a tree whose nodes are tuple sets
+(``R^K`` non-free, ``R^{}`` free) and whose edges are schema foreign
+keys; executing it joins the sets into answer trees.  Following
+Discover/Sparse (Hristidis et al.), a CN is *valid* when it is
+
+* **total** — the union of its non-free keyword subsets covers the query,
+* **leaf-constrained** — no leaf is a free tuple set (a free leaf could
+  be dropped, so the tree is redundant), and
+* **minimal** — removing any leaf breaks totality,
+
+and *useful* when none of its non-free tuple sets is empty for the
+current query.  Enumeration is breadth-first expansion of partial
+trees, deduplicated by a canonical form (minimum rooted serialization
+over all roots), up to ``max_size`` nodes — the paper compares against
+"all candidate networks smaller than the relevant ones" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.relational.schema import ForeignKey, Schema
+
+__all__ = ["CNNode", "CandidateNetwork", "enumerate_candidate_networks"]
+
+
+@dataclass(frozen=True)
+class CNNode:
+    """One tuple set in a CN: a table plus the exact keyword subset
+    (empty = free tuple set)."""
+
+    table: str
+    keywords: frozenset[str]
+
+    @property
+    def is_free(self) -> bool:
+        return not self.keywords
+
+    def label(self) -> str:
+        if self.is_free:
+            return self.table
+        return f"{self.table}^{{{','.join(sorted(self.keywords))}}}"
+
+
+@dataclass(frozen=True)
+class CandidateNetwork:
+    """A tree of tuple sets; ``edges[i] = (a, b, fk)`` joins node
+    indices ``a`` and ``b`` where ``fk.table == nodes[a].table`` and
+    ``fk.ref_table == nodes[b].table`` (direction preserved)."""
+
+    nodes: tuple[CNNode, ...]
+    edges: tuple[tuple[int, int, ForeignKey], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def covered_keywords(self) -> frozenset[str]:
+        out: set[str] = set()
+        for node in self.nodes:
+            out.update(node.keywords)
+        return frozenset(out)
+
+    def adjacency(self) -> dict[int, list[tuple[int, ForeignKey, bool]]]:
+        """index -> [(neighbour, fk, outgoing?)]"""
+        adj: dict[int, list[tuple[int, ForeignKey, bool]]] = {
+            i: [] for i in range(len(self.nodes))
+        }
+        for a, b, fk in self.edges:
+            adj[a].append((b, fk, True))
+            adj[b].append((a, fk, False))
+        return adj
+
+    def leaves(self) -> list[int]:
+        if len(self.nodes) == 1:
+            return [0]
+        degree = [0] * len(self.nodes)
+        for a, b, _ in self.edges:
+            degree[a] += 1
+            degree[b] += 1
+        return [i for i, d in enumerate(degree) if d == 1]
+
+    # ------------------------------------------------------------------
+    def is_total(self, keywords: Sequence[str]) -> bool:
+        return frozenset(keywords) <= self.covered_keywords()
+
+    def is_minimal(self, keywords: Sequence[str]) -> bool:
+        """No leaf removable without losing totality; free leaves are
+        never minimal."""
+        query = frozenset(keywords)
+        for leaf in self.leaves():
+            if self.nodes[leaf].is_free:
+                return False
+            others: set[str] = set()
+            for i, node in enumerate(self.nodes):
+                if i != leaf:
+                    others.update(node.keywords)
+            if query <= others:
+                return False
+        return True
+
+    def is_valid(self, keywords: Sequence[str]) -> bool:
+        return self.is_total(keywords) and self.is_minimal(keywords)
+
+    # ------------------------------------------------------------------
+    def canonical_form(self) -> str:
+        """Root-invariant serialization for deduplication."""
+        adj = self.adjacency()
+
+        def serialize(node: int, parent: Optional[int]) -> str:
+            children = []
+            for neighbour, fk, outgoing in adj[node]:
+                if neighbour == parent:
+                    continue
+                direction = ">" if outgoing else "<"
+                fk_label = f"{fk.table}.{fk.column}"
+                children.append(
+                    f"{direction}{fk_label}({serialize(neighbour, node)})"
+                )
+            return self.nodes[node].label() + "[" + "|".join(sorted(children)) + "]"
+
+        return min(serialize(root, None) for root in range(len(self.nodes)))
+
+    def describe(self) -> str:
+        """Readable join expression, e.g. ``paper^{x} <- writes -> author^{y}``."""
+        if not self.edges:
+            return self.nodes[0].label()
+        parts = []
+        for a, b, fk in self.edges:
+            parts.append(
+                f"{self.nodes[a].label()} -[{fk.table}.{fk.column}]-> "
+                f"{self.nodes[b].label()}"
+            )
+        return " ; ".join(parts)
+
+
+def _keyword_subset_choices(
+    keywords: Sequence[str],
+) -> list[frozenset[str]]:
+    """All non-empty subsets of the query keywords, small first."""
+    out: list[frozenset[str]] = []
+    for r in range(1, len(keywords) + 1):
+        out.extend(frozenset(c) for c in itertools.combinations(keywords, r))
+    return out
+
+
+def enumerate_candidate_networks(
+    schema: Schema,
+    keywords: Sequence[str],
+    max_size: int,
+    *,
+    has_tuples=None,
+    max_networks: Optional[int] = None,
+    max_partials: int = 200_000,
+) -> list[CandidateNetwork]:
+    """All valid CNs of up to ``max_size`` tuple sets.
+
+    Parameters
+    ----------
+    schema:
+        Relational schema whose FKs form the schema graph.
+    keywords:
+        Normalized query keywords.
+    max_size:
+        Maximum number of tuple sets per CN (the paper executes CNs up
+        to the size of the relevant answers).
+    has_tuples:
+        Optional pruning callback ``(table, keyword_subset) -> bool``;
+        CNs using an empty non-free tuple set are skipped (Sparse's
+        pruning).  Typically :meth:`repro.sparse.tuple_sets.TupleSets.has`.
+    max_networks:
+        Optional cap on the number of returned CNs (safety valve).
+    max_partials:
+        Hard cap on enumerated partial trees; the number of partials
+        grows combinatorially with ``max_size``, so enumeration stops
+        (returning the valid CNs found so far — still a lower bound for
+        Sparse-LB purposes) once the cap is hit.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size!r}")
+    keywords = [str(k) for k in keywords]
+    subsets = _keyword_subset_choices(keywords)
+
+    def usable(table: str, subset: frozenset[str]) -> bool:
+        if has_tuples is None:
+            return True
+        return bool(has_tuples(table, subset))
+
+    results: list[CandidateNetwork] = []
+    seen: set[str] = set()
+    # Start from every usable non-free tuple set.
+    queue: list[CandidateNetwork] = []
+    for table in schema.table_names():
+        for subset in subsets:
+            if usable(table, subset):
+                queue.append(
+                    CandidateNetwork(nodes=(CNNode(table, subset),), edges=())
+                )
+
+    head = 0
+    while head < len(queue):
+        if len(queue) > max_partials:
+            break
+        cn = queue[head]
+        head += 1
+        canon = cn.canonical_form()
+        if canon in seen:
+            continue
+        seen.add(canon)
+
+        if cn.is_valid(keywords):
+            results.append(cn)
+            if max_networks is not None and len(results) >= max_networks:
+                break
+        if cn.is_total(keywords):
+            # Any proper supertree of a total tree has a removable leaf
+            # (drop any leaf outside the total subtree and totality
+            # survives), hence is never minimal: stop expanding.
+            continue
+
+        if cn.size >= max_size:
+            continue
+
+        for anchor in range(cn.size):
+            anchor_table = cn.nodes[anchor].table
+            for fk in schema.foreign_keys:
+                if fk.table == anchor_table:
+                    other, outgoing = fk.ref_table, True
+                elif fk.ref_table == anchor_table:
+                    other, outgoing = fk.table, False
+                else:
+                    continue
+                # Free connector or any usable non-free subset: a valid
+                # CN may contain non-free nodes contributing no *new*
+                # keyword (redundant internal nodes), so no
+                # missing-keyword restriction is applied here.
+                choices: list[frozenset[str]] = [frozenset()]
+                choices.extend(subsets)
+                for subset in choices:
+                    if subset and not usable(other, subset):
+                        continue
+                    new_index = cn.size
+                    new_node = CNNode(other, subset)
+                    if outgoing:
+                        edge = (anchor, new_index, fk)
+                    else:
+                        edge = (new_index, anchor, fk)
+                    queue.append(
+                        CandidateNetwork(
+                            nodes=cn.nodes + (new_node,),
+                            edges=cn.edges + (edge,),
+                        )
+                    )
+
+    results.sort(key=lambda cn: (cn.size, cn.canonical_form()))
+    return results

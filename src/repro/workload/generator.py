@@ -1,0 +1,234 @@
+"""Workload generation (paper Sections 5.4 and 5.6).
+
+The paper builds query workloads by executing join networks of a fixed
+size and picking keywords "at random from each tuple in the result
+set".  Equivalently on the graph: plant a random connected subtree of
+``result_size`` tuple nodes, then draw the query keywords from the text
+of distinct planted nodes — the planted tree is then guaranteed to be
+an answer, and the relevant set (all answers up to the planted size) is
+non-empty.  Queries can be constrained to the Section 5.4 small/large
+origin classes or to an exact Section 5.6 band combination such as
+``("T", "T", "T", "L")``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.index.tokenizer import tokenize
+from repro.workload.bands import OriginBands
+
+__all__ = ["WorkloadQuery", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """A generated query plus its provenance."""
+
+    keywords: tuple[str, ...]
+    origin_sizes: tuple[int, ...]
+    bands: tuple[str, ...]
+    planted_nodes: frozenset[int]
+    result_size: int
+
+    @property
+    def min_origin(self) -> int:
+        return min(self.origin_sizes)
+
+    @property
+    def max_origin(self) -> int:
+        return max(self.origin_sizes)
+
+    def band_combo(self) -> tuple[str, ...]:
+        """Band codes sorted rarest-first, e.g. ``('T', 'T', 'S', 'L')``."""
+        order = {"T": 0, "S": 1, "M": 2, "L": 3, "-": 4}
+        return tuple(sorted(self.bands, key=lambda code: order[code]))
+
+
+class WorkloadGenerator:
+    """Samples queries from a database/graph/index triple."""
+
+    def __init__(
+        self,
+        db,
+        graph,
+        index,
+        *,
+        bands: Optional[OriginBands] = None,
+    ) -> None:
+        self.db = db
+        self.graph = graph
+        self.index = index
+        self.bands = (
+            bands if bands is not None else OriginBands.scaled_for(graph.num_nodes)
+        )
+        self._term_cache: dict[int, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def node_terms(self, node: int) -> tuple[str, ...]:
+        """Distinct indexed terms in the node's text columns."""
+        cached = self._term_cache.get(node)
+        if cached is not None:
+            return cached
+        ref = self.graph.ref(node)
+        terms: tuple[str, ...] = ()
+        if ref is not None:
+            table_name, pk = ref
+            table = self.db.schema.table(table_name)
+            row = self.db.get(table_name, pk)
+            seen: set[str] = set()
+            for column in table.text_columns:
+                value = row[column]
+                if value:
+                    seen.update(tokenize(str(value)))
+            terms = tuple(sorted(seen))
+        self._term_cache[node] = terms
+        return terms
+
+    # ------------------------------------------------------------------
+    def _plant_tree(self, rng: random.Random, size: int) -> Optional[frozenset[int]]:
+        """A random connected node set of the requested size (edges taken
+        in either direction, like an undirected join network)."""
+        start = rng.randrange(self.graph.num_nodes)
+        nodes = [start]
+        chosen = {start}
+        for _ in range(size * 8):
+            if len(chosen) == size:
+                return frozenset(chosen)
+            anchor = nodes[rng.randrange(len(nodes))]
+            edges = self.graph.out_edges(anchor)
+            if not edges:
+                continue
+            neighbour = edges[rng.randrange(len(edges))][0]
+            if neighbour not in chosen:
+                chosen.add(neighbour)
+                nodes.append(neighbour)
+        return frozenset(chosen) if len(chosen) == size else None
+
+    # ------------------------------------------------------------------
+    def sample_query(
+        self,
+        rng: random.Random,
+        *,
+        n_keywords: int,
+        result_size: int,
+        origin_class: Optional[str] = None,
+        band_combo: Optional[Sequence[str]] = None,
+        max_attempts: int = 2000,
+    ) -> Optional[WorkloadQuery]:
+        """Draw one query satisfying the constraints, or None.
+
+        ``origin_class``: ``"small"`` (some keyword under the small-
+        origin threshold, none over the large one) or ``"large"`` (some
+        keyword over the large-origin threshold).  ``band_combo``: exact
+        multiset of Section 5.6 band codes, one per keyword.
+        """
+        if n_keywords < 1:
+            raise ValueError(f"n_keywords must be >= 1, got {n_keywords!r}")
+        if origin_class not in (None, "small", "large"):
+            raise ValueError(f"unknown origin_class {origin_class!r}")
+        if band_combo is not None and len(band_combo) != n_keywords:
+            raise ValueError("band_combo length must equal n_keywords")
+
+        for _ in range(max_attempts):
+            planted = self._plant_tree(rng, result_size)
+            if planted is None:
+                continue
+            query = self._pick_keywords(
+                rng, planted, n_keywords, result_size, origin_class, band_combo
+            )
+            if query is not None:
+                return query
+        return None
+
+    # ------------------------------------------------------------------
+    def _pick_keywords(
+        self,
+        rng: random.Random,
+        planted: frozenset[int],
+        n_keywords: int,
+        result_size: int,
+        origin_class: Optional[str],
+        band_combo: Optional[Sequence[str]],
+    ) -> Optional[WorkloadQuery]:
+        # (node, term, frequency, band) candidates across planted nodes.
+        candidates: list[tuple[int, str, int, str]] = []
+        for node in planted:
+            for term in self.node_terms(node):
+                frequency = self.index.frequency(term)
+                candidates.append(
+                    (node, term, frequency, self.bands.classify(frequency))
+                )
+        if len({term for _, term, _, _ in candidates}) < n_keywords:
+            return None
+        rng.shuffle(candidates)
+
+        if band_combo is not None:
+            chosen = self._match_bands(candidates, tuple(band_combo))
+        else:
+            chosen = self._spread_over_nodes(candidates, n_keywords)
+        if chosen is None:
+            return None
+
+        origin_sizes = tuple(freq for _, _, freq, _ in chosen)
+        if origin_class == "small":
+            if not self.bands.is_small_origin(min(origin_sizes)):
+                return None
+            if self.bands.is_large_origin(max(origin_sizes)):
+                return None
+        elif origin_class == "large":
+            if not self.bands.is_large_origin(max(origin_sizes)):
+                return None
+
+        return WorkloadQuery(
+            keywords=tuple(term for _, term, _, _ in chosen),
+            origin_sizes=origin_sizes,
+            bands=tuple(band for _, _, _, band in chosen),
+            planted_nodes=planted,
+            result_size=result_size,
+        )
+
+    @staticmethod
+    def _spread_over_nodes(
+        candidates: list[tuple[int, str, int, str]], n_keywords: int
+    ) -> Optional[list[tuple[int, str, int, str]]]:
+        """Pick distinct terms, preferring unused nodes first (the paper
+        draws "from each tuple in the result set")."""
+        chosen: list[tuple[int, str, int, str]] = []
+        used_terms: set[str] = set()
+        used_nodes: set[int] = set()
+        for prefer_new_node in (True, False):
+            for item in candidates:
+                node, term, _, _ = item
+                if len(chosen) == n_keywords:
+                    return chosen
+                if term in used_terms:
+                    continue
+                if prefer_new_node and node in used_nodes:
+                    continue
+                chosen.append(item)
+                used_terms.add(term)
+                used_nodes.add(node)
+        return chosen if len(chosen) == n_keywords else None
+
+    @staticmethod
+    def _match_bands(
+        candidates: list[tuple[int, str, int, str]], combo: tuple[str, ...]
+    ) -> Optional[list[tuple[int, str, int, str]]]:
+        """Greedy exact cover of the requested band multiset."""
+        needed: dict[str, int] = {}
+        for code in combo:
+            needed[code] = needed.get(code, 0) + 1
+        chosen: list[tuple[int, str, int, str]] = []
+        used_terms: set[str] = set()
+        for item in candidates:
+            _, term, _, band = item
+            if needed.get(band, 0) > 0 and term not in used_terms:
+                chosen.append(item)
+                used_terms.add(term)
+                needed[band] -= 1
+        if any(count > 0 for count in needed.values()):
+            return None
+        return chosen

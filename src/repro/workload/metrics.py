@@ -1,0 +1,198 @@
+"""Workload measurement: the paper's per-query metrics.
+
+Section 5.2: "For all the performance metrics, we use the last relevant
+result (or the tenth relevant result in case there are more than ten
+relevant results) as the point of measurement", with both the *output*
+instant and the *generation* instant of that answer recorded, plus the
+nodes explored/touched at those instants.  Section 5.7 adds
+recall/precision of the output ranking against the relevant set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.answer import SearchResult, Signature
+
+__all__ = [
+    "MeasurementPoint",
+    "measure_at_last_relevant",
+    "recall_precision_curve",
+    "precision_at_full_recall",
+    "recall",
+    "connection_key",
+    "connection_recall",
+    "coverage_curve",
+    "precision_at_full_coverage",
+]
+
+
+def connection_key(tree) -> tuple:
+    """Tie-invariant identity of an answer: root plus rounded sorted
+    per-keyword path lengths.
+
+    On graphs with uniform schema weights many equally-short paths tie
+    (e.g. several papers at the same distance behind one conference
+    hub); the single-iterator algorithms keep one arbitrary tie variant
+    per root (paper Section 4.6: the answer set may change "slightly"),
+    so exact-tree matching undercounts.  Two answers with the same root
+    and the same per-keyword path lengths are interchangeable for
+    relevance purposes.
+    """
+    return (tree.root, tuple(sorted(round(d, 6) for d in tree.dists)))
+
+
+def connection_recall(output_trees, relevant_trees) -> float:
+    """Fraction of relevant *connections* found (tie-invariant).
+
+    An output answer covers a relevant tree when they share the exact
+    skeleton (signature) or the :func:`connection_key`.
+    """
+    if not relevant_trees:
+        raise ValueError("relevant set must be non-empty")
+    found_signatures = {tree.signature() for tree in output_trees}
+    found_keys = {connection_key(tree) for tree in output_trees}
+    covered = sum(
+        1
+        for tree in relevant_trees
+        if tree.signature() in found_signatures
+        or connection_key(tree) in found_keys
+    )
+    return covered / len(relevant_trees)
+
+
+def coverage_curve(output_trees, relevant_trees) -> list[tuple[float, float]]:
+    """Tie-invariant (recall, precision) after each output answer.
+
+    An output answer counts as relevant when it covers any relevant
+    tree (by signature or connection key); recall counts distinct
+    relevant trees covered so far.
+    """
+    if not relevant_trees:
+        raise ValueError("relevant set must be non-empty")
+    by_signature: dict = {}
+    by_key: dict = {}
+    for index, tree in enumerate(relevant_trees):
+        by_signature.setdefault(tree.signature(), set()).add(index)
+        by_key.setdefault(connection_key(tree), set()).add(index)
+    covered: set[int] = set()
+    relevant_outputs = 0
+    curve: list[tuple[float, float]] = []
+    for position, tree in enumerate(output_trees, start=1):
+        matches = by_signature.get(tree.signature(), set()) | by_key.get(
+            connection_key(tree), set()
+        )
+        if matches:
+            relevant_outputs += 1
+            covered |= matches
+        curve.append(
+            (len(covered) / len(relevant_trees), relevant_outputs / position)
+        )
+    return curve
+
+
+def precision_at_full_coverage(output_trees, relevant_trees) -> Optional[float]:
+    """Tie-invariant precision at the first full-recall prefix."""
+    for recall_value, precision_value in coverage_curve(
+        output_trees, relevant_trees
+    ):
+        if recall_value >= 1.0:
+            return precision_value
+    return None
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """Metrics at the paper's measurement point for one (query, algorithm)."""
+
+    rank: int  # 1-based output rank of the measured answer
+    relevant_found: int
+    out_time: float
+    gen_time: float
+    out_pops: int
+    gen_pops: int
+    out_touched: int
+    gen_touched: int
+    total_time: float
+    total_pops: int
+    total_touched: int
+
+
+def measure_at_last_relevant(
+    result: SearchResult,
+    relevant: set[Signature],
+    *,
+    nth: int = 10,
+) -> Optional[MeasurementPoint]:
+    """Locate the last (or ``nth``) relevant answer in output order and
+    capture the paper's metrics there.
+
+    Returns None when no relevant answer was output (the algorithm
+    missed the ground truth entirely — callers should count those
+    separately rather than average over them).
+    """
+    hits = [
+        (position, answer)
+        for position, answer in enumerate(result.answers)
+        if answer.tree.signature() in relevant
+    ]
+    if not hits:
+        return None
+    measured = hits[: nth][-1]
+    position, answer = measured
+    stats = result.stats
+    return MeasurementPoint(
+        rank=position + 1,
+        relevant_found=len(hits),
+        out_time=answer.output_at,
+        gen_time=answer.generated_at,
+        out_pops=answer.output_pops,
+        gen_pops=answer.generated_pops,
+        out_touched=answer.output_touched,
+        gen_touched=answer.generated_touched,
+        total_time=stats.elapsed,
+        total_pops=stats.nodes_explored,
+        total_touched=stats.nodes_touched,
+    )
+
+
+def recall_precision_curve(
+    output_signatures: Sequence[Signature],
+    relevant: set[Signature],
+) -> list[tuple[float, float]]:
+    """(recall, precision) after each output answer, in output order."""
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    curve: list[tuple[float, float]] = []
+    found = 0
+    for position, signature in enumerate(output_signatures, start=1):
+        if signature in relevant:
+            found += 1
+        curve.append((found / len(relevant), found / position))
+    return curve
+
+
+def recall(
+    output_signatures: Sequence[Signature], relevant: set[Signature]
+) -> float:
+    """Fraction of the relevant set present anywhere in the output."""
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    found = sum(1 for s in set(output_signatures) if s in relevant)
+    return found / len(relevant)
+
+
+def precision_at_full_recall(
+    output_signatures: Sequence[Signature], relevant: set[Signature]
+) -> Optional[float]:
+    """Precision at the output prefix that first reaches full recall.
+
+    The paper reports "equally high precision at near full recall";
+    returns None when full recall is never reached.
+    """
+    curve = recall_precision_curve(output_signatures, relevant)
+    for recall_value, precision_value in curve:
+        if recall_value >= 1.0:
+            return precision_value
+    return None

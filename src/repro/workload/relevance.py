@@ -1,0 +1,51 @@
+"""Ground-truth relevant answers (paper Sections 5.2 and 5.4).
+
+The paper judges relevance manually for the sample queries and, for the
+generated workload, "executed SQL queries to find relevant answers" —
+i.e. the results of the planted join network.  We compute the analogous
+set programmatically: every answer tree of at most the planted size,
+found by the exhaustive oracle.  All algorithms share the same tree
+model, so recall/precision against this set is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.answer import AnswerTree, Signature
+from repro.core.exhaustive import exhaustive_answers
+from repro.core.scoring import Scorer
+
+__all__ = ["relevant_answers", "relevant_signatures"]
+
+
+def relevant_answers(
+    graph,
+    keyword_sets: Sequence[frozenset[int]],
+    *,
+    max_tree_size: int,
+    scorer: Optional[Scorer] = None,
+) -> list[AnswerTree]:
+    """All (rotation-deduplicated, best-per-root) answer trees with at
+    most ``max_tree_size`` nodes, best score first."""
+    if max_tree_size < 1:
+        raise ValueError(f"max_tree_size must be >= 1, got {max_tree_size!r}")
+    answers = exhaustive_answers(graph, keyword_sets, scorer)
+    return [tree for tree in answers if tree.size() <= max_tree_size]
+
+
+def relevant_signatures(
+    graph,
+    keyword_sets: Sequence[frozenset[int]],
+    *,
+    max_tree_size: int,
+    scorer: Optional[Scorer] = None,
+) -> set[Signature]:
+    """Rotation-invariant signatures of the relevant set (what the
+    metrics match output answers against)."""
+    return {
+        tree.signature()
+        for tree in relevant_answers(
+            graph, keyword_sets, max_tree_size=max_tree_size, scorer=scorer
+        )
+    }

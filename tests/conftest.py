@@ -1,0 +1,104 @@
+"""Shared fixtures: toy databases, engines, scaled synthetic datasets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import DblpConfig, make_dblp
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+# ----------------------------------------------------------------------
+# toy bibliography database (hand-written, five tables)
+# ----------------------------------------------------------------------
+TOY_SCHEMA = Schema(
+    tables=(
+        Table("author", ("id", "name"), text_columns=("name",)),
+        Table("conference", ("id", "name"), text_columns=("name",)),
+        Table("paper", ("id", "title", "conf_id"), text_columns=("title",)),
+        Table("writes", ("id", "author_id", "paper_id")),
+        Table("cites", ("id", "citing_id", "cited_id")),
+    ),
+    foreign_keys=(
+        ForeignKey("paper", "conf_id", "conference"),
+        ForeignKey("writes", "author_id", "author"),
+        ForeignKey("writes", "paper_id", "paper"),
+        ForeignKey("cites", "citing_id", "paper"),
+        ForeignKey("cites", "cited_id", "paper"),
+    ),
+)
+
+
+def make_toy_db() -> Database:
+    db = Database(TOY_SCHEMA)
+    db.insert_many(
+        "author",
+        [
+            {"id": 1, "name": "Jim Gray"},
+            {"id": 2, "name": "Pat Selinger"},
+            {"id": 3, "name": "Michael Stonebraker"},
+        ],
+    )
+    db.insert_many(
+        "conference",
+        [{"id": 1, "name": "VLDB"}, {"id": 2, "name": "SIGMOD"}],
+    )
+    db.insert_many(
+        "paper",
+        [
+            {"id": 1, "title": "The Transaction Concept", "conf_id": 1},
+            {"id": 2, "title": "Access Path Selection", "conf_id": 2},
+            {"id": 3, "title": "The Design of Postgres", "conf_id": 2},
+            {"id": 4, "title": "Granularity of Locks in a Transaction System", "conf_id": 1},
+        ],
+    )
+    db.insert_many(
+        "writes",
+        [
+            {"id": 1, "author_id": 1, "paper_id": 1},
+            {"id": 2, "author_id": 2, "paper_id": 2},
+            {"id": 3, "author_id": 3, "paper_id": 3},
+            {"id": 4, "author_id": 1, "paper_id": 4},
+        ],
+    )
+    db.insert_many(
+        "cites",
+        [
+            {"id": 1, "citing_id": 2, "cited_id": 1},
+            {"id": 2, "citing_id": 3, "cited_id": 1},
+            {"id": 3, "citing_id": 3, "cited_id": 2},
+        ],
+    )
+    return db
+
+
+@pytest.fixture
+def toy_db() -> Database:
+    return make_toy_db()
+
+
+@pytest.fixture
+def toy_engine(toy_db) -> KeywordSearchEngine:
+    return KeywordSearchEngine.from_database(toy_db)
+
+
+# ----------------------------------------------------------------------
+# small synthetic DBLP (session-scoped: building prestige is the cost)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def dblp_small_db() -> Database:
+    return make_dblp(DblpConfig().scaled(0.25))
+
+
+@pytest.fixture(scope="session")
+def dblp_small_engine(dblp_small_db) -> KeywordSearchEngine:
+    return KeywordSearchEngine.from_database(dblp_small_db)

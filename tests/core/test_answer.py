@@ -1,0 +1,102 @@
+"""AnswerTree structure, signatures, minimality."""
+
+import pytest
+
+from repro.core.answer import AnswerTree, is_minimal_rooting
+
+
+def make_tree(root, paths, dists=None, score=1.0):
+    paths = tuple(tuple(p) for p in paths)
+    if dists is None:
+        dists = tuple(float(len(p) - 1) for p in paths)
+    return AnswerTree(
+        root=root,
+        paths=paths,
+        dists=tuple(dists),
+        edge_score=float(sum(dists)),
+        node_score=1.0,
+        score=score,
+    )
+
+
+class TestStructure:
+    def test_nodes_edges(self):
+        tree = make_tree(0, [(0, 1, 2), (0, 3)])
+        assert tree.nodes() == {0, 1, 2, 3}
+        assert tree.edges() == {(0, 1), (1, 2), (0, 3)}
+        assert tree.size() == 4
+        assert tree.num_edges() == 3
+
+    def test_shared_path_prefix_deduplicates_edges(self):
+        tree = make_tree(0, [(0, 1, 2), (0, 1, 3)])
+        assert tree.edges() == {(0, 1), (1, 2), (1, 3)}
+
+    def test_children_and_leaves(self):
+        tree = make_tree(0, [(0, 1, 2), (0, 3)])
+        assert tree.children(0) == {1, 3}
+        assert tree.children(2) == frozenset()
+        assert tree.leaves() == {2, 3}
+
+    def test_single_node_tree(self):
+        tree = make_tree(5, [(5,), (5,)], dists=(0.0, 0.0))
+        assert tree.nodes() == {5}
+        assert tree.leaves() == {5}
+        assert tree.edges() == frozenset()
+        assert tree.size() == 1
+
+    def test_matched_nodes_in_keyword_order(self):
+        tree = make_tree(0, [(0, 1), (0, 2)])
+        assert tree.matched_nodes() == (1, 2)
+
+    def test_keyword_matched_at_internal_node(self):
+        # Keyword 0 matched at node 1, which is internal on keyword 1's path.
+        tree = make_tree(0, [(0, 1), (0, 1, 2)])
+        assert tree.leaves() == {2}
+        assert tree.matched_nodes() == (1, 2)
+
+
+class TestSignature:
+    def test_rotations_share_signature(self):
+        # Same skeleton 1-0-2 rooted at 0 vs rooted at 1.
+        rooted_at_0 = make_tree(0, [(0, 1), (0, 2)])
+        rooted_at_1 = make_tree(1, [(1, 0), (1, 0, 2)])
+        assert rooted_at_0.signature() == rooted_at_1.signature()
+
+    def test_different_trees_differ(self):
+        a = make_tree(0, [(0, 1), (0, 2)])
+        b = make_tree(0, [(0, 1), (0, 3)])
+        assert a.signature() != b.signature()
+
+    def test_single_node_signature_contains_node(self):
+        a = make_tree(1, [(1,)], dists=(0.0,))
+        b = make_tree(2, [(2,)], dists=(0.0,))
+        assert a.signature() != b.signature()
+
+
+class TestMinimality:
+    def test_two_children_minimal(self):
+        assert is_minimal_rooting(0, [(0, 1), (0, 2)])
+
+    def test_chain_root_rejected(self):
+        # Root 0 has a single child and matches no keyword itself: the
+        # subtree without it scores better (paper Section 3).
+        assert not is_minimal_rooting(0, [(0, 1), (0, 1, 2)])
+
+    def test_root_matching_keyword_kept(self):
+        # Root matches a keyword (path of length 1): keep.
+        assert is_minimal_rooting(0, [(0,), (0, 1)])
+
+    def test_single_node_answer_minimal(self):
+        assert is_minimal_rooting(0, [(0,), (0,)])
+
+    def test_tree_method_delegates(self):
+        assert not make_tree(0, [(0, 1), (0, 1, 2)]).is_minimal()
+        assert make_tree(0, [(0, 1), (0, 2)]).is_minimal()
+
+
+class TestDescribe:
+    def test_contains_score_and_paths(self):
+        tree = make_tree(0, [(0, 1)], score=0.5)
+        text = tree.describe()
+        assert "0.5" in text
+        assert "0->1" in text

@@ -1,0 +1,124 @@
+"""Bidirectional-specific behaviour: forward search, activation order."""
+
+import pytest
+
+from repro.core.backward_si import SingleIteratorBackwardSearch
+from repro.core.bidirectional import BidirectionalSearch
+from repro.core.params import SearchParams
+
+from tests.helpers import build_graph
+
+
+def figure4_like(n_papers=30, n_john=14):
+    """A small Figure 4 shape: frequent keyword + two authors."""
+    from repro.graph.digraph import DataGraph
+
+    g = DataGraph()
+    papers = [g.add_node(f"p{i}") for i in range(n_papers)]
+    james = g.add_node("james")
+    john = g.add_node("john")
+    w_james = g.add_node("w_james")
+    g.add_edge(w_james, james)
+    g.add_edge(w_james, papers[-1])
+    for paper in papers[n_papers - n_john:]:
+        w = g.add_node(f"w_{paper}")
+        g.add_edge(w, john)
+        g.add_edge(w, paper)
+    sets = [
+        frozenset(papers),
+        frozenset({james}),
+        frozenset({john}),
+    ]
+    return g.freeze(), sets, papers[-1]
+
+
+class TestForwardSearch:
+    def test_generates_result_before_backward_exhaustion(self):
+        graph, sets, co_paper = figure4_like()
+        params = SearchParams(max_results=1)
+        bidi = BidirectionalSearch(
+            graph, ("db", "james", "john"), sets, params=params
+        ).run()
+        si = SingleIteratorBackwardSearch(
+            graph, ("db", "james", "john"), sets, params=params
+        ).run()
+        assert bidi.answers and si.answers
+        assert co_paper in bidi.best().tree.nodes()
+        # The headline claim: Bidirectional generates the answer far
+        # earlier than distance-ordered backward search.
+        assert bidi.best().generated_pops < si.best().generated_pops / 3
+
+    def test_same_best_answer_as_si(self):
+        graph, sets, _ = figure4_like()
+        params = SearchParams(max_results=1)
+        bidi = BidirectionalSearch(graph, ("a", "b", "c"), sets, params=params).run()
+        si = SingleIteratorBackwardSearch(
+            graph, ("a", "b", "c"), sets, params=params
+        ).run()
+        assert bidi.best().tree.signature() == si.best().tree.signature()
+
+    def test_forward_only_reachable_root(self):
+        # Root 1 is *between* the keywords: 1 -> 0 and 1 -> 2, so the
+        # backward search from {0} and {2} touches 1 immediately; the
+        # answer needs both directed paths out of 1.
+        g = build_graph(3, [(1, 0), (1, 2)])
+        sets = [frozenset({0}), frozenset({2})]
+        result = BidirectionalSearch(
+            g, ("a", "b"), sets, params=SearchParams(max_results=10)
+        ).run()
+        assert result.answers
+        assert result.best().tree.root == 1
+
+
+class TestActivationOrdering:
+    def test_rare_keyword_expanded_first(self):
+        graph, sets, _ = figure4_like()
+        search = BidirectionalSearch(
+            graph, ("db", "james", "john"), sets, params=SearchParams(max_results=1)
+        )
+        popped = []
+        original = search._expand_incoming
+
+        def spy():
+            top = search._qin.peek_priority()
+            node = None
+            # peek top item for recording: pop happens inside original.
+            original()
+            popped.append(top)
+
+        search._expand_incoming = spy
+        search.run()
+        # Priorities of successive Qin pops: the first pop must be one of
+        # the rare keywords (activation 1/|S| of a paper node is tiny).
+        assert popped[0] == max(popped)
+
+    def test_mu_zero_spreads_nothing(self):
+        graph, sets, _ = figure4_like()
+        result = BidirectionalSearch(
+            graph,
+            ("db", "james", "john"),
+            sets,
+            params=SearchParams(mu=0.0, max_results=1),
+        ).run()
+        # Still correct, just differently ordered.
+        assert result.answers
+
+    def test_queue_priorities_track_activation_increases(self):
+        g = build_graph(4, [(0, 1), (1, 2), (3, 2)])
+        sets = [frozenset({2})]
+        search = BidirectionalSearch(g, ("x",), sets)
+        search._qin.push(1, 0.0)
+        search._act._set(1, 0, 0.25)
+        assert search._qin.get_priority(1) == pytest.approx(0.25)
+
+
+class TestBothQueuesCount:
+    def test_explored_counts_both_queues(self):
+        g = build_graph(3, [(0, 1), (0, 2)])
+        sets = [frozenset({1}), frozenset({2})]
+        result = BidirectionalSearch(
+            g, ("a", "b"), sets, params=SearchParams(max_results=100)
+        ).run()
+        # At exhaustion every node is popped from Qin and again from
+        # Qout, so explored exceeds the node count.
+        assert result.stats.nodes_explored > g.num_nodes

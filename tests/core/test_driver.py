@@ -1,0 +1,57 @@
+"""Bound computation helpers (Section 4.5)."""
+
+from math import inf
+
+import pytest
+
+from repro.core.driver import frontier_minima, nra_edge_bound
+
+
+class TestNraEdgeBound:
+    def test_sum_of_minima_without_seen_nodes(self):
+        assert nra_edge_bound([1.0, 2.0], []) == pytest.approx(3.0)
+
+    def test_seen_incomplete_node_tightens_bound(self):
+        # A seen node already has dist 0.5 to keyword 0; with m_1 = 2.0
+        # its best completion is 2.5, above... no: 0.5 + 2.0 = 2.5 < 3.0.
+        bound = nra_edge_bound([1.0, 2.0], [(0.5, inf)])
+        assert bound == pytest.approx(2.5)
+
+    def test_known_distances_trusted(self):
+        bound = nra_edge_bound([5.0, 5.0], [(1.0, 2.0)])
+        assert bound == pytest.approx(3.0)
+
+    def test_worse_seen_nodes_ignored(self):
+        bound = nra_edge_bound([1.0, 1.0], [(10.0, inf)])
+        assert bound == pytest.approx(2.0)
+
+    def test_infinite_frontier_handled(self):
+        # Keyword 1's frontier is exhausted: unseen roots are impossible
+        # and incomplete nodes missing keyword 1 can never finish.
+        bound = nra_edge_bound([1.0, inf], [(2.0, inf)])
+        assert bound == inf
+        # ...but a node that already knows keyword 1 can still finish.
+        bound = nra_edge_bound([1.0, inf], [(inf, 3.0)])
+        assert bound == pytest.approx(4.0)
+
+    def test_empty_ms(self):
+        assert nra_edge_bound([], []) == 0
+
+
+class TestFrontierMinima:
+    def test_minimum_per_keyword(self):
+        dists = {
+            (1, 0): 3.0, (1, 1): inf,
+            (2, 0): 1.0, (2, 1): 7.0,
+            (3, 0): inf, (3, 1): 2.0,
+        }
+
+        def dist_fn(node, i):
+            return dists.get((node, i), inf)
+
+        ms = frontier_minima(2, [[1, 2], [3]], dist_fn)
+        assert ms == [1.0, 2.0]
+
+    def test_empty_frontier_gives_inf(self):
+        ms = frontier_minima(2, [[]], lambda n, i: 0.0)
+        assert ms == [inf, inf]

@@ -1,0 +1,85 @@
+"""Engine edge cases: empty graphs, isolated matches, odd queries."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.params import SearchParams
+from repro.errors import KeywordNotFoundError
+from repro.graph.digraph import DataGraph
+from repro.index.inverted import InvertedIndex
+
+
+def tiny_engine(edges, texts, n_nodes):
+    graph = DataGraph()
+    for i in range(n_nodes):
+        graph.add_node(f"n{i}")
+    for u, v in edges:
+        graph.add_edge(u, v)
+    sg = graph.freeze()
+    index = InvertedIndex()
+    for node, text in texts.items():
+        index.add_text(node, text)
+    return KeywordSearchEngine(sg, index)
+
+
+class TestIsolatedNodes:
+    def test_isolated_keyword_node_single_keyword(self):
+        engine = tiny_engine([(0, 1)], {2: "island"}, 3)
+        result = engine.search("island")
+        assert len(result.answers) == 1
+        assert result.best().tree.nodes() == {2}
+
+    def test_isolated_node_cannot_connect(self):
+        engine = tiny_engine([(0, 1)], {0: "alpha", 2: "island"}, 3)
+        result = engine.search("alpha island")
+        assert result.answers == []
+
+
+class TestSameNodeAllKeywords:
+    def test_single_node_answer_ranks_first(self):
+        engine = tiny_engine(
+            [(0, 1), (1, 2)], {1: "alpha beta", 0: "alpha", 2: "beta"}, 3
+        )
+        result = engine.search("alpha beta")
+        assert result.answers
+        assert result.best().tree.size() == 1
+        assert result.best().tree.root == 1
+
+
+class TestRepeatedKeyword:
+    def test_duplicate_keywords_allowed(self):
+        engine = tiny_engine([(0, 1)], {0: "alpha", 1: "alpha"}, 2)
+        result = engine.search("alpha alpha")
+        assert result.answers
+        # Both keywords matched by the same node: single-node answer.
+        assert result.best().tree.size() == 1
+
+
+class TestCaseAndWhitespace:
+    def test_case_insensitive(self):
+        engine = tiny_engine([(0, 1)], {0: "Alpha", 1: "BETA"}, 2)
+        assert engine.origin_sizes("ALPHA beta") == (1, 1)
+
+    def test_extra_whitespace_ignored(self):
+        engine = tiny_engine([(0, 1)], {0: "alpha", 1: "beta"}, 2)
+        assert engine.origin_sizes("  alpha    beta  ") == (1, 1)
+
+
+class TestPunctuationKeyword:
+    def test_punctuation_only_keyword_rejected(self):
+        engine = tiny_engine([(0, 1)], {0: "alpha"}, 2)
+        with pytest.raises(KeywordNotFoundError):
+            engine.search("alpha ???")
+
+
+class TestTopKOne:
+    def test_k_one_returns_best(self):
+        engine = tiny_engine(
+            [(0, 1), (2, 1), (3, 1)],
+            {1: "hub", 0: "spoke", 2: "spoke", 3: "spoke"},
+            4,
+        )
+        full = engine.search("hub spoke", params=SearchParams(max_results=50))
+        top1 = engine.search("hub spoke", k=1)
+        assert len(top1.answers) == 1
+        assert top1.best().score == pytest.approx(full.best().score)

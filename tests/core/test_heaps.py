@@ -1,0 +1,107 @@
+"""Lazy priority queues."""
+
+import pytest
+
+from repro.core.heaps import LazyMaxHeap, LazyMinHeap
+
+
+class TestLazyMinHeap:
+    def test_pop_order(self):
+        heap = LazyMinHeap()
+        heap.push("b", 2.0)
+        heap.push("a", 1.0)
+        heap.push("c", 3.0)
+        assert heap.pop() == ("a", 1.0)
+        assert heap.pop() == ("b", 2.0)
+        assert heap.pop() == ("c", 3.0)
+
+    def test_decrease_key_via_repush(self):
+        heap = LazyMinHeap()
+        heap.push("x", 5.0)
+        heap.push("y", 3.0)
+        heap.push("x", 1.0)
+        assert heap.pop() == ("x", 1.0)
+        assert heap.pop() == ("y", 3.0)
+        assert len(heap) == 0
+
+    def test_increase_key_via_repush(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.0)
+        heap.push("x", 9.0)
+        heap.push("y", 5.0)
+        assert heap.pop() == ("y", 5.0)
+        assert heap.pop() == ("x", 9.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            LazyMinHeap().pop()
+
+    def test_peek_skips_stale(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.0)
+        heap.push("x", 4.0)
+        assert heap.peek_priority() == 4.0
+        assert len(heap) == 1
+
+    def test_peek_empty_is_none(self):
+        assert LazyMinHeap().peek_priority() is None
+
+    def test_remove(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.0)
+        heap.push("y", 2.0)
+        heap.remove("x")
+        assert "x" not in heap
+        assert heap.pop() == ("y", 2.0)
+
+    def test_contains_and_len(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.0)
+        assert "x" in heap and "y" not in heap
+        assert len(heap) == 1 and bool(heap)
+        heap.pop()
+        assert not heap
+
+    def test_items_are_live_entries(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.0)
+        heap.push("x", 2.0)
+        heap.push("y", 3.0)
+        assert dict(heap.items()) == {"x": 2.0, "y": 3.0}
+
+    def test_get_priority(self):
+        heap = LazyMinHeap()
+        heap.push("x", 1.5)
+        assert heap.get_priority("x") == 1.5
+        assert heap.get_priority("z") is None
+
+    def test_fifo_tiebreak_is_deterministic(self):
+        heap = LazyMinHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+
+class TestLazyMaxHeap:
+    def test_pop_order(self):
+        heap = LazyMaxHeap()
+        heap.push("low", 1.0)
+        heap.push("high", 9.0)
+        heap.push("mid", 5.0)
+        assert [heap.pop()[0] for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_priority_increase(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 1.0)
+        heap.push("y", 2.0)
+        heap.push("x", 3.0)
+        assert heap.pop() == ("x", 3.0)
+
+    def test_peek(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 1.0)
+        heap.push("x", 0.5)
+        assert heap.peek_priority() == 0.5
+        assert heap.pop() == ("x", 0.5)
+        assert heap.peek_priority() is None

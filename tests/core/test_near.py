@@ -1,0 +1,124 @@
+"""Near queries and sum-combining activation (paper footnote 6)."""
+
+import pytest
+
+from repro.core.activation import ActivationTable
+from repro.core.near import NearSearch
+
+from tests.helpers import build_graph
+
+
+class TestSumCombine:
+    def test_sum_accumulates_multiple_edges(self):
+        # 0 -> 2 and 1 -> 2 both seeded: node 3 with edges to both
+        # receives the sum of both contributions in sum mode, the max
+        # in max mode.
+        g = build_graph(3, [(0, 2), (1, 2)], prestige=[0.25, 0.25, 0.5])
+        for combine in ("max", "sum"):
+            table = ActivationTable(
+                g, [frozenset({0}), frozenset({1})], mu=0.5, combine=combine
+            )
+            table.seed_all()
+            table.spread_forward(0, {})
+            table.spread_forward(1, {})
+            if combine == "sum":
+                assert table.activation(2, 0) > 0 and table.activation(2, 1) > 0
+            total_sum = table.total(2)
+        # Re-spreading in sum mode adds again (event semantics)...
+        table.spread_forward(0, {})
+        assert table.total(2) > total_sum
+
+    def test_max_mode_respreading_is_idempotent(self):
+        g = build_graph(2, [(0, 1)], prestige=[0.6, 0.4])
+        table = ActivationTable(g, [frozenset({0})], mu=0.5, combine="max")
+        table.seed_all()
+        table.spread_forward(0, {})
+        once = table.total(1)
+        table.spread_forward(0, {})
+        assert table.total(1) == pytest.approx(once)
+
+    def test_sum_cascade_terminates_on_cycle(self):
+        # 0 <-> 1 cycle through forward+backward edges: the cascade must
+        # decay below the contribution floor and stop.
+        g = build_graph(2, [(0, 1), (1, 0)], prestige=[0.5, 0.5])
+        table = ActivationTable(
+            g, [frozenset({0})], mu=0.9, combine="sum", min_contribution=1e-6
+        )
+        table.seed_all()
+        parents = {0: {1: 1.0}, 1: {0: 1.0}}
+        table.spread_backward(0, parents)  # must return
+        assert table.total(1) > 0.0
+
+    def test_combine_validation(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            ActivationTable(g, [frozenset({0})], combine="avg")
+        with pytest.raises(ValueError):
+            ActivationTable(g, [frozenset({0})], min_contribution=0.0)
+
+
+class TestNearSearch:
+    def graph(self):
+        # Chain: k1 - a - b - k2, plus an outlier z hanging off k1.
+        #   0(k1) -> 1(a) -> 2(b) -> 3(k2); 4(z) -> 0
+        return build_graph(5, [(0, 1), (1, 2), (2, 3), (4, 0)])
+
+    def test_nodes_between_keywords_rank_high(self):
+        g = self.graph()
+        search = NearSearch(g, [frozenset({0}), frozenset({3})])
+        result = search.run(k=3)
+        assert result.ranking
+        top_nodes = result.nodes()
+        # a and b sit between both keywords; z touches only one.
+        assert set(top_nodes[:2]) == {1, 2}
+
+    def test_keyword_nodes_excluded_by_default(self):
+        g = self.graph()
+        result = NearSearch(g, [frozenset({0})]).run(k=10)
+        assert 0 not in result.nodes()
+
+    def test_keyword_nodes_includable(self):
+        g = self.graph()
+        result = NearSearch(
+            g, [frozenset({0})], include_keyword_nodes=True
+        ).run(k=10)
+        assert 0 in result.nodes()
+
+    def test_scores_sorted_descending(self):
+        g = self.graph()
+        result = NearSearch(g, [frozenset({0}), frozenset({3})]).run(k=None)
+        scores = [score for _, score in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_node_budget_respected(self):
+        g = self.graph()
+        search = NearSearch(g, [frozenset({0})], node_budget=2)
+        result = search.run()
+        assert result.stats.nodes_explored <= 2
+
+    def test_validation(self):
+        g = self.graph()
+        with pytest.raises(ValueError):
+            NearSearch(g, [])
+        with pytest.raises(ValueError):
+            NearSearch(g, [frozenset({0})], node_budget=0)
+
+
+class TestEngineNear:
+    def test_near_via_engine(self, toy_engine):
+        result = toy_engine.near("gray vldb", k=5)
+        assert len(result) <= 5
+        assert all(score > 0 for _, score in result)
+        # Gray's VLDB papers sit between the keywords and should appear.
+        graph = toy_engine.graph
+        tables = {graph.table(node) for node in result.nodes()}
+        assert "paper" in tables or "writes" in tables
+
+    def test_bidirectional_accepts_sum_combine(self, toy_engine):
+        from repro.core.params import SearchParams
+
+        result = toy_engine.search(
+            "gray transaction",
+            params=SearchParams(activation_combine="sum"),
+        )
+        assert result.answers  # same answers, different exploration order

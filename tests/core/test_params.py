@@ -1,0 +1,47 @@
+"""SearchParams validation and defaults."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, SearchParams
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        # Section 5.1: mu=0.5, lambda=0.2, dmax=8, measured at 10th result.
+        assert DEFAULT_PARAMS.mu == 0.5
+        assert DEFAULT_PARAMS.lam == 0.2
+        assert DEFAULT_PARAMS.dmax == 8
+        assert DEFAULT_PARAMS.max_results == 10
+        assert DEFAULT_PARAMS.output_mode == "exact"
+
+    def test_with_override(self):
+        params = DEFAULT_PARAMS.with_(mu=0.9, dmax=4)
+        assert params.mu == 0.9
+        assert params.dmax == 4
+        assert params.lam == 0.2  # untouched
+        assert DEFAULT_PARAMS.mu == 0.5  # original frozen
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("mu", -0.1),
+        ("mu", 1.0001),
+        ("lam", -1.0),
+        ("dmax", 0),
+        ("max_results", 0),
+        ("node_budget", 0),
+        ("output_mode", "fancy"),
+        ("flush_interval", 0),
+        ("max_combos_per_node", 0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            SearchParams(**{field: value})
+
+    def test_boundary_values_accepted(self):
+        SearchParams(mu=0.0)
+        SearchParams(mu=1.0)
+        SearchParams(lam=0.0)
+        SearchParams(dmax=1)
+        SearchParams(node_budget=1)
+        SearchParams(output_mode="heuristic")

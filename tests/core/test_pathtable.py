@@ -1,0 +1,162 @@
+"""PathTable: distances, sp pointers, ATTACH propagation."""
+
+from math import inf
+
+import pytest
+
+from repro.core.pathtable import PathTable
+
+from tests.helpers import build_graph
+
+
+def chain_graph():
+    # 0 -> 1 -> 2 (plus derived backward edges).
+    return build_graph(3, [(0, 1), (1, 2)])
+
+
+class TestSeeding:
+    def test_seed_all(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2}), frozenset({0, 1})])
+        seeds = table.seed_all()
+        assert seeds == {0, 1, 2}
+        assert table.dist(2, 0) == 0.0
+        assert table.dist(0, 1) == 0.0
+        assert table.dist(1, 1) == 0.0
+        assert table.dist(0, 0) == inf
+
+    def test_seed_returns_matched_indices(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2}), frozenset({2})])
+        assert table.seed(2) == (0, 1)
+        assert table.seed(0) == ()
+
+    def test_requires_a_keyword(self):
+        with pytest.raises(ValueError):
+            PathTable(chain_graph(), [])
+
+
+class TestExploreEdge:
+    def test_simple_relax(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        completions = table.explore_edge(1, 2, 1.0)
+        assert table.dist(1, 0) == pytest.approx(1.0)
+        assert completions == {1}
+        assert table.is_complete(1)
+
+    def test_no_improvement_no_completion(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        table.explore_edge(1, 2, 1.0)
+        assert table.explore_edge(1, 2, 5.0) == set()
+        assert table.dist(1, 0) == pytest.approx(1.0)
+
+    def test_better_parallel_edge_improves(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        table.explore_edge(1, 2, 3.0)
+        completions = table.explore_edge(1, 2, 1.0)
+        assert completions == {1}
+        assert table.dist(1, 0) == pytest.approx(1.0)
+
+    def test_attach_propagates_to_ancestors(self):
+        # Explore 0->1 first (dist unknown), then 1->2: node 0 must be
+        # updated transitively through the explored-parents map.
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        table.explore_edge(0, 1, 1.0)
+        assert table.dist(0, 0) == inf
+        completions = table.explore_edge(1, 2, 1.0)
+        assert table.dist(0, 0) == pytest.approx(2.0)
+        assert completions == {1, 0}
+
+    def test_propagation_chooses_best_path(self):
+        # Diamond: 0->1->3, 0->2->3, with 0->2 cheaper overall.
+        g = build_graph(4, [(0, 1, 1.0), (1, 3, 5.0), (0, 2, 1.0), (2, 3, 1.0)])
+        table = PathTable(g, [frozenset({3})])
+        table.seed_all()
+        table.explore_edge(0, 1, 1.0)
+        table.explore_edge(0, 2, 1.0)
+        table.explore_edge(1, 3, 5.0)
+        assert table.dist(0, 0) == pytest.approx(6.0)
+        table.explore_edge(2, 3, 1.0)
+        assert table.dist(0, 0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_weight(self):
+        table = PathTable(chain_graph(), [frozenset({2})])
+        with pytest.raises(ValueError):
+            table.explore_edge(0, 1, 0.0)
+
+    def test_dist_change_callback(self):
+        g = chain_graph()
+        changed = []
+        table = PathTable(
+            g, [frozenset({2})], on_dist_change=changed.append
+        )
+        table.seed_all()
+        table.explore_edge(1, 2, 1.0)
+        table.explore_edge(0, 1, 1.0)
+        assert 1 in changed and 0 in changed
+
+
+class TestCompleteness:
+    def test_multi_keyword(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({0}), frozenset({2})])
+        table.seed_all()
+        assert not table.is_complete(1)
+        table.explore_edge(1, 2, 1.0)
+        assert not table.is_complete(1)
+        # Backward edge 1 -> 0 gives the path to keyword 0.
+        table.explore_edge(1, 0, 1.0)
+        assert table.is_complete(1)
+        assert table.known_keywords(1) == 2
+
+    def test_min_dist(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({0}), frozenset({2})])
+        table.seed_all()
+        table.explore_edge(1, 2, 3.0)
+        assert table.min_dist(1) == pytest.approx(3.0)
+        table.explore_edge(1, 0, 1.0)
+        assert table.min_dist(1) == pytest.approx(1.0)
+
+
+class TestBuildPaths:
+    def test_paths_and_true_weights(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2}), frozenset({0})])
+        table.seed_all()
+        table.explore_edge(1, 2, 1.0)
+        table.explore_edge(1, 0, 1.0)
+        paths, weights = table.build_paths(1)
+        assert paths == [(1, 2), (1, 0)]
+        assert weights == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_seed_root_has_trivial_path(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        paths, weights = table.build_paths(2)
+        assert paths == [(2,)]
+        assert weights == [0.0]
+
+    def test_incomplete_root_rejected(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2}), frozenset({0})])
+        table.seed_all()
+        with pytest.raises(ValueError):
+            table.build_paths(1)
+
+    def test_parents_map_exposed(self):
+        g = chain_graph()
+        table = PathTable(g, [frozenset({2})])
+        table.seed_all()
+        table.explore_edge(1, 2, 1.0)
+        assert table.parents_map() == {2: {1: 1.0}}
+        assert table.parents_of(2) == {1: 1.0}

@@ -1,0 +1,47 @@
+"""ASCII rendering of answer trees and results."""
+
+from repro.render import render_result, render_tree
+
+
+class TestRenderTree:
+    def test_marks_matched_nodes(self, toy_engine):
+        result = toy_engine.search("gray transaction", k=1)
+        text = render_tree(result.best().tree, toy_engine.graph)
+        assert "*" in text
+        assert "score=" in text
+        assert "Jim Gray" in text
+
+    def test_without_graph_uses_ids(self, toy_engine):
+        result = toy_engine.search("gray transaction", k=1)
+        tree = result.best().tree
+        text = render_tree(tree)
+        assert str(tree.root) in text
+
+    def test_indentation_reflects_depth(self, toy_engine):
+        result = toy_engine.search("gray selinger", k=1)
+        tree = result.best().tree
+        text = render_tree(tree, toy_engine.graph)
+        lines = text.splitlines()
+        assert any(line.startswith("  +- ") for line in lines)
+
+    def test_single_node_tree(self, toy_engine):
+        result = toy_engine.search("transaction", k=1)
+        tree = result.best().tree
+        assert tree.size() == 1
+        text = render_tree(tree, toy_engine.graph)
+        assert "size=1" in text
+
+
+class TestRenderResult:
+    def test_header_and_limit(self, toy_engine):
+        result = toy_engine.search("transaction", k=3)
+        text = render_result(result, toy_engine.graph, limit=2)
+        assert text.startswith("bidirectional:")
+        assert text.count("--- answer") == min(2, len(result.answers))
+
+    def test_empty_result(self, toy_engine):
+        from repro.core.answer import SearchResult
+
+        empty = SearchResult(algorithm="x", keywords=("a",))
+        text = render_result(empty, toy_engine.graph)
+        assert "0 answers" in text

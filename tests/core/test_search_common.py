@@ -1,0 +1,154 @@
+"""Behaviour shared by all three search algorithms, tested uniformly."""
+
+import pytest
+
+from repro.core.backward_mi import BackwardExpandingSearch
+from repro.core.backward_si import SingleIteratorBackwardSearch
+from repro.core.bidirectional import BidirectionalSearch
+from repro.core.exhaustive import exhaustive_answers
+from repro.core.params import SearchParams
+
+from tests.helpers import build_graph, validate_answer_tree
+
+ALL_ALGORITHMS = [
+    BidirectionalSearch,
+    SingleIteratorBackwardSearch,
+    BackwardExpandingSearch,
+]
+
+EXHAUST = SearchParams(max_results=100)
+
+
+def run(cls, graph, keyword_sets, params=EXHAUST):
+    keywords = tuple(f"k{i}" for i in range(len(keyword_sets)))
+    return cls(graph, keywords, keyword_sets, params=params).run()
+
+
+@pytest.mark.parametrize("cls", ALL_ALGORITHMS)
+class TestSharedBehaviour:
+    def test_simple_connection_found(self, cls):
+        g = build_graph(3, [(0, 1), (0, 2)])
+        sets = [frozenset({1}), frozenset({2})]
+        result = run(cls, g, sets)
+        assert result.answers
+        best = result.best().tree
+        assert best.nodes() == {0, 1, 2}
+        validate_answer_tree(g, sets, best)
+
+    def test_single_keyword_single_node_answers(self, cls):
+        g = build_graph(3, [(0, 1), (1, 2)])
+        sets = [frozenset({1})]
+        result = run(cls, g, sets)
+        assert result.answers
+        assert result.best().tree.nodes() == {1}
+
+    def test_keyword_overlap_same_node(self, cls):
+        # Both keywords match node 1: the single node is the best answer.
+        g = build_graph(3, [(0, 1), (1, 2)])
+        sets = [frozenset({1}), frozenset({1})]
+        result = run(cls, g, sets)
+        assert result.answers
+        assert result.best().tree.size() == 1
+
+    def test_disconnected_keywords_yield_nothing(self, cls):
+        g = build_graph(4, [(0, 1), (2, 3)])
+        sets = [frozenset({0}), frozenset({3})]
+        result = run(cls, g, sets)
+        assert result.answers == []
+
+    def test_all_answers_valid_and_deduplicated(self, cls):
+        g = build_graph(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (2, 5)]
+        )
+        sets = [frozenset({1, 4}), frozenset({5})]
+        result = run(cls, g, sets)
+        assert result.answers
+        signatures = result.signatures()
+        assert len(signatures) == len(set(signatures))
+        for answer in result.answers:
+            validate_answer_tree(g, sets, answer.tree)
+
+    def test_top_score_matches_oracle(self, cls):
+        g = build_graph(
+            7,
+            [(0, 1), (0, 2), (3, 1), (3, 2), (4, 3), (5, 0), (6, 5), (6, 4)],
+        )
+        sets = [frozenset({1}), frozenset({2})]
+        oracle = exhaustive_answers(g, sets)
+        result = run(cls, g, sets)
+        assert result.answers
+        assert result.best().score == pytest.approx(oracle[0].score)
+
+    def test_max_results_respected(self, cls):
+        g = build_graph(5, [(0, 1), (2, 1), (3, 1), (4, 1), (0, 4)])
+        sets = [frozenset({1})]
+        result = run(cls, g, sets, params=SearchParams(max_results=2))
+        assert len(result.answers) <= 2
+
+    def test_node_budget_bounds_exploration(self, cls):
+        g = build_graph(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (2, 5)]
+        )
+        sets = [frozenset({1, 4}), frozenset({5})]
+        result = run(cls, g, sets, params=SearchParams(node_budget=3, max_results=100))
+        assert result.stats.nodes_explored <= 3
+
+    def test_stats_populated(self, cls):
+        g = build_graph(3, [(0, 1), (0, 2)])
+        sets = [frozenset({1}), frozenset({2})]
+        result = run(cls, g, sets)
+        stats = result.stats
+        assert stats.nodes_explored > 0
+        assert stats.nodes_touched > 0
+        assert stats.edges_explored > 0
+        assert stats.answers_output == len(result.answers)
+        assert stats.finished_at is not None
+        assert stats.elapsed >= 0.0
+
+    def test_output_stamps_monotone(self, cls):
+        g = build_graph(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (2, 5)]
+        )
+        sets = [frozenset({1, 4}), frozenset({5})]
+        result = run(cls, g, sets)
+        for answer in result.answers:
+            assert answer.generated_pops <= answer.output_pops
+            assert answer.generated_at <= answer.output_at + 1e-9
+
+    def test_exact_mode_outputs_in_score_order_at_exhaustion(self, cls):
+        g = build_graph(
+            7,
+            [(0, 1), (0, 2), (3, 1), (3, 2), (4, 3), (5, 0), (6, 5), (6, 4)],
+        )
+        sets = [frozenset({1}), frozenset({2})]
+        result = run(cls, g, sets)
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_mismatched_keywords_rejected(self, cls):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            cls(g, ("a",), [frozenset({0}), frozenset({1})])
+        with pytest.raises(ValueError):
+            cls(g, (), [])
+
+
+@pytest.mark.parametrize("cls", ALL_ALGORITHMS)
+class TestDepthCutoff:
+    def test_dmax_limits_answer_reach(self, cls):
+        # A long chain: with a tight dmax the far connection is missed.
+        edges = [(i, i + 1) for i in range(9)]
+        g = build_graph(10, edges)
+        sets = [frozenset({0}), frozenset({9})]
+        far = run(cls, g, sets, params=SearchParams(dmax=20, max_results=10))
+        near = run(cls, g, sets, params=SearchParams(dmax=2, max_results=10))
+        assert far.answers
+        assert not near.answers
+
+    def test_dmax_bounds_exploration(self, cls):
+        edges = [(i, i + 1) for i in range(30)]
+        g = build_graph(31, edges)
+        sets = [frozenset({0})]
+        result = run(cls, g, sets, params=SearchParams(dmax=3, max_results=100))
+        # Nothing beyond dmax hops from the keyword should be explored.
+        assert result.stats.nodes_explored <= 20

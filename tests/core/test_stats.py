@@ -1,0 +1,61 @@
+"""SearchStats counters and timers."""
+
+import time
+
+from repro.core.stats import SearchStats
+
+
+class TestCounters:
+    def test_initial_state(self):
+        stats = SearchStats()
+        assert stats.nodes_explored == 0
+        assert stats.nodes_touched == 0
+        assert stats.edges_explored == 0
+        assert stats.finished_at is None
+
+    def test_increments(self):
+        stats = SearchStats()
+        stats.explore()
+        stats.explore()
+        stats.touch()
+        stats.touch(3)
+        stats.explore_edge()
+        stats.explore_edge(5)
+        assert stats.nodes_explored == 2
+        assert stats.nodes_touched == 4
+        assert stats.edges_explored == 6
+
+    def test_as_dict(self):
+        stats = SearchStats()
+        stats.explore()
+        d = stats.as_dict()
+        assert d["nodes_explored"] == 1
+        assert "elapsed" in d
+
+
+class TestTimers:
+    def test_elapsed_grows_until_finish(self):
+        stats = SearchStats()
+        first = stats.elapsed
+        time.sleep(0.002)
+        assert stats.elapsed > first
+
+    def test_finish_freezes_elapsed(self):
+        stats = SearchStats()
+        stats.finish()
+        frozen = stats.elapsed
+        time.sleep(0.002)
+        assert stats.elapsed == frozen
+
+    def test_finish_idempotent(self):
+        stats = SearchStats()
+        stats.finish()
+        first = stats.finished_at
+        stats.finish()
+        assert stats.finished_at == first
+
+    def test_now_is_monotone(self):
+        stats = SearchStats()
+        a = stats.now()
+        b = stats.now()
+        assert b >= a >= 0.0

@@ -1,0 +1,125 @@
+"""Dataset generators: determinism, shape properties, scaling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets import (
+    DblpConfig,
+    ImdbConfig,
+    NamePool,
+    PatentsConfig,
+    make_dblp,
+    make_imdb,
+    make_patents,
+)
+
+SMALL_DBLP = DblpConfig().scaled(0.25)
+SMALL_IMDB = ImdbConfig().scaled(0.25)
+SMALL_PATENTS = PatentsConfig().scaled(0.25)
+
+
+class TestNamePool:
+    def test_person_format(self):
+        pool = NamePool()
+        rng = random.Random(0)
+        name = pool.person(rng)
+        first, last = name.split(" ", 1)
+        assert first[0].isupper() and last[0].isupper()
+
+    def test_common_first_names_repeat(self):
+        pool = NamePool(rare_last_fraction=0.0)
+        rng = random.Random(0)
+        firsts = Counter(pool.person(rng).split()[0] for _ in range(500))
+        assert firsts.most_common(1)[0][1] > 20  # "John"-like skew
+
+    def test_rare_surnames_unique(self):
+        pool = NamePool(rare_last_fraction=1.0)
+        rng = random.Random(0)
+        lasts = [pool.person(rng).split()[1] for _ in range(100)]
+        assert len(set(lasts)) == 100
+
+    def test_company_names_cycle(self):
+        pool = NamePool()
+        rng = random.Random(0)
+        assert pool.company(rng, 0) == "Microsoft"
+        assert pool.company(rng, 24).startswith("Microsoft ")
+
+
+@pytest.mark.parametrize(
+    "maker,config",
+    [
+        (make_dblp, SMALL_DBLP),
+        (make_imdb, SMALL_IMDB),
+        (make_patents, SMALL_PATENTS),
+    ],
+)
+class TestGeneratorsCommon:
+    def test_deterministic(self, maker, config):
+        a = maker(config)
+        b = maker(config)
+        for table in a.schema.table_names():
+            assert list(a.rows(table)) == list(b.rows(table))
+
+    def test_referential_integrity(self, maker, config):
+        db = maker(config)
+        for fk in db.schema.foreign_keys:
+            for row in db.rows(fk.table):
+                value = row[fk.column]
+                if value is not None:
+                    assert db.has(fk.ref_table, value)
+
+    def test_nonempty(self, maker, config):
+        db = maker(config)
+        for table in db.schema.table_names():
+            assert db.count(table) > 0
+
+
+class TestDblpShape:
+    def test_sizes_match_config(self):
+        db = make_dblp(SMALL_DBLP)
+        assert db.count("author") == SMALL_DBLP.n_authors
+        assert db.count("paper") == SMALL_DBLP.n_papers
+        assert db.count("conference") == SMALL_DBLP.n_conferences
+
+    def test_conference_hubs_are_skewed(self):
+        db = make_dblp(SMALL_DBLP)
+        sizes = Counter(row["conf_id"] for row in db.rows("paper"))
+        biggest = max(sizes.values())
+        smallest = min(sizes.values())
+        assert biggest > 2 * smallest  # hub fan-in skew
+
+    def test_prolific_authors_exist(self):
+        db = make_dblp(SMALL_DBLP)
+        papers_per_author = Counter(row["author_id"] for row in db.rows("writes"))
+        assert max(papers_per_author.values()) >= 5
+
+    def test_citations_point_backward(self):
+        db = make_dblp(SMALL_DBLP)
+        for row in db.rows("cites"):
+            assert row["cited_id"] < row["citing_id"]
+
+    def test_scaled_shrinks(self):
+        tiny = DblpConfig().scaled(0.1)
+        assert tiny.n_papers < DblpConfig().n_papers
+
+
+class TestImdbShape:
+    def test_genre_hub(self):
+        db = make_imdb(SMALL_IMDB)
+        genre_sizes = Counter(row["genre_id"] for row in db.rows("movie"))
+        assert max(genre_sizes.values()) > 2 * min(genre_sizes.values())
+
+    def test_every_movie_has_director(self):
+        db = make_imdb(SMALL_IMDB)
+        directed = {row["movie_id"] for row in db.rows("directs")}
+        assert directed == set(db.primary_keys("movie"))
+
+
+class TestPatentsShape:
+    def test_mega_assignee(self):
+        db = make_patents(SMALL_PATENTS)
+        held = Counter(row["company_id"] for row in db.rows("patent"))
+        total = sum(held.values())
+        assert held.most_common(1)[0][1] > total * 0.3  # Microsoft-like hub

@@ -1,0 +1,57 @@
+"""Zipf vocabulary: skew, determinism, sizing."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets.vocab import TOPIC_WORDS, ZipfVocabulary, make_vocabulary
+
+
+class TestZipfVocabulary:
+    def test_skew_orders_frequencies(self):
+        vocab = ZipfVocabulary(("a", "b", "c", "d"), s=1.2)
+        rng = random.Random(0)
+        counts = Counter(vocab.sample(rng) for _ in range(20000))
+        assert counts["a"] > counts["b"] > counts["d"]
+
+    def test_zero_exponent_is_uniform_ish(self):
+        vocab = ZipfVocabulary(("a", "b"), s=0.0)
+        rng = random.Random(0)
+        counts = Counter(vocab.sample(rng) for _ in range(10000))
+        assert abs(counts["a"] - counts["b"]) < 1000
+
+    def test_deterministic_given_seed(self):
+        vocab = ZipfVocabulary(TOPIC_WORDS)
+        a = vocab.sample_many(random.Random(42), 50)
+        b = vocab.sample_many(random.Random(42), 50)
+        assert a == b
+
+    def test_phrase_length_bounds(self):
+        vocab = ZipfVocabulary(TOPIC_WORDS)
+        rng = random.Random(1)
+        for _ in range(100):
+            words = vocab.phrase(rng, 2, 5).split()
+            assert 2 <= len(words) <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(())
+        with pytest.raises(ValueError):
+            ZipfVocabulary(("a",), s=-1.0)
+
+
+class TestMakeVocabulary:
+    def test_truncates_head(self):
+        vocab = make_vocabulary(10)
+        assert len(vocab) == 10
+        assert vocab.words == TOPIC_WORDS[:10]
+
+    def test_generates_tail(self):
+        vocab = make_vocabulary(len(TOPIC_WORDS) + 5)
+        assert len(vocab) == len(TOPIC_WORDS) + 5
+        assert vocab.words[-1] == "term0004"
+
+    def test_custom_head(self):
+        vocab = make_vocabulary(3, head=("x", "y", "z"))
+        assert vocab.words == ("x", "y", "z")

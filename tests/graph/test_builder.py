@@ -1,0 +1,96 @@
+"""Relational -> graph builder: tuples become nodes, FKs become edges."""
+
+import pytest
+
+from repro.graph.builder import build_data_graph, build_search_graph
+
+from tests.conftest import make_toy_db
+
+
+class TestBuildDataGraph:
+    def test_one_node_per_tuple(self, toy_db):
+        graph = build_data_graph(toy_db)
+        assert graph.num_nodes == toy_db.total_rows()
+
+    def test_one_edge_per_fk_value(self, toy_db):
+        graph = build_data_graph(toy_db)
+        # paper.conf_id (4) + writes (4*2) + cites (3*2) = 18
+        assert graph.num_edges == 18
+
+    def test_link_tuples_are_nodes(self, toy_db):
+        # Paper Figure 4: 'writes' rows are first-class nodes.
+        graph = build_data_graph(toy_db)
+        tables = {graph.table(n) for n in range(graph.num_nodes)}
+        assert "writes" in tables
+        assert "cites" in tables
+
+    def test_edge_direction_follows_fk(self, toy_db):
+        sg = build_data_graph(toy_db).freeze()
+        writes_node = sg.node_by_ref("writes", 1)
+        author_node = sg.node_by_ref("author", 1)
+        forward = [
+            (v, fwd) for v, _, fwd in sg.out_edges(writes_node) if v == author_node
+        ]
+        assert (author_node, True) in forward
+
+    def test_labels_use_text_columns(self, toy_db):
+        graph = build_data_graph(toy_db)
+        sg = graph.freeze()
+        node = sg.node_by_ref("author", 1)
+        assert sg.label(node) == "Jim Gray"
+        # Tables without text columns fall back to table:pk labels.
+        writes = sg.node_by_ref("writes", 1)
+        assert sg.label(writes) == "writes:1"
+
+    def test_null_fk_skipped(self):
+        from repro.relational import Database, ForeignKey, Schema, Table
+
+        schema = Schema(
+            tables=(
+                Table("a", ("id",)),
+                Table("b", ("id", "a_id")),
+            ),
+            foreign_keys=(ForeignKey("b", "a_id", "a"),),
+        )
+        db = Database(schema)
+        db.insert("a", {"id": 1})
+        db.insert("b", {"id": 1, "a_id": 1})
+        db.insert("b", {"id": 2, "a_id": None})
+        graph = build_data_graph(db)
+        assert graph.num_edges == 1
+
+    def test_determinism(self, toy_db):
+        g1 = build_data_graph(toy_db)
+        g2 = build_data_graph(make_toy_db())
+        assert list(g1.forward_edges()) == list(g2.forward_edges())
+        assert [g1.label(i) for i in range(g1.num_nodes)] == [
+            g2.label(i) for i in range(g2.num_nodes)
+        ]
+
+
+class TestBuildSearchGraph:
+    def test_with_prestige_computed(self, toy_db):
+        sg = build_search_graph(toy_db)
+        assert sg.prestige.sum() == pytest.approx(1.0)
+        assert sg.prestige.min() > 0.0
+
+    def test_without_prestige_uniform(self, toy_db):
+        sg = build_search_graph(toy_db, compute_prestige=False)
+        n = sg.num_nodes
+        assert sg.node_prestige(0) == pytest.approx(1.0 / n)
+
+    def test_fk_weight_respected(self):
+        from repro.relational import Database, ForeignKey, Schema, Table
+
+        schema = Schema(
+            tables=(Table("a", ("id",)), Table("b", ("id", "a_id"))),
+            foreign_keys=(ForeignKey("b", "a_id", "a", weight=2.5),),
+        )
+        db = Database(schema)
+        db.insert("a", {"id": 1})
+        db.insert("b", {"id": 1, "a_id": 1})
+        sg = build_search_graph(db, compute_prestige=False)
+        b_node = sg.node_by_ref("b", 1)
+        a_node = sg.node_by_ref("a", 1)
+        weights = [w for v, w, fwd in sg.out_edges(b_node) if v == a_node and fwd]
+        assert weights == [pytest.approx(2.5)]

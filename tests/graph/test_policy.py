@@ -1,0 +1,135 @@
+"""Edge-type constraints and prioritization (paper Section 1 extension)."""
+
+import pytest
+
+from repro.graph.policy import EdgePolicy, apply_edge_policy
+
+
+class TestEdgePolicy:
+    def test_default_keeps_everything(self):
+        policy = EdgePolicy()
+        assert policy.multiplier("a", "b", True) == 1.0
+        assert policy.multiplier(None, None, False) == 1.0
+
+    def test_exact_rule_wins_over_wildcard(self):
+        policy = EdgePolicy(
+            rules={("a", "b"): 2.0, ("a", "*"): 5.0, ("*", "b"): 7.0}
+        )
+        assert policy.multiplier("a", "b", True) == 2.0
+        assert policy.multiplier("a", "c", True) == 5.0
+        assert policy.multiplier("x", "b", True) == 7.0
+        assert policy.multiplier("x", "y", True) == 1.0
+
+    def test_none_drops(self):
+        policy = EdgePolicy(rules={("cites", "*"): None})
+        assert policy.multiplier("cites", "paper", True) is None
+
+    def test_forward_only(self):
+        policy = EdgePolicy(forward_only=True)
+        assert policy.multiplier("a", "b", True) == 1.0
+        assert policy.multiplier("a", "b", False) is None
+
+    def test_default_none_restricts_to_rules(self):
+        policy = EdgePolicy(default=None, rules={("a", "b"): 1.0})
+        assert policy.multiplier("a", "b", True) == 1.0
+        assert policy.multiplier("b", "a", True) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgePolicy(rules={("a", "b"): 0.0})
+        with pytest.raises(ValueError):
+            EdgePolicy(default=-1.0)
+
+
+class TestApplyEdgePolicy:
+    def test_identity_policy_preserves_graph(self, toy_engine):
+        graph = toy_engine.graph
+        view = apply_edge_policy(graph, EdgePolicy())
+        assert view.num_nodes == graph.num_nodes
+        assert view.num_edges == graph.num_edges
+        for u in graph.nodes():
+            assert list(view.out_edges(u)) == list(graph.out_edges(u))
+
+    def test_drop_rule_removes_both_directions_of_type(self, toy_engine):
+        graph = toy_engine.graph
+        policy = EdgePolicy(rules={("cites", "*"): None, ("*", "cites"): None})
+        view = apply_edge_policy(graph, policy)
+        for u in view.nodes():
+            for v, _, _ in view.out_edges(u):
+                assert view.table(u) != "cites"
+                assert view.table(v) != "cites"
+        assert view.num_edges < graph.num_edges
+
+    def test_multiplier_reweights(self, toy_engine):
+        graph = toy_engine.graph
+        view = apply_edge_policy(graph, EdgePolicy(rules={("writes", "author"): 4.0}))
+        for u in graph.nodes():
+            if graph.table(u) != "writes":
+                continue
+            for (v, w, fwd), (v2, w2, fwd2) in zip(
+                graph.out_edges(u), view.out_edges(u)
+            ):
+                if graph.table(v) == "author" and fwd:
+                    assert w2 == pytest.approx(4.0 * w)
+
+    def test_metadata_and_prestige_shared(self, toy_engine):
+        graph = toy_engine.graph
+        view = apply_edge_policy(graph, EdgePolicy())
+        assert view.label(0) == graph.label(0)
+        assert view.node_prestige(0) == graph.node_prestige(0)
+        assert view.ref(0) == graph.ref(0)
+
+    def test_inverse_weight_sums_rebuilt(self, toy_engine):
+        graph = toy_engine.graph
+        view = apply_edge_policy(graph, EdgePolicy(rules={("*", "paper"): 2.0}))
+        for v in view.nodes():
+            expected = sum(1.0 / w for _, w, _ in view.in_edges(v))
+            assert view.in_inv_weight_sum(v) == pytest.approx(expected)
+
+
+class TestConstrainedSearch:
+    def test_citation_free_answers(self, toy_engine):
+        # 'gray selinger' connects via citation (short) or would need
+        # longer author-paper chains; banning cites removes the
+        # citation-mediated answers entirely.
+        constrained = toy_engine.constrained(
+            EdgePolicy(rules={("cites", "*"): None, ("*", "cites"): None})
+        )
+        result = constrained.search("gray selinger", k=10)
+        for answer in result.answers:
+            tables = {constrained.graph.table(n) for n in answer.tree.nodes()}
+            assert "cites" not in tables
+
+    def test_unconstrained_uses_citations(self, toy_engine):
+        result = toy_engine.search("gray selinger", k=1)
+        tables = {toy_engine.graph.table(n) for n in result.best().tree.nodes()}
+        assert "cites" in tables
+
+    def test_deprioritizing_changes_ranking_not_reachability(self, toy_engine):
+        penalized = toy_engine.constrained(
+            EdgePolicy(rules={("cites", "*"): 10.0, ("*", "cites"): 10.0})
+        )
+        base = toy_engine.search("gray selinger", k=5)
+        heavy = penalized.search("gray selinger", k=5)
+        assert base.answers and heavy.answers
+        # Citation paths still exist but cost more.
+        base_best = base.best().tree
+        heavy_equiv = [
+            a for a in heavy.answers
+            if a.tree.signature() == base_best.signature()
+        ]
+        if heavy_equiv:
+            assert heavy_equiv[0].tree.edge_score > base_best.edge_score
+
+    def test_all_algorithms_respect_constraints(self, toy_engine):
+        constrained = toy_engine.constrained(
+            EdgePolicy(rules={("cites", "*"): None, ("*", "cites"): None})
+        )
+        for algorithm in ("bidirectional", "si-backward", "mi-backward"):
+            result = constrained.search("gray transaction", algorithm=algorithm)
+            assert result.answers, algorithm
+            for answer in result.answers:
+                tables = {
+                    constrained.graph.table(n) for n in answer.tree.nodes()
+                }
+                assert "cites" not in tables, algorithm

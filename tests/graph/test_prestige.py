@@ -1,0 +1,103 @@
+"""Biased PageRank prestige (paper Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.prestige import compute_prestige, prestige_transition_matrix
+
+from tests.helpers import build_graph
+
+
+class TestTransitionMatrix:
+    def test_columns_are_stochastic(self):
+        g = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        matrix = prestige_transition_matrix(g)
+        sums = np.asarray(matrix.sum(axis=0)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_probability_inverse_to_weight(self):
+        # Node 0 has forward edges to 1 (w=1) and 2 (w=3): the walk must
+        # prefer the lighter edge 3:1.
+        g = build_graph(3, [(0, 1, 1.0), (0, 2, 3.0)])
+        matrix = prestige_transition_matrix(g).toarray()
+        # Out-edges of node 0: forward (0->1, w 1), (0->2, w 3) only
+        # (no backward edges enter 0's out list except from derived
+        # edges of incoming forward edges, of which there are none).
+        p1, p2 = matrix[1, 0], matrix[2, 0]
+        assert p1 / p2 == pytest.approx(3.0)
+
+    def test_isolated_node_has_zero_column(self):
+        g = build_graph(3, [(0, 1)])
+        matrix = prestige_transition_matrix(g).toarray()
+        assert matrix[:, 2].sum() == 0.0
+
+
+class TestComputePrestige:
+    def test_sums_to_one_and_positive(self):
+        g = build_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        p = compute_prestige(g)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p > 0).all()
+
+    def test_symmetric_cycle_is_uniform(self):
+        g = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        p = compute_prestige(g)
+        assert np.allclose(p, 0.25, atol=1e-6)
+
+    def test_hub_collects_prestige(self):
+        # Star: many nodes point at the hub; hub should rank highest.
+        edges = [(i, 0) for i in range(1, 8)]
+        g = build_graph(8, edges)
+        p = compute_prestige(g)
+        assert p[0] == pytest.approx(p.max())
+        assert p[0] > 2 * p[1]
+
+    def test_dangling_nodes_handled(self):
+        g = build_graph(3, [(0, 1)])  # node 2 isolated
+        p = compute_prestige(g)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[2] > 0.0
+
+    def test_empty_graph(self):
+        g = build_graph(0, [])
+        assert compute_prestige(g).shape == (0,)
+
+    def test_damping_validation(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            compute_prestige(g, damping=0.0)
+        with pytest.raises(ValueError):
+            compute_prestige(g, damping=1.0)
+
+    def test_teleport_bias(self):
+        g = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        biased = compute_prestige(g, teleport=[1.0, 0.0, 0.0, 0.0])
+        assert biased[0] == pytest.approx(biased.max())
+
+    def test_teleport_validation(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            compute_prestige(g, teleport=[1.0])
+        with pytest.raises(ValueError):
+            compute_prestige(g, teleport=[0.0, 0.0])
+
+    def test_agrees_with_networkx(self):
+        """Independent oracle: networkx.pagerank on the weighted
+        transition graph (weights = inverse edge weight)."""
+        import networkx as nx
+
+        g = build_graph(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5, 2.0)])
+        ours = compute_prestige(g, damping=0.85, tol=1e-12)
+
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(6))
+        for u in g.nodes():
+            for v, w, _ in g.out_edges(u):
+                # Parallel edges collapse by summed inverse weight.
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["weight"] += 1.0 / w
+                else:
+                    nxg.add_edge(u, v, weight=1.0 / w)
+        theirs = nx.pagerank(nxg, alpha=0.85, weight="weight", tol=1e-12)
+        for node in range(6):
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)

@@ -1,0 +1,143 @@
+"""Frozen SearchGraph: derived backward edges, CSR arrays, prestige."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.graph.digraph import DataGraph
+
+from tests.helpers import build_graph
+
+
+class TestBackwardEdgeDerivation:
+    def test_every_forward_edge_gets_a_backward_twin(self):
+        g = build_graph(3, [(0, 1), (2, 1)])
+        assert g.num_forward_edges == 2
+        assert g.num_edges == 4
+        # Backward edges out of node 1 toward both sources.
+        back = [(v, w) for v, w, fwd in g.out_edges(1) if not fwd]
+        assert sorted(v for v, _ in back) == [0, 2]
+
+    def test_backward_weight_uses_target_indegree(self):
+        # Node 1 has indegree 2 -> backward weight log2(3).
+        g = build_graph(3, [(0, 1), (2, 1)])
+        back_weights = {v: w for v, w, fwd in g.out_edges(1) if not fwd}
+        assert back_weights[0] == pytest.approx(math.log2(3))
+        assert back_weights[2] == pytest.approx(math.log2(3))
+
+    def test_chain_backward_weight_equals_forward(self):
+        g = build_graph(2, [(0, 1, 2.0)])
+        back = [(v, w) for v, w, fwd in g.out_edges(1) if not fwd]
+        assert back == [(0, pytest.approx(2.0))]
+
+    def test_in_edges_mirror_out_edges(self):
+        g = build_graph(3, [(0, 1), (1, 2)])
+        for u in g.nodes():
+            for v, w, fwd in g.out_edges(u):
+                assert (u, w, fwd) in [tuple(e) for e in g.in_edges(v)]
+
+    def test_forward_flags(self):
+        g = build_graph(2, [(0, 1)])
+        flags = {(u, v): fwd for u in g.nodes() for v, _, fwd in g.out_edges(u)}
+        assert flags[(0, 1)] is True
+        assert flags[(1, 0)] is False
+
+    def test_degrees(self):
+        g = build_graph(3, [(0, 1), (0, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 2  # two derived backward edges
+        assert g.in_degree(1) == 1
+
+    def test_unknown_node_raises(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(UnknownNodeError):
+            g.out_edges(5)
+        with pytest.raises(UnknownNodeError):
+            g.in_edges(-1)
+
+
+class TestInverseWeightSums:
+    def test_matches_manual_sum(self):
+        g = build_graph(3, [(0, 1), (2, 1)])
+        for v in g.nodes():
+            expected = sum(1.0 / w for _, w, _ in g.in_edges(v))
+            assert g.in_inv_weight_sum(v) == pytest.approx(expected)
+            expected_out = sum(1.0 / w for _, w, _ in g.out_edges(v))
+            assert g.out_inv_weight_sum(v) == pytest.approx(expected_out)
+
+
+class TestPrestige:
+    def test_default_is_uniform(self):
+        g = build_graph(4, [(0, 1)])
+        assert np.allclose(g.prestige, 0.25)
+
+    def test_with_prestige_replaces_vector(self):
+        g = build_graph(2, [(0, 1)])
+        g2 = g.with_prestige([0.3, 0.7])
+        assert g2.node_prestige(1) == pytest.approx(0.7)
+        assert g.node_prestige(1) == pytest.approx(0.5)  # original untouched
+        assert g2.max_prestige == pytest.approx(0.7)
+
+    def test_prestige_is_read_only(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.prestige[0] = 9.0
+
+    def test_rejects_bad_vectors(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.with_prestige([1.0])
+        with pytest.raises(ValueError):
+            g.with_prestige([-0.1, 1.1])
+
+
+class TestRefs:
+    def test_node_by_ref_roundtrip(self):
+        dg = DataGraph()
+        a = dg.add_node("x", ref=("t", 1))
+        b = dg.add_node("y", ref=("t", 2))
+        g = dg.freeze()
+        assert g.node_by_ref("t", 1) == a
+        assert g.node_by_ref("t", 2) == b
+        with pytest.raises(KeyError):
+            g.node_by_ref("t", 3)
+
+
+class TestCompactArrays:
+    def test_formula_16v_plus_8e(self):
+        g = build_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        expected = 16 * g.num_nodes + 8 * g.num_edges + 8  # +8: indptr end slot
+        assert g.compact_nbytes() == expected
+
+    def test_csr_consistency_with_adjacency(self):
+        g = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        arrays = g.csr_arrays()
+        indptr, dst, weight = arrays["indptr"], arrays["dst"], arrays["weight"]
+        for u in g.nodes():
+            lo, hi = indptr[u], indptr[u + 1]
+            expected = [(v, w) for v, w, _ in g.out_edges(u)]
+            got = list(zip(dst[lo:hi].tolist(), weight[lo:hi].tolist()))
+            assert [v for v, _ in got] == [v for v, _ in expected]
+            for (_, got_w), (_, exp_w) in zip(got, expected):
+                assert got_w == pytest.approx(exp_w, rel=1e-6)
+
+    def test_cache_reused(self):
+        g = build_graph(2, [(0, 1)])
+        assert g.csr_arrays() is g.csr_arrays()
+
+
+class TestEdgeWeightLookup:
+    def test_min_parallel_weight(self):
+        dg = DataGraph()
+        a, b = dg.add_nodes("ab")
+        dg.add_edge(a, b, 3.0)
+        dg.add_edge(a, b, 1.5)
+        g = dg.freeze()
+        assert g.edge_weight(a, b) == pytest.approx(1.5)
+
+    def test_missing_edge_raises(self):
+        g = build_graph(3, [(0, 1)])
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)

@@ -1,0 +1,125 @@
+"""Shared test utilities: graph builders and answer-tree validation."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.answer import AnswerTree, is_minimal_rooting
+from repro.core.scoring import Scorer
+from repro.graph.digraph import DataGraph
+from repro.graph.searchgraph import SearchGraph
+
+__all__ = [
+    "build_graph",
+    "random_data_graph",
+    "random_keyword_sets",
+    "validate_answer_tree",
+    "edge_weight_of",
+]
+
+
+def build_graph(
+    n_nodes: int,
+    edges: Sequence[tuple[int, int]] | Sequence[tuple[int, int, float]],
+    *,
+    prestige=None,
+) -> SearchGraph:
+    """A frozen search graph from an explicit edge list."""
+    graph = DataGraph()
+    for i in range(n_nodes):
+        graph.add_node(f"n{i}")
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge
+            graph.add_edge(u, v)
+        else:
+            u, v, w = edge
+            graph.add_edge(u, v, w)
+    return graph.freeze(prestige=prestige)
+
+
+def random_data_graph(
+    rng: random.Random,
+    *,
+    n_nodes: int,
+    n_edges: int,
+    max_weight: float = 3.0,
+) -> SearchGraph:
+    """A random simple digraph (no parallel edges, no self loops).
+
+    Guaranteed weakly connected-ish by first laying a random spanning
+    chain, then sprinkling extra edges.
+    """
+    graph = DataGraph()
+    for i in range(n_nodes):
+        graph.add_node(f"n{i}")
+    used: set[tuple[int, int]] = set()
+    order = list(range(n_nodes))
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        u, v = (a, b) if rng.random() < 0.5 else (b, a)
+        used.add((u, v))
+        graph.add_edge(u, v, 1.0 + rng.random() * (max_weight - 1.0))
+    attempts = 0
+    while len(used) < n_edges and attempts < n_edges * 20:
+        attempts += 1
+        u = rng.randrange(n_nodes)
+        v = rng.randrange(n_nodes)
+        if u == v or (u, v) in used:
+            continue
+        used.add((u, v))
+        graph.add_edge(u, v, 1.0 + rng.random() * (max_weight - 1.0))
+    return graph.freeze()
+
+
+def random_keyword_sets(
+    rng: random.Random, graph: SearchGraph, *, k: int, max_size: int = 3
+) -> list[frozenset[int]]:
+    """k non-empty random keyword node sets."""
+    sets = []
+    for _ in range(k):
+        size = rng.randint(1, max_size)
+        sets.append(frozenset(rng.sample(range(graph.num_nodes), size)))
+    return sets
+
+
+def edge_weight_of(graph: SearchGraph, u: int, v: int) -> Optional[float]:
+    """Minimum weight among edges u -> v in the search graph, or None."""
+    weights = [w for target, w, _ in graph.out_edges(u) if target == v]
+    return min(weights) if weights else None
+
+
+def validate_answer_tree(
+    graph: SearchGraph,
+    keyword_sets: Sequence[frozenset[int]],
+    tree: AnswerTree,
+    *,
+    lam: float = 0.2,
+) -> None:
+    """Assert every structural and scoring invariant of an answer tree."""
+    assert len(tree.paths) == len(keyword_sets)
+    for i, path in enumerate(tree.paths):
+        assert path[0] == tree.root, "path must start at the root"
+        assert path[-1] in keyword_sets[i], "path must end on a keyword node"
+        # Parallel edges (a forward edge and a derived backward edge may
+        # join the same pair) make the exact step weights ambiguous from
+        # the path alone; the recorded dist must lie between the
+        # cheapest and the costliest edge choice per step.
+        min_total = 0.0
+        max_total = 0.0
+        for u, v in zip(path, path[1:]):
+            weights = [w for target, w, _ in graph.out_edges(u) if target == v]
+            assert weights, f"({u},{v}) is not a graph edge"
+            min_total += min(weights)
+            max_total += max(weights)
+        assert min_total - 1e-6 <= tree.dists[i] <= max_total + 1e-6, (
+            "recorded dist is not a realizable path weight"
+        )
+    assert is_minimal_rooting(tree.root, tree.paths)
+
+    scorer = Scorer(graph, lam)
+    rebuilt = scorer.build_tree(tree.root, tree.paths, tree.dists)
+    assert abs(rebuilt.edge_score - tree.edge_score) < 1e-9
+    assert abs(rebuilt.node_score - tree.node_score) < 1e-9
+    assert abs(rebuilt.score - tree.score) < 1e-9

@@ -1,0 +1,77 @@
+"""Inverted index: postings, relation-name matching, frequencies."""
+
+from repro.index.inverted import InvertedIndex, build_index
+
+
+class TestInvertedIndex:
+    def test_add_text_and_lookup(self):
+        idx = InvertedIndex()
+        idx.add_text(1, "Transaction recovery")
+        idx.add_text(2, "Transaction processing")
+        assert idx.lookup("transaction") == {1, 2}
+        assert idx.lookup("recovery") == {1}
+        assert idx.lookup("TRANSACTION") == {1, 2}  # case-insensitive
+
+    def test_unknown_term_empty(self):
+        idx = InvertedIndex()
+        assert idx.lookup("nothing") == frozenset()
+        assert idx.frequency("nothing") == 0
+        assert not idx.has_term("nothing")
+
+    def test_add_term_normalizes(self):
+        idx = InvertedIndex()
+        idx.add_term(5, "  GrAy ")
+        assert idx.lookup("gray") == {5}
+
+    def test_relation_name_matches_all_tuples(self):
+        # Paper Section 2.2: a keyword matching a relation name matches
+        # every tuple of that relation.
+        idx = InvertedIndex()
+        idx.add_relation_node("paper", 1)
+        idx.add_relation_node("paper", 2)
+        idx.add_text(3, "a paper about papers")
+        assert idx.lookup("paper") == {1, 2, 3}
+
+    def test_frequency_counts_relation_matches(self):
+        idx = InvertedIndex()
+        idx.add_relation_node("conference", 1)
+        idx.add_relation_node("conference", 2)
+        assert idx.frequency("conference") == 2
+
+    def test_terms_by_frequency_sorted(self):
+        idx = InvertedIndex()
+        for node in range(5):
+            idx.add_text(node, "common")
+        idx.add_text(0, "rare")
+        ranked = idx.terms_by_frequency()
+        assert ranked[0] == ("common", 5)
+        assert ("rare", 1) in ranked
+
+    def test_vocabulary_excludes_relation_only_terms(self):
+        idx = InvertedIndex()
+        idx.add_relation_node("paper", 1)
+        idx.add_text(1, "text")
+        assert set(idx.terms()) == {"text"}
+        assert len(idx) == 1
+
+
+class TestBuildIndex:
+    def test_from_toy_database(self, toy_db, toy_engine):
+        idx = toy_engine.index
+        graph = toy_engine.graph
+        gray_nodes = idx.lookup("gray")
+        assert gray_nodes == {graph.node_by_ref("author", 1)}
+        # 'transaction' appears in two paper titles.
+        assert len(idx.lookup("transaction")) == 2
+        # Relation name 'paper' matches all four paper tuples.
+        assert len(idx.lookup("paper")) == 4
+        # Relation name works even for tables without text columns.
+        assert len(idx.lookup("writes")) == 4
+
+    def test_text_columns_override(self, toy_db, toy_engine):
+        idx = build_index(toy_db, toy_engine.graph, text_columns={"author": ("name",)})
+        assert len(idx.lookup("gray")) == 1
+        # Paper titles were not indexed under the override...
+        assert idx.lookup("transaction") == frozenset()
+        # ...but relation names still are.
+        assert len(idx.lookup("paper")) == 4

@@ -1,0 +1,38 @@
+"""Tokenizer behaviour."""
+
+from repro.index.tokenizer import normalize_term, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert list(tokenize("Gray TRANSACTION")) == ["gray", "transaction"]
+
+    def test_splits_on_punctuation(self):
+        assert list(tokenize("keyword-search, on: graphs!")) == [
+            "keyword",
+            "search",
+            "on",
+            "graphs",
+        ]
+
+    def test_keeps_digits(self):
+        assert list(tokenize("term0042 x86")) == ["term0042", "x86"]
+
+    def test_empty_text(self):
+        assert list(tokenize("")) == []
+        assert list(tokenize("  --  ")) == []
+
+    def test_duplicates_preserved_in_order(self):
+        assert list(tokenize("a b a")) == ["a", "b", "a"]
+
+    def test_no_stemming(self):
+        # The paper's frequency skew must survive tokenization.
+        assert list(tokenize("databases database")) == ["databases", "database"]
+
+
+class TestNormalizeTerm:
+    def test_strips_and_lowercases(self):
+        assert normalize_term("  Gray ") == "gray"
+
+    def test_idempotent(self):
+        assert normalize_term(normalize_term("ABC")) == "abc"

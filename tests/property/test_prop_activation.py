@@ -1,0 +1,122 @@
+"""Property tests: spreading-activation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activation import ActivationTable
+from repro.graph.digraph import DataGraph
+
+
+@st.composite
+def activation_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.floats(min_value=0.2, max_value=5.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=2 * n,
+        )
+    )
+    dedup = {}
+    for u, v, w in edges:
+        if u != v:
+            dedup[(u, v)] = w
+    keyword_sets = [
+        frozenset(
+            draw(st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=3))
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    ]
+    mu = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    spreads = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["backward", "forward"]),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    return n, dedup, keyword_sets, mu, spreads
+
+
+def build(n, edges):
+    dg = DataGraph()
+    for i in range(n):
+        dg.add_node(str(i))
+    for (u, v), w in edges.items():
+        dg.add_edge(u, v, w)
+    return dg.freeze()
+
+
+@given(case=activation_cases())
+@settings(max_examples=80, deadline=None)
+def test_activation_bounded_and_consistent(case):
+    n, edges, keyword_sets, mu, spreads = case
+    graph = build(n, edges)
+    table = ActivationTable(graph, keyword_sets, mu=mu)
+    table.seed_all()
+
+    seed_max = [
+        max(
+            (graph.node_prestige(u) / len(nodes) for u in nodes),
+            default=0.0,
+        )
+        for nodes in keyword_sets
+    ]
+
+    parents: dict[int, dict[int, float]] = {}
+    for direction, node in spreads:
+        # Simulate exploration: register the spread edges as explored.
+        if direction == "backward":
+            for u, w, _ in graph.in_edges(node):
+                parents.setdefault(node, {})[u] = min(
+                    w, parents.get(node, {}).get(u, w)
+                )
+            table.spread_backward(node, parents)
+        else:
+            for v, w, _ in graph.out_edges(node):
+                parents.setdefault(v, {})[node] = min(
+                    w, parents.get(v, {}).get(node, w)
+                )
+            table.spread_forward(node, parents)
+
+    for i, _ in enumerate(keyword_sets):
+        for node in range(n):
+            a = table.activation(node, i)
+            # Non-negative and never above the strongest seed of that
+            # keyword (mu <= 1 and max-combine cannot amplify).
+            assert a >= 0.0
+            assert a <= seed_max[i] + 1e-9
+
+    for node in range(n):
+        total = sum(
+            table.activation(node, i) for i in range(len(keyword_sets))
+        )
+        assert abs(total - table.total(node)) < 1e-9
+
+
+@given(case=activation_cases())
+@settings(max_examples=40, deadline=None)
+def test_spreading_is_monotone_nondecreasing(case):
+    """Spreading can only raise activations (max-combine)."""
+    n, edges, keyword_sets, mu, spreads = case
+    graph = build(n, edges)
+    table = ActivationTable(graph, keyword_sets, mu=mu)
+    table.seed_all()
+    before = {
+        (node, i): table.activation(node, i)
+        for node in range(n)
+        for i in range(len(keyword_sets))
+    }
+    for direction, node in spreads:
+        if direction == "backward":
+            table.spread_backward(node, {})
+        else:
+            table.spread_forward(node, {})
+    for (node, i), previous in before.items():
+        assert table.activation(node, i) >= previous - 1e-12

@@ -1,0 +1,67 @@
+"""Property tests: tokenizer and inverted index."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedIndex
+from repro.index.tokenizer import tokenize
+
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=80
+)
+
+
+@given(text=texts)
+@settings(max_examples=200)
+def test_tokens_are_normalized(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token
+        assert all(c.isascii() and (c.isdigit() or c.isalpha()) for c in token)
+
+
+@given(text=texts)
+@settings(max_examples=200)
+def test_tokenize_idempotent(text):
+    tokens = list(tokenize(text))
+    assert list(tokenize(" ".join(tokens))) == tokens
+
+
+@given(
+    docs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), texts),
+        max_size=30,
+    )
+)
+@settings(max_examples=100)
+def test_index_lookup_matches_reference(docs):
+    index = InvertedIndex()
+    reference: dict[str, set[int]] = {}
+    for node, text in docs:
+        index.add_text(node, text)
+        for token in tokenize(text):
+            reference.setdefault(token, set()).add(node)
+    for term, nodes in reference.items():
+        assert index.lookup(term) == nodes
+        assert index.frequency(term) == len(nodes)
+    assert index.vocabulary_size() == len(reference)
+
+
+@given(
+    docs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), texts),
+        max_size=20,
+    ),
+    relation_nodes=st.sets(st.integers(min_value=100, max_value=120), max_size=5),
+)
+@settings(max_examples=100)
+def test_relation_matches_union_with_text(docs, relation_nodes):
+    index = InvertedIndex()
+    text_matches: set[int] = set()
+    for node, text in docs:
+        index.add_text(node, text)
+        if "paper" in tokenize(text):
+            text_matches.add(node)
+    for node in relation_nodes:
+        index.add_relation_node("paper", node)
+    assert index.lookup("paper") == text_matches | relation_nodes

@@ -1,0 +1,74 @@
+"""Property tests: OutputHeap dedup and release discipline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answer import AnswerTree
+from repro.core.output_heap import OutputHeap
+
+
+def tree_from(skeleton_id: int, root_choice: int, score: float) -> AnswerTree:
+    """A two-node tree whose skeleton is determined by skeleton_id and
+    whose rooting (rotation) by root_choice."""
+    a, b = 2 * skeleton_id, 2 * skeleton_id + 1
+    root, leaf = (a, b) if root_choice == 0 else (b, a)
+    return AnswerTree(
+        root=root,
+        paths=((root, leaf),),
+        dists=(1.0,),
+        edge_score=1.0,
+        node_score=1.0,
+        score=score,
+    )
+
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),   # skeleton
+        st.integers(min_value=0, max_value=1),   # rotation
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),  # score
+        st.booleans(),                           # flush after add?
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),   # bound
+    ),
+    max_size=40,
+)
+
+
+@given(events=events)
+@settings(max_examples=150, deadline=None)
+def test_each_skeleton_released_at_most_once(events):
+    heap = OutputHeap(mode="exact")
+    released = []
+    for skeleton, rotation, score, flush, bound in events:
+        heap.add(tree_from(skeleton, rotation, score), 0.0, 0)
+        if flush:
+            released.extend(b.tree for b in heap.pop_ready(score_bound=bound))
+    released.extend(b.tree for b in heap.drain())
+    signatures = [tree.signature() for tree in released]
+    assert len(signatures) == len(set(signatures))
+    assert not heap
+
+
+@given(events=events)
+@settings(max_examples=150, deadline=None)
+def test_released_score_at_least_bound(events):
+    heap = OutputHeap(mode="exact")
+    for skeleton, rotation, score, flush, bound in events:
+        heap.add(tree_from(skeleton, rotation, score), 0.0, 0)
+        if flush:
+            for buffered in heap.pop_ready(score_bound=bound):
+                assert buffered.tree.score >= bound
+
+
+@given(events=events)
+@settings(max_examples=150, deadline=None)
+def test_buffer_holds_best_rotation(events):
+    heap = OutputHeap(mode="exact")
+    best: dict[object, float] = {}
+    for skeleton, rotation, score, _, _ in events:
+        tree = tree_from(skeleton, rotation, score)
+        heap.add(tree, 0.0, 0)
+        signature = tree.signature()
+        best[signature] = max(best.get(signature, 0.0), score)
+    drained = {b.tree.signature(): b.tree.score for b in heap.drain()}
+    assert drained == best

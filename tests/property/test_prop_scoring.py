@@ -1,0 +1,99 @@
+"""Property tests: scoring monotonicity and signature invariance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answer import AnswerTree
+from repro.core.scoring import overall_score
+
+scores = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+lams = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+@given(e1=scores, e2=scores, n=st.floats(min_value=0.01, max_value=10.0), lam=lams)
+@settings(max_examples=200)
+def test_overall_score_monotone_decreasing_in_e(e1, e2, n, lam):
+    lo, hi = sorted((e1, e2))
+    assert overall_score(hi, n, lam) <= overall_score(lo, n, lam)
+
+
+@given(
+    e=scores,
+    n1=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    n2=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    lam=lams,
+)
+@settings(max_examples=200)
+def test_overall_score_monotone_increasing_in_n(e, n1, n2, lam):
+    lo, hi = sorted((n1, n2))
+    assert overall_score(e, lo, lam) <= overall_score(e, hi, lam)
+
+
+@st.composite
+def random_tree_paths(draw):
+    """A random star-ish tree given as root-to-leaf paths."""
+    root = 0
+    n_paths = draw(st.integers(min_value=1, max_value=4))
+    next_node = 1
+    paths = []
+    for _ in range(n_paths):
+        length = draw(st.integers(min_value=0, max_value=3))
+        path = [root]
+        for _ in range(length):
+            path.append(next_node)
+            next_node += 1
+        paths.append(tuple(path))
+    return tuple(paths)
+
+
+@given(paths=random_tree_paths())
+@settings(max_examples=150)
+def test_signature_invariant_under_path_reordering(paths):
+    def tree_with(ordered_paths):
+        return AnswerTree(
+            root=0,
+            paths=tuple(ordered_paths),
+            dists=tuple(float(len(p) - 1) for p in ordered_paths),
+            edge_score=0.0,
+            node_score=1.0,
+            score=1.0,
+        )
+
+    forward = tree_with(paths)
+    reversed_order = tree_with(tuple(reversed(paths)))
+    assert forward.signature() == reversed_order.signature()
+    assert forward.nodes() == reversed_order.nodes()
+    assert forward.leaves() == reversed_order.leaves()
+
+
+@given(paths=random_tree_paths())
+@settings(max_examples=150)
+def test_tree_structure_consistency(paths):
+    tree = AnswerTree(
+        root=0,
+        paths=paths,
+        dists=tuple(float(len(p) - 1) for p in paths),
+        edge_score=0.0,
+        node_score=1.0,
+        score=1.0,
+    )
+    nodes = tree.nodes()
+    edges = tree.edges()
+    # Tree property: edges == nodes - 1 (paths share only the root here).
+    assert len(edges) == len(nodes) - 1
+    # Every leaf is some path's endpoint.
+    endpoints = {p[-1] for p in paths}
+    assert tree.leaves() <= endpoints | {0}
+    # Root reaches every node through the edge set.
+    reached = {0}
+    frontier = [0]
+    children = {}
+    for parent, child in edges:
+        children.setdefault(parent, []).append(child)
+    while frontier:
+        x = frontier.pop()
+        for child in children.get(x, ()):
+            if child not in reached:
+                reached.add(child)
+                frontier.append(child)
+    assert reached == nodes

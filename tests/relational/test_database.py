@@ -1,0 +1,133 @@
+"""In-memory store: inserts, integrity, lookups, indexes."""
+
+import pytest
+
+from repro.errors import IntegrityError, UnknownColumnError
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        tables=(
+            Table("author", ("id", "name"), text_columns=("name",)),
+            Table("paper", ("id", "title", "author_id")),
+        ),
+        foreign_keys=(ForeignKey("paper", "author_id", "author"),),
+    )
+
+
+@pytest.fixture
+def db(schema) -> Database:
+    return Database(schema)
+
+
+class TestInsert:
+    def test_roundtrip(self, db):
+        pk = db.insert("author", {"id": 1, "name": "Gray"})
+        assert pk == 1
+        assert db.get("author", 1)["name"] == "Gray"
+        assert db.count("author") == 1
+
+    def test_missing_column_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("author", {"id": 1})
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.insert("author", {"id": 1, "name": "x", "age": 7})
+
+    def test_duplicate_pk_rejected(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        with pytest.raises(IntegrityError):
+            db.insert("author", {"id": 1, "name": "b"})
+
+    def test_fk_enforced(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("paper", {"id": 1, "title": "t", "author_id": 42})
+
+    def test_null_fk_allowed(self, db):
+        db.insert("paper", {"id": 1, "title": "t", "author_id": None})
+        assert db.count("paper") == 1
+
+    def test_fk_enforcement_can_be_disabled(self, schema):
+        db = Database(schema, enforce_fk=False)
+        db.insert("paper", {"id": 1, "title": "t", "author_id": 42})
+        assert db.count("paper") == 1
+
+    def test_row_copied_on_insert(self, db):
+        row = {"id": 1, "name": "a"}
+        db.insert("author", row)
+        row["name"] = "mutated"
+        assert db.get("author", 1)["name"] == "a"
+
+    def test_insert_many(self, db):
+        pks = db.insert_many(
+            "author", [{"id": i, "name": f"a{i}"} for i in range(3)]
+        )
+        assert pks == [0, 1, 2]
+
+
+class TestReads:
+    def test_rows_in_insertion_order(self, db):
+        for i in (3, 1, 2):
+            db.insert("author", {"id": i, "name": f"a{i}"})
+        assert [r["id"] for r in db.rows("author")] == [3, 1, 2]
+
+    def test_missing_row_raises(self, db):
+        with pytest.raises(KeyError):
+            db.get("author", 99)
+
+    def test_has(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        assert db.has("author", 1)
+        assert not db.has("author", 2)
+
+    def test_select_predicate(self, db):
+        db.insert_many(
+            "author", [{"id": i, "name": "x" if i % 2 else "y"} for i in range(4)]
+        )
+        assert len(list(db.select("author", lambda r: r["name"] == "x"))) == 2
+
+    def test_total_rows(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        db.insert("paper", {"id": 1, "title": "t", "author_id": 1})
+        assert db.total_rows() == 2
+
+
+class TestIndexes:
+    def test_lookup_via_index(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        db.insert_many(
+            "paper",
+            [{"id": i, "title": "t", "author_id": 1} for i in range(3)],
+        )
+        db.build_index("paper", "author_id")
+        assert len(db.lookup("paper", "author_id", 1)) == 3
+        assert db.lookup("paper", "author_id", 9) == []
+
+    def test_lookup_without_index_scans(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        db.insert("paper", {"id": 1, "title": "t", "author_id": 1})
+        assert len(db.lookup("paper", "author_id", 1)) == 1
+
+    def test_index_maintained_on_insert(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        db.build_index("paper", "author_id")
+        db.insert("paper", {"id": 1, "title": "t", "author_id": 1})
+        assert len(db.lookup("paper", "author_id", 1)) == 1
+
+    def test_build_index_idempotent(self, db):
+        db.insert("author", {"id": 1, "name": "a"})
+        first = db.build_index("author", "name")
+        assert db.build_index("author", "name") is first
+
+    def test_build_join_indexes(self, db):
+        db.build_join_indexes()
+        assert db.index("paper", "author_id") is not None
+        assert db.index("author", "id") is not None
+
+    def test_unknown_column_index_rejected(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.build_index("author", "nope")

@@ -1,0 +1,82 @@
+"""Join primitives: follow_fk, follow_fk_reverse, join_step."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.query import follow_fk, follow_fk_reverse, join_step
+from repro.relational.schema import ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = Schema(
+        tables=(
+            Table("author", ("id", "name")),
+            Table("paper", ("id", "author_id")),
+        ),
+        foreign_keys=(ForeignKey("paper", "author_id", "author"),),
+    )
+    db = Database(schema)
+    db.insert("author", {"id": 1, "name": "gray"})
+    db.insert("author", {"id": 2, "name": "codd"})
+    db.insert_many(
+        "paper",
+        [
+            {"id": 10, "author_id": 1},
+            {"id": 11, "author_id": 1},
+            {"id": 12, "author_id": None},
+        ],
+    )
+    return db
+
+
+def fk_of(db) -> ForeignKey:
+    return db.schema.foreign_keys[0]
+
+
+class TestFollowFk:
+    def test_forward(self, db):
+        paper = db.get("paper", 10)
+        rows = list(follow_fk(db, paper, fk_of(db)))
+        assert [r["id"] for r in rows] == [1]
+
+    def test_null_reference_yields_nothing(self, db):
+        paper = db.get("paper", 12)
+        assert list(follow_fk(db, paper, fk_of(db))) == []
+
+    def test_reverse(self, db):
+        author = db.get("author", 1)
+        rows = list(follow_fk_reverse(db, author, fk_of(db)))
+        assert sorted(r["id"] for r in rows) == [10, 11]
+
+    def test_reverse_uses_index_when_present(self, db):
+        db.build_index("paper", "author_id")
+        author = db.get("author", 2)
+        assert list(follow_fk_reverse(db, author, fk_of(db))) == []
+
+
+class TestJoinStep:
+    def test_from_source_table(self, db):
+        paper = db.get("paper", 10)
+        rows = list(join_step(db, paper, "paper", fk_of(db)))
+        assert [r["id"] for r in rows] == [1]
+
+    def test_from_target_table(self, db):
+        author = db.get("author", 1)
+        rows = list(join_step(db, author, "author", fk_of(db)))
+        assert sorted(r["id"] for r in rows) == [10, 11]
+
+    def test_unrelated_table_rejected(self, db):
+        author = db.get("author", 1)
+        with pytest.raises(ValueError):
+            list(join_step(db, author, "conference", fk_of(db)))
+
+    def test_self_referencing_fk_rejected(self):
+        schema = Schema(
+            tables=(Table("emp", ("id", "boss_id")),),
+            foreign_keys=(ForeignKey("emp", "boss_id", "emp"),),
+        )
+        db = Database(schema, enforce_fk=False)
+        db.insert("emp", {"id": 1, "boss_id": 1})
+        with pytest.raises(ValueError):
+            list(join_step(db, db.get("emp", 1), "emp", schema.foreign_keys[0]))

@@ -1,0 +1,184 @@
+"""Candidate-network enumeration over the schema graph."""
+
+import pytest
+
+from repro.relational.schema import ForeignKey, Schema, Table
+from repro.sparse.candidate_networks import (
+    CandidateNetwork,
+    CNNode,
+    enumerate_candidate_networks,
+)
+
+SIMPLE = Schema(
+    tables=(
+        Table("author", ("id", "name"), text_columns=("name",)),
+        Table("paper", ("id", "title"), text_columns=("title",)),
+        Table("writes", ("id", "author_id", "paper_id")),
+    ),
+    foreign_keys=(
+        ForeignKey("writes", "author_id", "author"),
+        ForeignKey("writes", "paper_id", "paper"),
+    ),
+)
+
+
+class TestValidity:
+    def test_single_node_total_cn(self):
+        cn = CandidateNetwork(nodes=(CNNode("paper", frozenset({"x"})),), edges=())
+        assert cn.is_valid(["x"])
+        assert not cn.is_valid(["x", "y"])
+
+    def test_free_leaf_invalid(self):
+        fk = SIMPLE.foreign_keys[0]
+        cn = CandidateNetwork(
+            nodes=(CNNode("writes", frozenset({"x"})), CNNode("author", frozenset())),
+            edges=((0, 1, fk),),
+        )
+        assert cn.is_total(["x"])
+        assert not cn.is_minimal(["x"])
+
+    def test_redundant_leaf_invalid(self):
+        fk_a, fk_p = SIMPLE.foreign_keys
+        cn = CandidateNetwork(
+            nodes=(
+                CNNode("author", frozenset({"x"})),
+                CNNode("writes", frozenset()),
+                CNNode("paper", frozenset({"x"})),
+            ),
+            edges=((1, 0, fk_a), (1, 2, fk_p)),
+        )
+        # Either keyword leaf could be dropped: not minimal.
+        assert not cn.is_minimal(["x"])
+
+    def test_classic_author_paper_cn_valid(self):
+        fk_a, fk_p = SIMPLE.foreign_keys
+        cn = CandidateNetwork(
+            nodes=(
+                CNNode("author", frozenset({"gray"})),
+                CNNode("writes", frozenset()),
+                CNNode("paper", frozenset({"transaction"})),
+            ),
+            edges=((1, 0, fk_a), (1, 2, fk_p)),
+        )
+        assert cn.is_valid(["gray", "transaction"])
+
+
+class TestCanonicalForm:
+    def test_isomorphic_trees_share_form(self):
+        fk_a, fk_p = SIMPLE.foreign_keys
+        a = CandidateNetwork(
+            nodes=(
+                CNNode("author", frozenset({"x"})),
+                CNNode("writes", frozenset()),
+                CNNode("paper", frozenset({"y"})),
+            ),
+            edges=((1, 0, fk_a), (1, 2, fk_p)),
+        )
+        b = CandidateNetwork(
+            nodes=(
+                CNNode("paper", frozenset({"y"})),
+                CNNode("writes", frozenset()),
+                CNNode("author", frozenset({"x"})),
+            ),
+            edges=((1, 2, fk_a), (1, 0, fk_p)),
+        )
+        assert a.canonical_form() == b.canonical_form()
+
+    def test_different_keywords_differ(self):
+        a = CandidateNetwork(nodes=(CNNode("paper", frozenset({"x"})),), edges=())
+        b = CandidateNetwork(nodes=(CNNode("paper", frozenset({"y"})),), edges=())
+        assert a.canonical_form() != b.canonical_form()
+
+
+class TestEnumeration:
+    def test_two_keyword_author_paper(self):
+        cns = enumerate_candidate_networks(SIMPLE, ["gray", "transaction"], 3)
+        forms = {cn.canonical_form() for cn in cns}
+        assert len(forms) == len(cns)  # deduplicated
+        # The classic author^{gray} - writes - paper^{transaction} CN
+        # must be present (in both keyword arrangements).
+        author_paper = [
+            cn
+            for cn in cns
+            if cn.size == 3
+            and {node.table for node in cn.nodes} == {"author", "writes", "paper"}
+        ]
+        assert author_paper
+
+    def test_all_results_valid_and_within_size(self):
+        cns = enumerate_candidate_networks(SIMPLE, ["x", "y"], 4)
+        for cn in cns:
+            assert cn.size <= 4
+            assert cn.is_valid(["x", "y"])
+
+    def test_single_keyword_single_node_cns(self):
+        cns = enumerate_candidate_networks(SIMPLE, ["x"], 1)
+        assert {cn.nodes[0].table for cn in cns} == {"author", "paper", "writes"}
+        assert all(cn.size == 1 for cn in cns)
+
+    def test_empty_tuple_sets_pruned(self):
+        def has_tuples(table, subset):
+            return table == "paper"  # only papers match anything
+
+        cns = enumerate_candidate_networks(
+            SIMPLE, ["x"], 3, has_tuples=has_tuples
+        )
+        assert cns
+        for cn in cns:
+            for node in cn.nodes:
+                if not node.is_free:
+                    assert node.table == "paper"
+
+    def test_max_networks_cap(self):
+        cns = enumerate_candidate_networks(SIMPLE, ["x", "y"], 5, max_networks=3)
+        assert len(cns) <= 3
+
+    def test_max_partials_cap_stops_early(self):
+        few = enumerate_candidate_networks(SIMPLE, ["x", "y"], 6, max_partials=50)
+        full = enumerate_candidate_networks(SIMPLE, ["x", "y"], 6)
+        assert len(few) <= len(full)
+
+    def test_size_grows_cn_count_monotonically(self):
+        sizes = [
+            len(enumerate_candidate_networks(SIMPLE, ["x", "y"], s))
+            for s in (1, 2, 3, 4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_candidate_networks(SIMPLE, ["x"], 0)
+
+    def test_redundant_internal_node_cn_found(self):
+        """A valid CN may contain a non-free node contributing no new
+        keyword (see module docstring of candidate_networks)."""
+        schema = Schema(
+            tables=(
+                Table("a", ("id", "t"), text_columns=("t",)),
+                Table("n", ("id", "t", "a_id"), text_columns=("t",)),
+                Table("b", ("id", "t", "n_id"), text_columns=("t",)),
+            ),
+            foreign_keys=(
+                ForeignKey("n", "a_id", "a"),
+                ForeignKey("b", "n_id", "n"),
+            ),
+        )
+        cns = enumerate_candidate_networks(schema, ["x", "y", "z"], 3)
+        target = [
+            cn
+            for cn in cns
+            if cn.size == 3
+            and any(
+                node.table == "n" and node.keywords == frozenset({"y"})
+                for node in cn.nodes
+            )
+            and any(
+                node.table == "b" and node.keywords == frozenset({"y", "z"})
+                for node in cn.nodes
+            )
+            and any(
+                node.table == "a" and node.keywords == frozenset({"x"})
+                for node in cn.nodes
+            )
+        ]
+        assert target, "a^{x} - n^{y} - b^{y,z} must be enumerated"

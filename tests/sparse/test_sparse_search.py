@@ -1,0 +1,67 @@
+"""SparseSearch facade."""
+
+import pytest
+
+from repro.errors import EmptyQueryError
+from repro.sparse.sparse_search import SparseSearch
+
+
+class TestSearch:
+    def test_finds_author_paper_connection(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=3)
+        out = sparse.search("gray transaction")
+        assert out.keywords == ("gray", "transaction")
+        assert out.num_networks > 0
+        row_sets = out.result_row_sets()
+        assert frozenset({("author", 1), ("writes", 1), ("paper", 1)}) in row_sets
+
+    def test_results_sorted_by_score(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=4)
+        out = sparse.search("transaction vldb", k=None)
+        scores = [tree.score() for tree in out.results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=4)
+        out = sparse.search("transaction", k=2)
+        assert len(out.results) <= 2
+
+    def test_per_network_limit(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=3)
+        capped = sparse.search("transaction", k=None, per_network_limit=1)
+        full = sparse.search("transaction", k=None)
+        assert len(capped.results) <= len(full.results)
+
+    def test_timing_recorded(self, toy_db):
+        sparse = SparseSearch(toy_db)
+        out = sparse.search("gray transaction")
+        assert out.enumerate_seconds >= 0.0
+        assert out.execute_seconds >= 0.0
+        assert out.elapsed == pytest.approx(
+            out.enumerate_seconds + out.execute_seconds
+        )
+
+    def test_lower_bound_time_uses_relevant_size(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=6)
+        small = sparse.lower_bound_time("gray transaction", relevant_size=2)
+        large = sparse.lower_bound_time("gray transaction", relevant_size=4)
+        assert small.num_networks <= large.num_networks
+
+    def test_validation(self, toy_db):
+        with pytest.raises(ValueError):
+            SparseSearch(toy_db, max_cn_size=0)
+        sparse = SparseSearch(toy_db)
+        with pytest.raises(EmptyQueryError):
+            sparse.search("   ")
+
+    def test_agreement_with_graph_search(self, toy_db, toy_engine):
+        """The Sparse result tuples appear among the graph answers'
+        node sets (same connection found through both stacks)."""
+        sparse = SparseSearch(toy_db, max_cn_size=3)
+        sparse_out = sparse.search("gray transaction", k=None)
+        graph_out = toy_engine.search("gray transaction", k=10)
+        sparse_node_sets = {
+            tree.graph_nodes(toy_engine.graph) for tree in sparse_out.results
+        }
+        graph_node_sets = set(graph_out.node_sets())
+        assert sparse_node_sets & graph_node_sets

@@ -1,0 +1,50 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_lookup_errors_are_catchable_generically(self):
+        # Library KeyError/ValueError subclasses keep stdlib semantics.
+        assert issubclass(errors.UnknownNodeError, KeyError)
+        assert issubclass(errors.UnknownTableError, KeyError)
+        assert issubclass(errors.UnknownColumnError, KeyError)
+        assert issubclass(errors.EmptyQueryError, ValueError)
+        assert issubclass(errors.KeywordNotFoundError, LookupError)
+
+    def test_keyword_not_found_carries_keyword(self):
+        exc = errors.KeywordNotFoundError("warphog")
+        assert exc.keyword == "warphog"
+        assert "warphog" in str(exc)
+
+    def test_integrity_is_schema_error(self):
+        assert issubclass(errors.IntegrityError, errors.SchemaError)
+
+    def test_frozen_is_graph_error(self):
+        assert issubclass(errors.GraphFrozenError, errors.GraphError)
+
+
+class TestPublicSurface:
+    def test_package_reexports(self):
+        import repro
+
+        assert repro.ReproError is errors.ReproError
+        assert repro.KeywordNotFoundError is errors.KeywordNotFoundError
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,74 @@
+"""Tie-invariant relevance matching (connection_key / coverage)."""
+
+import pytest
+
+from repro.workload.metrics import (
+    connection_key,
+    connection_recall,
+    coverage_curve,
+    precision_at_full_coverage,
+)
+
+from tests.core.test_answer import make_tree
+
+
+class TestConnectionKey:
+    def test_same_root_same_dists_match(self):
+        a = make_tree(0, [(0, 1), (0, 2)], dists=(1.0, 2.0))
+        b = make_tree(0, [(0, 3), (0, 4)], dists=(2.0, 1.0))  # tie variant
+        assert connection_key(a) == connection_key(b)
+
+    def test_different_root_differs(self):
+        a = make_tree(0, [(0, 1)], dists=(1.0,))
+        b = make_tree(5, [(5, 1)], dists=(1.0,))
+        assert connection_key(a) != connection_key(b)
+
+    def test_different_dists_differ(self):
+        a = make_tree(0, [(0, 1)], dists=(1.0,))
+        b = make_tree(0, [(0, 1)], dists=(2.0,))
+        assert connection_key(a) != connection_key(b)
+
+
+class TestConnectionRecall:
+    def test_exact_match_counts(self):
+        t = make_tree(0, [(0, 1), (0, 2)])
+        assert connection_recall([t], [t]) == 1.0
+
+    def test_tie_variant_counts(self):
+        relevant = make_tree(0, [(0, 1), (0, 2)], dists=(1.0, 1.0))
+        variant = make_tree(0, [(0, 3), (0, 4)], dists=(1.0, 1.0))
+        assert connection_recall([variant], [relevant]) == 1.0
+
+    def test_miss_counts_zero(self):
+        relevant = make_tree(0, [(0, 1)], dists=(1.0,))
+        other = make_tree(9, [(9, 8)], dists=(3.0,))
+        assert connection_recall([other], [relevant]) == 0.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            connection_recall([], [])
+
+
+class TestCoverageCurve:
+    def test_perfect_prefix(self):
+        relevant = [
+            make_tree(0, [(0, 1), (0, 2)]),
+            make_tree(5, [(5, 6), (5, 7)]),
+        ]
+        curve = coverage_curve(relevant, relevant)
+        assert curve[-1] == (1.0, 1.0)
+        assert precision_at_full_coverage(relevant, relevant) == 1.0
+
+    def test_irrelevant_interleaved(self):
+        relevant = [make_tree(0, [(0, 1), (0, 2)])]
+        noise = make_tree(9, [(9, 8), (9, 7)])
+        output = [noise, relevant[0]]
+        curve = coverage_curve(output, relevant)
+        assert curve[0] == (0.0, 0.0)
+        assert curve[1] == (1.0, 0.5)
+        assert precision_at_full_coverage(output, relevant) == 0.5
+
+    def test_never_full_coverage(self):
+        relevant = [make_tree(0, [(0, 1)], dists=(1.0,))]
+        output = [make_tree(9, [(9, 8)], dists=(2.0,))]
+        assert precision_at_full_coverage(output, relevant) is None

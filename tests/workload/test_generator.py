@@ -1,0 +1,130 @@
+"""Workload generator: planted trees, band targeting, origin classes."""
+
+import random
+
+import pytest
+
+from repro.workload.bands import OriginBands
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.relevance import relevant_answers
+
+
+@pytest.fixture(scope="module")
+def generator(dblp_small_db, dblp_small_engine):
+    return WorkloadGenerator(
+        dblp_small_db, dblp_small_engine.graph, dblp_small_engine.index
+    )
+
+
+class TestNodeTerms:
+    def test_text_node_has_terms(self, generator, dblp_small_engine):
+        node = dblp_small_engine.graph.node_by_ref("author", 1)
+        terms = generator.node_terms(node)
+        assert terms
+        assert all(term == term.lower() for term in terms)
+
+    def test_link_node_has_no_terms(self, generator, dblp_small_engine):
+        node = dblp_small_engine.graph.node_by_ref("writes", 1)
+        assert generator.node_terms(node) == ()
+
+    def test_cached(self, generator, dblp_small_engine):
+        node = dblp_small_engine.graph.node_by_ref("author", 2)
+        assert generator.node_terms(node) is generator.node_terms(node)
+
+
+class TestSampleQuery:
+    def test_planted_tree_yields_answer(self, generator, dblp_small_engine):
+        rng = random.Random(5)
+        query = generator.sample_query(rng, n_keywords=2, result_size=4)
+        assert query is not None
+        assert len(query.planted_nodes) == 4
+        # The planted tree guarantees relevant answers exist.
+        _, keyword_sets = dblp_small_engine.resolve(list(query.keywords))
+        relevant = relevant_answers(
+            dblp_small_engine.graph,
+            keyword_sets,
+            max_tree_size=8,
+            scorer=dblp_small_engine.scorer,
+        )
+        assert relevant
+
+    def test_origin_sizes_match_index(self, generator, dblp_small_engine):
+        rng = random.Random(6)
+        query = generator.sample_query(rng, n_keywords=3, result_size=4)
+        assert query is not None
+        for keyword, size in zip(query.keywords, query.origin_sizes):
+            assert dblp_small_engine.index.frequency(keyword) == size
+
+    def test_distinct_keywords(self, generator):
+        rng = random.Random(7)
+        for _ in range(5):
+            query = generator.sample_query(rng, n_keywords=4, result_size=5)
+            assert query is not None
+            assert len(set(query.keywords)) == 4
+
+    def test_band_combo_respected(self, generator):
+        rng = random.Random(8)
+        query = generator.sample_query(
+            rng, n_keywords=2, result_size=3, band_combo=("T", "L")
+        )
+        assert query is not None
+        assert sorted(query.bands) == ["L", "T"]
+
+    def test_small_origin_class(self, generator):
+        rng = random.Random(9)
+        query = generator.sample_query(
+            rng, n_keywords=2, result_size=4, origin_class="small"
+        )
+        assert query is not None
+        assert generator.bands.is_small_origin(query.min_origin)
+        assert not generator.bands.is_large_origin(query.max_origin)
+
+    def test_large_origin_class(self, generator):
+        rng = random.Random(10)
+        query = generator.sample_query(
+            rng, n_keywords=2, result_size=4, origin_class="large"
+        )
+        assert query is not None
+        assert generator.bands.is_large_origin(query.max_origin)
+
+    def test_band_combo_order_normalized(self, generator):
+        rng = random.Random(11)
+        query = generator.sample_query(
+            rng, n_keywords=2, result_size=3, band_combo=("L", "T")
+        )
+        assert query is not None
+        assert query.band_combo() == ("T", "L")
+
+    def test_impossible_combo_returns_none(self, generator):
+        rng = random.Random(12)
+        # Four distinct Large keywords inside a 2-node tree: impossible
+        # on this small dataset.
+        query = generator.sample_query(
+            rng,
+            n_keywords=4,
+            result_size=2,
+            band_combo=("L", "L", "L", "L"),
+            max_attempts=50,
+        )
+        assert query is None
+
+    def test_validation(self, generator):
+        rng = random.Random(13)
+        with pytest.raises(ValueError):
+            generator.sample_query(rng, n_keywords=0, result_size=3)
+        with pytest.raises(ValueError):
+            generator.sample_query(rng, n_keywords=2, result_size=3, origin_class="x")
+        with pytest.raises(ValueError):
+            generator.sample_query(
+                rng, n_keywords=2, result_size=3, band_combo=("T",)
+            )
+
+    def test_custom_bands(self, dblp_small_db, dblp_small_engine):
+        bands = OriginBands(tiny=(1, 2), small=(3, 4), medium=(5, 8), large=(9, float("inf")))
+        generator = WorkloadGenerator(
+            dblp_small_db,
+            dblp_small_engine.graph,
+            dblp_small_engine.index,
+            bands=bands,
+        )
+        assert generator.bands is bands

@@ -1,0 +1,102 @@
+"""Workload metrics: measurement points, recall/precision."""
+
+import pytest
+
+from repro.core.answer import OutputAnswer, SearchResult
+from repro.core.stats import SearchStats
+from repro.workload.metrics import (
+    measure_at_last_relevant,
+    precision_at_full_recall,
+    recall,
+    recall_precision_curve,
+)
+
+from tests.core.test_answer import make_tree
+
+
+def result_with(trees):
+    stats = SearchStats()
+    stats.nodes_explored = 100
+    stats.nodes_touched = 200
+    stats.finish()
+    answers = [
+        OutputAnswer(
+            tree=tree,
+            generated_at=float(i),
+            generated_pops=10 * (i + 1),
+            output_at=float(i) + 0.5,
+            output_pops=20 * (i + 1),
+            generated_touched=30 * (i + 1),
+            output_touched=40 * (i + 1),
+        )
+        for i, tree in enumerate(trees)
+    ]
+    return SearchResult(algorithm="x", keywords=("k",), answers=answers, stats=stats)
+
+
+def trees(n):
+    return [make_tree(0, [(0, i + 1), (0, n + i + 1)], score=1.0 - i * 0.1) for i in range(n)]
+
+
+class TestMeasureAtLastRelevant:
+    def test_last_relevant_selected(self):
+        ts = trees(3)
+        result = result_with(ts)
+        relevant = {ts[0].signature(), ts[2].signature()}
+        point = measure_at_last_relevant(result, relevant)
+        assert point.rank == 3
+        assert point.relevant_found == 2
+        assert point.out_pops == 60
+        assert point.gen_pops == 30
+        assert point.out_touched == 120
+        assert point.total_pops == 100
+
+    def test_nth_caps_measurement(self):
+        ts = trees(5)
+        result = result_with(ts)
+        relevant = {t.signature() for t in ts}
+        point = measure_at_last_relevant(result, relevant, nth=2)
+        assert point.rank == 2
+
+    def test_no_relevant_returns_none(self):
+        ts = trees(2)
+        result = result_with(ts)
+        other = make_tree(9, [(9, 10), (9, 11)])
+        assert measure_at_last_relevant(result, {other.signature()}) is None
+
+
+class TestRecallPrecision:
+    def test_perfect_ranking(self):
+        ts = trees(3)
+        relevant = {t.signature() for t in ts}
+        curve = recall_precision_curve([t.signature() for t in ts], relevant)
+        assert curve[-1] == (1.0, 1.0)
+        assert precision_at_full_recall([t.signature() for t in ts], relevant) == 1.0
+
+    def test_interleaved_irrelevant(self):
+        ts = trees(4)
+        relevant = {ts[0].signature(), ts[2].signature()}
+        order = [t.signature() for t in ts]
+        curve = recall_precision_curve(order, relevant)
+        assert curve[0] == (0.5, 1.0)
+        assert curve[2] == (1.0, pytest.approx(2 / 3))
+        assert precision_at_full_recall(order, relevant) == pytest.approx(2 / 3)
+
+    def test_full_recall_never_reached(self):
+        ts = trees(2)
+        missing = make_tree(9, [(9, 10), (9, 11)])
+        relevant = {ts[0].signature(), missing.signature()}
+        order = [t.signature() for t in ts]
+        assert precision_at_full_recall(order, relevant) is None
+        assert recall(order, relevant) == 0.5
+
+    def test_recall_ignores_duplicates(self):
+        ts = trees(1)
+        relevant = {ts[0].signature()}
+        assert recall([ts[0].signature()] * 3, relevant) == 1.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            recall([], set())
+        with pytest.raises(ValueError):
+            recall_precision_curve([], set())

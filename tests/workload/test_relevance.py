@@ -1,0 +1,38 @@
+"""Ground-truth relevant answers."""
+
+import pytest
+
+from repro.workload.relevance import relevant_answers, relevant_signatures
+
+from tests.helpers import build_graph
+
+
+class TestRelevantAnswers:
+    def test_size_filter(self):
+        # Two connections: direct (3 nodes) and longer (4 nodes).
+        g = build_graph(6, [(0, 1), (0, 2), (3, 1), (4, 3), (4, 5), (5, 2)])
+        sets = [frozenset({1}), frozenset({2})]
+        small = relevant_answers(g, sets, max_tree_size=3)
+        all_sizes = relevant_answers(g, sets, max_tree_size=10)
+        assert small
+        assert len(small) <= len(all_sizes)
+        assert all(tree.size() <= 3 for tree in small)
+
+    def test_sorted_best_first(self):
+        g = build_graph(5, [(0, 1), (0, 2), (3, 1), (3, 2), (3, 4)])
+        sets = [frozenset({1}), frozenset({2})]
+        answers = relevant_answers(g, sets, max_tree_size=5)
+        scores = [tree.score for tree in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_signatures_unique(self):
+        g = build_graph(4, [(0, 1), (0, 2), (3, 1), (3, 2)])
+        sets = [frozenset({1}), frozenset({2})]
+        signatures = relevant_signatures(g, sets, max_tree_size=4)
+        answers = relevant_answers(g, sets, max_tree_size=4)
+        assert len(signatures) == len(answers)
+
+    def test_invalid_size_rejected(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            relevant_answers(g, [frozenset({0})], max_tree_size=0)
