@@ -15,6 +15,10 @@ Public API highlights
     The candidate-network Sparse baseline (Hristidis et al.).
 :mod:`repro.datasets`
     Synthetic DBLP/IMDB/US-Patent-shaped databases.
+:mod:`repro.service`
+    Deployment layer: :class:`~repro.service.QueryService` engine
+    registry, LRU+TTL result cache, concurrent batch execution with
+    per-request deadlines, disk snapshots and exported metrics.
 :mod:`repro.experiments`
     Harness regenerating every table and figure of Section 5
     (``python -m repro.experiments --list``).
@@ -37,9 +41,13 @@ from repro.core import (
     parse_query,
 )
 from repro.errors import (
+    DeadlineExceededError,
     EmptyQueryError,
     KeywordNotFoundError,
     ReproError,
+    ServiceError,
+    SnapshotError,
+    UnknownDatasetError,
 )
 from repro.graph import (
     DataGraph,
@@ -51,6 +59,14 @@ from repro.graph import (
 from repro.index import InvertedIndex, build_index, tokenize
 from repro.relational import Database, ForeignKey, Schema, Table
 from repro.render import render_result, render_tree
+from repro.service import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ResultCache,
+    load_snapshot,
+    save_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -70,9 +86,13 @@ __all__ = [
     "SingleIteratorBackwardSearch",
     "exhaustive_answers",
     "parse_query",
+    "DeadlineExceededError",
     "EmptyQueryError",
     "KeywordNotFoundError",
     "ReproError",
+    "ServiceError",
+    "SnapshotError",
+    "UnknownDatasetError",
     "DataGraph",
     "SearchGraph",
     "build_data_graph",
@@ -87,4 +107,10 @@ __all__ = [
     "Table",
     "render_result",
     "render_tree",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ResultCache",
+    "load_snapshot",
+    "save_snapshot",
 ]

@@ -14,6 +14,8 @@ which matches nodes containing *all* of its words.
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
 from repro.core.answer import SearchResult
@@ -57,13 +59,27 @@ def parse_query(query: Union[str, Sequence[str]]) -> tuple[str, ...]:
 
 
 class KeywordSearchEngine:
-    """Search facade over a frozen graph and its keyword index."""
+    """Search facade over a frozen graph and its keyword index.
+
+    The graph and index never change after construction ("index is
+    frozen"), so the engine memoizes derived state freely: scorers per
+    ``lambda`` and resolved keyword sets per query string.  Both caches
+    are lock-protected — :meth:`search_many` and the service layer run
+    searches from many threads against one engine.
+    """
+
+    #: Bound on the resolve cache; far above any benchmark's distinct
+    #: query count, small enough to never matter for memory.
+    _RESOLVE_CACHE_SIZE = 4096
 
     def __init__(self, graph, index, *, params: Optional[SearchParams] = None) -> None:
         self.graph = graph
         self.index = index
         self.params = params if params is not None else SearchParams()
         self.scorer = Scorer(graph, self.params.lam)
+        self._cache_lock = threading.Lock()
+        self._scorers: dict[float, Scorer] = {self.params.lam: self.scorer}
+        self._resolve_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,8 +105,18 @@ class KeywordSearchEngine:
         A multi-word keyword matches the intersection of its words'
         postings.  Raises :class:`KeywordNotFoundError` for a keyword
         with no matches (AND semantics admit no answer then).
+
+        Resolutions are cached (LRU, successful lookups only): the index
+        is frozen, so a keyword's node set can never change and no
+        invalidation is needed — repeated queries skip index lookups
+        entirely.
         """
         keywords = parse_query(query)
+        with self._cache_lock:
+            hit = self._resolve_cache.get(keywords)
+            if hit is not None:
+                self._resolve_cache.move_to_end(keywords)
+                return keywords, list(hit)
         keyword_sets: list[frozenset[int]] = []
         for keyword in keywords:
             words = list(tokenize(keyword))
@@ -102,6 +128,11 @@ class KeywordSearchEngine:
             if not nodes:
                 raise KeywordNotFoundError(keyword)
             keyword_sets.append(frozenset(nodes))
+        with self._cache_lock:
+            self._resolve_cache[keywords] = tuple(keyword_sets)
+            self._resolve_cache.move_to_end(keywords)
+            while len(self._resolve_cache) > self._RESOLVE_CACHE_SIZE:
+                self._resolve_cache.popitem(last=False)
         return keywords, keyword_sets
 
     def origin_sizes(self, query: Union[str, Sequence[str]]) -> tuple[int, ...]:
@@ -143,15 +174,74 @@ class KeywordSearchEngine:
         if k is not None:
             run_params = run_params.with_(max_results=k)
         keywords, keyword_sets = self.resolve(query)
-        scorer = (
-            self.scorer
-            if run_params.lam == self.params.lam
-            else Scorer(self.graph, run_params.lam)
-        )
         search = search_cls(
-            self.graph, keywords, keyword_sets, params=run_params, scorer=scorer
+            self.graph,
+            keywords,
+            keyword_sets,
+            params=run_params,
+            scorer=self.scorer_for(run_params.lam),
         )
         return search.run()
+
+    def scorer_for(self, lam: float) -> Scorer:
+        """The memoized :class:`Scorer` for ``lam``.
+
+        Scorers are immutable once built (graph and ``max_prestige`` are
+        frozen), so one per distinct ``lambda`` serves every call — an
+        ablation sweeping ``lam`` no longer rebuilds a scorer per query.
+        """
+        with self._cache_lock:
+            scorer = self._scorers.get(lam)
+            if scorer is None:
+                scorer = self._scorers[lam] = Scorer(self.graph, lam)
+            return scorer
+
+    # ------------------------------------------------------------------
+    def search_many(
+        self,
+        queries: Sequence[Union[str, Sequence[str]]],
+        *,
+        algorithm: str = "bidirectional",
+        k: Optional[int] = None,
+        params: Optional[SearchParams] = None,
+        max_workers: int = 8,
+        timeout: Optional[float] = None,
+    ) -> list[SearchResult]:
+        """Run many queries through the service-layer batch executor.
+
+        A convenience wrapper building a throwaway single-engine
+        :class:`~repro.service.QueryService` (uncached, so semantics
+        match sequential :meth:`search` calls exactly) and fanning the
+        queries over its thread pool.  Results come back in query order;
+        any per-query failure (absent keyword, deadline) re-raises here,
+        matching :meth:`search`.  Long-lived callers wanting caching,
+        metrics and structured errors should hold a
+        :class:`~repro.service.QueryService` directly.
+        """
+        from repro.service.service import QueryRequest, QueryService
+
+        service = QueryService(max_workers=max_workers)
+        try:
+            service.register_engine("default", self)
+            responses = service.search_many(
+                [
+                    QueryRequest(
+                        dataset="default",
+                        query=query if isinstance(query, str) else tuple(query),
+                        algorithm=algorithm,
+                        k=k,
+                        params=params,
+                        timeout=timeout,
+                        use_cache=False,
+                    )
+                    for query in queries
+                ]
+            )
+        finally:
+            # Don't join deadline-abandoned searches: a timeout must
+            # bound the caller's wall clock, not just relabel the error.
+            service.close(wait=False)
+        return [response.raise_for_error().result for response in responses]
 
     # ------------------------------------------------------------------
     def constrained(self, policy) -> "KeywordSearchEngine":

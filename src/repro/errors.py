@@ -20,6 +20,10 @@ __all__ = [
     "QueryError",
     "EmptyQueryError",
     "KeywordNotFoundError",
+    "ServiceError",
+    "UnknownDatasetError",
+    "DeadlineExceededError",
+    "SnapshotError",
 ]
 
 
@@ -74,3 +78,29 @@ class KeywordNotFoundError(QueryError, LookupError):
     def __init__(self, keyword: str):
         super().__init__(f"keyword {keyword!r} matches no node in the index")
         self.keyword = keyword
+
+
+class ServiceError(ReproError):
+    """Base class for query-service layer problems."""
+
+
+class UnknownDatasetError(ServiceError, LookupError):
+    """Raised when a dataset name is not registered with the service.
+
+    ``LookupError`` rather than ``KeyError``: ``KeyError.__str__`` reprs
+    its argument, which would wrap the wire-facing ``QueryResponse.error``
+    string in spurious quotes (same reason ``KeywordNotFoundError`` is a
+    ``LookupError``).
+    """
+
+    def __init__(self, dataset: str):
+        super().__init__(f"dataset {dataset!r} is not registered")
+        self.dataset = dataset
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """Raised when a request misses its per-request deadline."""
+
+
+class SnapshotError(ServiceError):
+    """Raised on malformed, incompatible or unwritable snapshot files."""

@@ -86,6 +86,55 @@ class SearchGraph:
         )
         return g
 
+    @classmethod
+    def _from_adjacency(
+        cls,
+        *,
+        out: Sequence[Sequence[Edge]],
+        in_: Sequence[Sequence[Edge]],
+        labels: Sequence[str],
+        tables: Sequence[Optional[str]],
+        refs: Sequence[Optional[tuple[str, Hashable]]],
+        num_forward_edges: int,
+        prestige,
+        in_inv_weight_sum: Optional[Sequence[float]] = None,
+        out_inv_weight_sum: Optional[Sequence[float]] = None,
+    ) -> "SearchGraph":
+        """Rebuild a graph from pre-derived adjacency lists.
+
+        Snapshot loading (:mod:`repro.service.snapshot`) uses this to
+        restore a frozen graph without re-deriving backward edges.  Both
+        adjacency sides are taken verbatim — preserving the original edge
+        iteration order is what makes restored searches bit-identical.
+        The ``sum(1/w)`` activation normalizers are taken verbatim too
+        when given (snapshots store them); otherwise they are recomputed
+        in that same edge order.
+        """
+        n = len(out)
+        if len(in_) != n or len(labels) != n or len(tables) != n or len(refs) != n:
+            raise ValueError("adjacency and per-node metadata lengths disagree")
+        g = cls()
+        g._out = tuple(tuple(edges) for edges in out)
+        g._in = tuple(tuple(edges) for edges in in_)
+        g._labels = tuple(labels)
+        g._tables = tuple(tables)
+        g._refs = tuple(refs)
+        g._num_forward_edges = int(num_forward_edges)
+        g._prestige = cls._validate_prestige(prestige, n)
+        g._in_inv_weight_sum = (
+            tuple(in_inv_weight_sum)
+            if in_inv_weight_sum is not None
+            else tuple(sum(1.0 / w for _, w, _ in edges) for edges in g._in)
+        )
+        g._out_inv_weight_sum = (
+            tuple(out_inv_weight_sum)
+            if out_inv_weight_sum is not None
+            else tuple(sum(1.0 / w for _, w, _ in edges) for edges in g._out)
+        )
+        if len(g._in_inv_weight_sum) != n or len(g._out_inv_weight_sum) != n:
+            raise ValueError("inv-weight-sum lengths disagree with adjacency")
+        return g
+
     @staticmethod
     def _validate_prestige(prestige, n: int) -> np.ndarray:
         vec = np.asarray(prestige, dtype=np.float64)

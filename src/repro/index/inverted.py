@@ -45,6 +45,31 @@ class InvertedIndex:
         for term in tokenize(relation):
             self._relation_nodes.setdefault(term, set()).add(node)
 
+    @classmethod
+    def _from_postings(
+        cls,
+        postings: dict[str, Iterable[int]],
+        relation_nodes: dict[str, Iterable[int]],
+    ) -> "InvertedIndex":
+        """Rebuild an index from already-normalized posting maps.
+
+        Used by :mod:`repro.service.snapshot`; terms are stored verbatim
+        (no re-tokenization), so a round-tripped index answers lookups
+        identically to the one it was saved from.
+        """
+        index = cls()
+        index._postings = {term: set(nodes) for term, nodes in postings.items()}
+        index._relation_nodes = {
+            term: set(nodes) for term, nodes in relation_nodes.items()
+        }
+        return index
+
+    def _export_postings(
+        self,
+    ) -> tuple[dict[str, set[int]], dict[str, set[int]]]:
+        """The raw posting maps, for snapshot serialization."""
+        return self._postings, self._relation_nodes
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

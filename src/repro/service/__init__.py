@@ -1,0 +1,44 @@
+"""Query service layer (production north star, ROADMAP).
+
+A deployable tier above the single-engine library API:
+
+* :class:`QueryService` — engine registry + result cache + concurrent
+  batch executor + metrics, behind structured
+  :class:`QueryRequest` / :class:`QueryResponse` dataclasses.
+* :class:`~repro.service.cache.ResultCache` — thread-safe LRU + TTL
+  cache, reusable on its own.
+* :mod:`repro.service.snapshot` — versioned disk format for built
+  graph/prestige/index state, so restarts skip ``from_database``.
+* :class:`~repro.service.metrics.ServiceMetrics` — latency percentiles,
+  cache hit rate and error counters exported as a plain dict.
+
+See ``examples/service_quickstart.py`` for the end-to-end tour.
+"""
+
+from repro.service.cache import ResultCache, canonical_cache_key
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.service import QueryRequest, QueryResponse, QueryService
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    load_engine,
+    load_snapshot,
+    save_engine,
+    save_snapshot,
+    snapshot_info,
+)
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ResultCache",
+    "canonical_cache_key",
+    "ServiceMetrics",
+    "percentile",
+    "SNAPSHOT_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "save_engine",
+    "load_engine",
+    "snapshot_info",
+]

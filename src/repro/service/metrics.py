@@ -1,0 +1,121 @@
+"""Service-side observability: latency percentiles, hit rates, errors.
+
+The north-star deployment serves heavy traffic, so the service records
+what an operator would page on — per-algorithm latency distributions,
+cache effectiveness and error counts — and exports everything as one
+plain dict (:meth:`ServiceMetrics.export`) ready for JSON or a metrics
+agent, with no dependency on any particular telemetry stack.
+
+Latencies are kept in a bounded per-algorithm reservoir (most recent
+``window`` samples): a long-lived service must not grow memory with
+query count, and recent samples are the ones percentile alerts care
+about anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+#: Percentiles exported per algorithm.
+EXPORTED_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(samples: list[float], q: float) -> Optional[float]:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``samples``,
+    ``None`` on an empty list."""
+    if not samples:
+        return None
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    return float(np.percentile(samples, q))
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency reservoirs for one service."""
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self._window = window
+        self._lock = threading.Lock()
+        self._latencies: dict[str, deque] = {}
+        self._requests: Counter = Counter()
+        self._errors: Counter = Counter()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_request(
+        self, algorithm: str, seconds: float, *, cached: Optional[bool]
+    ) -> None:
+        """Record one completed request.
+
+        ``cached`` is True for a hit, False for a miss, None when the
+        request bypassed the cache (``use_cache=False``) — bypasses are
+        not cache lookups, so they leave the hit rate alone.  Cached
+        responses skip the latency reservoir: mixing ~microsecond cache
+        reads into the search distribution would make every percentile
+        meaningless.
+        """
+        with self._lock:
+            self._requests[algorithm] += 1
+            if cached is True:
+                self._cache_hits += 1
+                return
+            if cached is False:
+                self._cache_misses += 1
+            reservoir = self._latencies.get(algorithm)
+            if reservoir is None:
+                reservoir = self._latencies[algorithm] = deque(maxlen=self._window)
+            reservoir.append(float(seconds))
+
+    def record_error(self, algorithm: str, error_type: str) -> None:
+        with self._lock:
+            self._requests[algorithm] += 1
+            self._errors[error_type] += 1
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """Everything as one plain, JSON-serializable dict."""
+        with self._lock:
+            lookups = self._cache_hits + self._cache_misses
+            algorithms = {}
+            for algorithm in sorted(self._requests):
+                samples = list(self._latencies.get(algorithm, ()))
+                entry = {
+                    "requests": self._requests[algorithm],
+                    "latency_count": len(samples),
+                    "latency_mean": (
+                        sum(samples) / len(samples) if samples else None
+                    ),
+                }
+                for q in EXPORTED_PERCENTILES:
+                    entry[f"latency_p{q:g}"] = percentile(samples, q)
+                algorithms[algorithm] = entry
+            return {
+                "requests_total": sum(self._requests.values()),
+                "errors_total": sum(self._errors.values()),
+                "errors": dict(sorted(self._errors.items())),
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "cache_hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                "algorithms": algorithms,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._latencies.clear()
+            self._requests.clear()
+            self._errors.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0

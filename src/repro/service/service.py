@@ -1,0 +1,587 @@
+"""Query service: named engines, cached results, concurrent batches.
+
+The layer the ROADMAP's production north star needs above
+:class:`~repro.core.engine.KeywordSearchEngine`:
+
+* **Engine registry** — one engine per dataset name, registered eagerly
+  (:meth:`QueryService.register_engine`), lazily from a database
+  (:meth:`register_database`), or from a disk snapshot
+  (:meth:`register_snapshot`) so restarts skip graph/prestige/index
+  builds.  Lazy builds are per-dataset locked: under concurrent traffic
+  exactly one thread pays the construction cost.
+* **Result cache** — a shared :class:`~repro.service.cache.ResultCache`
+  (LRU + TTL) keyed on the canonicalized query identity; repeated
+  queries are answered in microseconds without touching the graph.
+* **Batch execution** — :meth:`search_many` fans requests over a
+  ``ThreadPoolExecutor`` and honours per-request deadlines.  Responses
+  never raise: errors (unknown dataset, absent keyword, deadline
+  exceeded) come back as structured :class:`QueryResponse` objects, the
+  contract an HTTP front-end can map onto status codes directly.
+* **Metrics** — :meth:`metrics` exports per-algorithm latency
+  percentiles, cache hit rate and error counters as a plain dict.
+
+Threads, not processes: search holds the GIL, so a batch's *CPU* time is
+not divided across cores — what batching buys is overlap of cache hits
+with in-flight searches, deduplication of identical queries through the
+cache, deadline enforcement, and a single shared warm engine.  A
+process-pool sharding tier is the ROADMAP follow-up.
+
+A deadline miss cannot interrupt the losing search (no cooperative
+cancellation points in the algorithms yet); the response returns
+immediately with ``error_type="DeadlineExceededError"`` while the worker
+thread finishes in the background and frees its slot.  Bound the damage
+with ``SearchParams.node_budget`` for adversarial workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.core.answer import SearchResult
+from repro.core.engine import ALGORITHMS, KeywordSearchEngine
+from repro.core.params import SearchParams
+from repro.errors import DeadlineExceededError, UnknownDatasetError
+from repro.service.cache import ResultCache, canonical_cache_key
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["QueryRequest", "QueryResponse", "QueryService"]
+
+_MISS = object()
+
+
+class _Once:
+    """A test-and-set token: exactly one of N racers wins the claim.
+
+    Settles who records a deadline-missed request's metrics — the
+    deadline watcher or the still-running worker — without the window a
+    bare ``Event`` check-then-act leaves open.
+    """
+
+    __slots__ = ("_lock", "_claimed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claimed = False
+
+    def claim(self) -> bool:
+        with self._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One keyword query addressed to a registered dataset.
+
+    Attributes
+    ----------
+    dataset:
+        Registry name the query runs against.
+    query:
+        Query string or keyword sequence (sequences are normalized to
+        tuples so requests stay hashable).
+    algorithm:
+        ``"bidirectional"`` (default), ``"si-backward"`` or
+        ``"mi-backward"``.
+    k:
+        Top-k override; folded into the effective params before caching
+        so ``k=10`` via either spelling shares a cache entry.
+    params:
+        Full :class:`SearchParams` override (defaults to the engine's).
+    timeout:
+        Per-request deadline in seconds, measured from when the request
+        is handed to the executor.
+    use_cache:
+        Set False to force a fresh search (the result still refreshes
+        the cache for later callers).
+    """
+
+    dataset: str
+    query: Union[str, tuple[str, ...]]
+    algorithm: str = "bidirectional"
+    k: Optional[int] = None
+    params: Optional[SearchParams] = None
+    timeout: Optional[float] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, (str, tuple)):
+            object.__setattr__(self, "query", tuple(self.query))
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{sorted(ALGORITHMS)}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+
+
+@dataclass
+class QueryResponse:
+    """Outcome of one request: a result or a structured error, never both.
+
+    ``request`` is None only when the raw batch item was too malformed
+    to build a :class:`QueryRequest` at all (unknown algorithm, wrong
+    shape) — the error fields then carry the construction failure.
+    """
+
+    request: Optional[QueryRequest]
+    result: Optional[SearchResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    cached: bool = False
+    elapsed: float = 0.0
+    #: The original exception object, for in-process callers that want
+    #: exception semantics back (``error``/``error_type`` carry the
+    #: wire-friendly view; a deadline miss has no exception object).
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_for_error(self) -> "QueryResponse":
+        """Re-raise the recorded error (for callers preferring exceptions)."""
+        if self.exception is not None:
+            raise self.exception
+        if self.error is not None:
+            described = (
+                f"query {self.request.query!r} on {self.request.dataset!r}"
+                if self.request is not None
+                else "malformed request"
+            )
+            message = f"{described} failed: [{self.error_type}] {self.error}"
+            if self.error_type == DeadlineExceededError.__name__:
+                raise DeadlineExceededError(message)
+            raise RuntimeError(message)
+        return self
+
+
+class QueryService:
+    """Facade owning engines, cache, executor and metrics.
+
+    Usable as a context manager; :meth:`close` shuts the executor down.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: int = 1024,
+        cache_ttl: Optional[float] = None,
+        max_workers: int = 8,
+        metrics_window: int = 2048,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        self.cache = ResultCache(cache_capacity, cache_ttl, clock=clock)
+        self._metrics = ServiceMetrics(metrics_window)
+        self._max_workers = max_workers
+        self._engines: dict[str, KeywordSearchEngine] = {}
+        self._factories: dict[str, Callable[[], KeywordSearchEngine]] = {}
+        self._build_seconds: dict[str, float] = {}
+        self._registry_lock = threading.Lock()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register_engine(self, name: str, engine: KeywordSearchEngine) -> None:
+        """Register an already-built engine under ``name``.
+
+        Re-registering an existing name replaces its engine and purges
+        the dataset's cached results — the old engine's answers must not
+        outlive it.
+        """
+        with self._registry_lock:
+            replacing = name in self._engines or name in self._factories
+            self._engines[name] = engine
+            self._factories.pop(name, None)
+            self._build_seconds.setdefault(name, 0.0)
+        if replacing:
+            self.cache.purge(lambda key: key[0] == name)
+
+    def register_factory(
+        self, name: str, factory: Callable[[], KeywordSearchEngine]
+    ) -> None:
+        """Register a lazy engine builder; it runs (once) on first use.
+
+        Like :meth:`register_engine`, replacing an existing name purges
+        that dataset's cached results.
+        """
+        with self._registry_lock:
+            replacing = name in self._engines or name in self._factories
+            self._factories[name] = factory
+            self._engines.pop(name, None)
+            self._build_locks.setdefault(name, threading.Lock())
+        if replacing:
+            self.cache.purge(lambda key: key[0] == name)
+
+    def register_database(
+        self,
+        name: str,
+        db,
+        *,
+        params: Optional[SearchParams] = None,
+        compute_prestige: bool = True,
+    ) -> None:
+        """Register a database to be built into an engine on first use."""
+        self.register_factory(
+            name,
+            lambda: KeywordSearchEngine.from_database(
+                db, params=params, compute_prestige=compute_prestige
+            ),
+        )
+
+    def register_snapshot(
+        self, name: str, path, *, params: Optional[SearchParams] = None
+    ) -> None:
+        """Register a disk snapshot; loading replaces ``from_database``."""
+        from repro.service.snapshot import load_engine
+
+        self.register_factory(name, lambda: load_engine(path, params=params))
+
+    def save_snapshot(self, name: str, path):
+        """Write dataset ``name``'s built state to ``path`` (building it
+        first if still lazy); returns the path written."""
+        from repro.service.snapshot import save_engine
+
+        return save_engine(path, self.engine(name))
+
+    def datasets(self) -> list[str]:
+        """Registered dataset names (built or lazy), sorted."""
+        with self._registry_lock:
+            return sorted(self._engines.keys() | self._factories.keys())
+
+    def engine(self, name: str) -> KeywordSearchEngine:
+        """The engine for ``name``, building/loading it on first use."""
+        with self._registry_lock:
+            engine = self._engines.get(name)
+            if engine is not None:
+                return engine
+            factory = self._factories.get(name)
+            if factory is None:
+                raise UnknownDatasetError(name)
+            build_lock = self._build_locks.setdefault(name, threading.Lock())
+        with build_lock:
+            # Double-checked: a concurrent builder may have finished.
+            with self._registry_lock:
+                engine = self._engines.get(name)
+                if engine is not None:
+                    return engine
+            start = time.perf_counter()
+            engine = factory()
+            elapsed = time.perf_counter() - start
+            with self._registry_lock:
+                self._engines[name] = engine
+                self._factories.pop(name, None)
+                self._build_seconds[name] = elapsed
+            return engine
+
+    def warmup(self, names: Optional[Sequence[str]] = None) -> dict[str, float]:
+        """Build/load the given datasets (default: all registered) now.
+
+        Returns ``{name: build_seconds}`` — snapshot-backed entries come
+        in orders of magnitude under ``from_database`` ones, which is the
+        point of snapshotting.
+        """
+        targets = list(names) if names is not None else self.datasets()
+        timings = {}
+        for name in targets:
+            self.engine(name)
+            with self._registry_lock:
+                timings[name] = self._build_seconds.get(name, 0.0)
+        return timings
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        dataset: Union[str, QueryRequest],
+        query: Optional[Union[str, Sequence[str]]] = None,
+        *,
+        algorithm: str = "bidirectional",
+        k: Optional[int] = None,
+        params: Optional[SearchParams] = None,
+        timeout: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> QueryResponse:
+        """Execute one query synchronously.
+
+        Accepts either a prepared :class:`QueryRequest` or the
+        ``(dataset, query, ...)`` shorthand — not both: keyword
+        overrides alongside a request object would be silently shadowed
+        by the request's own fields, so they are rejected.  With a
+        ``timeout`` the request runs on the executor so the deadline is
+        enforced.
+        """
+        if isinstance(dataset, QueryRequest):
+            overrides = (
+                query is not None
+                or algorithm != "bidirectional"
+                or k is not None
+                or params is not None
+                or timeout is not None
+                or use_cache is not True
+            )
+            if overrides:
+                raise ValueError(
+                    "pass either a QueryRequest or (dataset, query, ...) "
+                    "keywords, not both — the request object already fixes "
+                    "those fields"
+                )
+            request = dataset
+        else:
+            if query is None:
+                raise ValueError("query is required when dataset is a name")
+            request = QueryRequest(
+                dataset=dataset,
+                query=query if isinstance(query, str) else tuple(query),
+                algorithm=algorithm,
+                k=k,
+                params=params,
+                timeout=timeout,
+                use_cache=use_cache,
+            )
+        if request.timeout is None:
+            return self._execute(request)
+        future, record = self._submit(request)
+        return self._await(
+            request, future, time.monotonic() + request.timeout, record
+        )
+
+    def search_many(
+        self,
+        requests: Sequence[Union[QueryRequest, tuple]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> list[QueryResponse]:
+        """Execute a batch concurrently; responses in request order.
+
+        ``requests`` holds :class:`QueryRequest` objects or ``(dataset,
+        query)`` / ``(dataset, query, algorithm)`` tuples.  ``timeout``
+        is a default per-request deadline for requests without their
+        own; each deadline is measured from batch submission.
+
+        Never raises per-item: a malformed item (unknown algorithm,
+        wrong shape) yields an error response in its slot and the rest
+        of the batch still runs.
+        """
+        prepared: list[Union[QueryRequest, QueryResponse]] = []
+        for raw in requests:
+            try:
+                prepared.append(self._coerce_request(raw, default_timeout=timeout))
+            except Exception as exc:
+                prepared.append(self._malformed_response(exc))
+        submitted = time.monotonic()
+        submissions = [
+            self._submit(item) if isinstance(item, QueryRequest) else None
+            for item in prepared
+        ]
+        responses = []
+        for item, submission in zip(prepared, submissions):
+            if submission is None:
+                responses.append(item)  # malformed: already a response
+                continue
+            future, record = submission
+            deadline = submitted + item.timeout if item.timeout is not None else None
+            responses.append(self._await(item, future, deadline, record))
+        return responses
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Latency percentiles, cache and error counters as a plain dict."""
+        exported = self._metrics.export()
+        exported["cache"] = self.cache.stats()
+        with self._registry_lock:
+            exported["datasets"] = {
+                "registered": sorted(self._engines.keys() | self._factories.keys()),
+                "built": sorted(self._engines),
+                "build_seconds": dict(sorted(self._build_seconds.items())),
+            }
+        return exported
+
+    def reset_metrics(self) -> None:
+        self._metrics.reset()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the executor down (idempotent); engines stay usable.
+
+        ``wait=False`` returns immediately, leaving any in-flight
+        (e.g. deadline-abandoned) searches to finish on their worker
+        threads in the background — the choice for callers whose own
+        deadline matters more than a clean join.
+        """
+        with self._executor_lock:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait)
+                self._executor = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _coerce_request(
+        self, request, *, default_timeout: Optional[float]
+    ) -> QueryRequest:
+        if isinstance(request, QueryRequest):
+            if request.timeout is None and default_timeout is not None:
+                return QueryRequest(
+                    dataset=request.dataset,
+                    query=request.query,
+                    algorithm=request.algorithm,
+                    k=request.k,
+                    params=request.params,
+                    timeout=default_timeout,
+                    use_cache=request.use_cache,
+                )
+            return request
+        dataset, query, *rest = request
+        if len(rest) > 1:
+            raise ValueError(
+                f"batch tuple must be (dataset, query[, algorithm]), got "
+                f"{len(rest) + 2} elements — build a QueryRequest for more knobs"
+            )
+        return QueryRequest(
+            dataset=dataset,
+            query=query if isinstance(query, str) else tuple(query),
+            algorithm=rest[0] if rest else "bidirectional",
+            timeout=default_timeout,
+        )
+
+    def _malformed_response(self, exc: Exception) -> QueryResponse:
+        self._metrics.record_error("invalid-request", type(exc).__name__)
+        return QueryResponse(
+            request=None,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            exception=exc,
+        )
+
+    def _submit(self, request: QueryRequest) -> tuple[Future, _Once]:
+        record = _Once()
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-query",
+                )
+            return self._executor.submit(self._execute, request, record), record
+
+    def _await(
+        self,
+        request: QueryRequest,
+        future: Future,
+        deadline: Optional[float],
+        record: Optional[_Once] = None,
+    ) -> QueryResponse:
+        if deadline is None:
+            return future.result()
+        remaining = deadline - time.monotonic()
+        try:
+            return future.result(timeout=max(remaining, 0.0))
+        except FutureTimeoutError:
+            # The logical request is recorded exactly once; whoever wins
+            # the claim — this deadline watcher or the still-running
+            # worker — does the recording.
+            if record is None or record.claim():
+                self._metrics.record_error(
+                    request.algorithm, DeadlineExceededError.__name__
+                )
+            return QueryResponse(
+                request=request,
+                error=(
+                    f"deadline of {request.timeout}s exceeded "
+                    f"(search keeps running in the background)"
+                ),
+                error_type=DeadlineExceededError.__name__,
+                elapsed=request.timeout or 0.0,
+            )
+
+    def _execute(
+        self,
+        request: QueryRequest,
+        record: Optional[_Once] = None,
+    ) -> QueryResponse:
+        """Run one request, never raising — any failure (library error,
+        broken factory, engine bug) becomes a structured error response,
+        the contract :meth:`search_many` promises.  ``record``, when
+        given, is the exactly-once metrics claim shared with the
+        deadline watcher: if the watcher already recorded this request
+        as a deadline miss, this worker stays silent (its result still
+        refreshes the cache)."""
+        start = time.perf_counter()
+        try:
+            engine = self.engine(request.dataset)
+            run_params = request.params if request.params is not None else engine.params
+            if request.k is not None:
+                run_params = run_params.with_(max_results=request.k)
+            key = canonical_cache_key(
+                request.dataset, request.query, request.algorithm, run_params
+            )
+        except Exception as exc:
+            return self._error_response(request, exc, start, record)
+
+        if request.use_cache:
+            cached = self.cache.get(key, _MISS)
+            if cached is not _MISS:
+                elapsed = time.perf_counter() - start
+                if record is None or record.claim():
+                    self._metrics.record_request(
+                        request.algorithm, elapsed, cached=True
+                    )
+                return QueryResponse(
+                    request=request, result=cached, cached=True, elapsed=elapsed
+                )
+
+        try:
+            result = engine.search(
+                request.query, algorithm=request.algorithm, params=run_params
+            )
+        except Exception as exc:
+            return self._error_response(request, exc, start, record)
+        self.cache.put(key, result)
+        elapsed = time.perf_counter() - start
+        if record is None or record.claim():
+            self._metrics.record_request(
+                request.algorithm, elapsed, cached=False if request.use_cache else None
+            )
+        return QueryResponse(request=request, result=result, elapsed=elapsed)
+
+    def _error_response(
+        self,
+        request: QueryRequest,
+        exc: Exception,
+        start: float,
+        record: Optional[_Once] = None,
+    ) -> QueryResponse:
+        if record is None or record.claim():
+            self._metrics.record_error(request.algorithm, type(exc).__name__)
+        return QueryResponse(
+            request=request,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            elapsed=time.perf_counter() - start,
+            exception=exc,
+        )

@@ -1,0 +1,354 @@
+"""Versioned disk snapshots of built engine state (EMBANKS direction).
+
+Building an engine from a database does three expensive things — graph
+construction, biased-PageRank prestige and inverted-index construction.
+EMBANKS (Gupta & Sudarshan) argues that disk-resident graph/index state
+is what makes BANKS deployments restart-friendly; this module is that
+idea for the service layer: one self-describing file holding the frozen
+:class:`~repro.graph.SearchGraph` (both adjacency sides, in original
+edge order), its prestige vector and the
+:class:`~repro.index.InvertedIndex`, so a warm start skips
+``KeywordSearchEngine.from_database`` entirely.
+
+Format (version 1): a single zip container (``numpy.savez_compressed``)
+of flat arrays —
+
+* ``meta``: UTF-8 JSON bytes (uint8): format magic, version, node
+  labels/tables/refs, index terms and counts.  Everything that is text.
+* ``out_indptr``/``out_dst``/``out_weight``/``out_fwd`` and the ``in_*``
+  equivalents: CSR-shaped combined adjacency, weights as float64 so a
+  restored graph scores answers bit-identically.
+* ``prestige``, ``in_invw``, ``out_invw``: float64 per node — prestige
+  plus the two activation normalizers, stored (not recomputed) so the
+  restored values match the builder's summation bit for bit.
+* ``post_indptr``/``post_nodes`` and ``rel_indptr``/``rel_nodes``:
+  concatenated postings per index term (sorted node ids; postings are
+  sets, so order carries no meaning).
+
+No pickle anywhere — ``numpy.load`` runs with ``allow_pickle=False`` —
+so loading a snapshot executes no code from the file.  Incompatible or
+corrupt files raise :class:`~repro.errors.SnapshotError`.  Snapshots
+capture frozen state: they are written once and never invalidated
+(rebuild and re-save to pick up new data), mirroring the engine's own
+"index is frozen" contract.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.graph.searchgraph import SearchGraph
+from repro.index.inverted import InvertedIndex
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "save_engine",
+    "load_engine",
+    "snapshot_info",
+]
+
+SNAPSHOT_FORMAT = "repro-engine-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def _pack_adjacency(adjacency) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+    total = sum(len(edges) for edges in adjacency)
+    dst = np.zeros(total, dtype=np.int32)
+    weight = np.zeros(total, dtype=np.float64)
+    fwd = np.zeros(total, dtype=np.uint8)
+    pos = 0
+    for u, edges in enumerate(adjacency):
+        indptr[u] = pos
+        for v, w, is_forward in edges:
+            dst[pos] = v
+            weight[pos] = w
+            fwd[pos] = 1 if is_forward else 0
+            pos += 1
+    indptr[len(adjacency)] = pos
+    return indptr, dst, weight, fwd
+
+
+def _pack_postings(postings: dict) -> tuple[list[str], np.ndarray, np.ndarray]:
+    terms = sorted(postings)
+    indptr = np.zeros(len(terms) + 1, dtype=np.int64)
+    total = sum(len(postings[term]) for term in terms)
+    nodes = np.zeros(total, dtype=np.int32)
+    pos = 0
+    for i, term in enumerate(terms):
+        indptr[i] = pos
+        for node in sorted(postings[term]):
+            nodes[pos] = node
+            pos += 1
+    indptr[len(terms)] = pos
+    return terms, indptr, nodes
+
+
+def _encode_refs(graph: SearchGraph) -> list:
+    refs = []
+    for node in graph.nodes():
+        ref = graph.ref(node)
+        if ref is None:
+            refs.append(None)
+            continue
+        table, pk = ref
+        if not isinstance(pk, (int, str)):
+            raise SnapshotError(
+                f"node {node} has non-serializable primary key {pk!r} "
+                f"(snapshot format v{SNAPSHOT_VERSION} supports int and str keys)"
+            )
+        # Tag the pk type so int keys don't come back as strings.
+        refs.append([table, "i" if isinstance(pk, int) else "s", pk])
+    return refs
+
+
+def save_snapshot(
+    path: Union[str, os.PathLike],
+    graph: SearchGraph,
+    index: InvertedIndex,
+) -> Path:
+    """Serialize ``graph`` + ``index`` (+ prestige) to ``path``.
+
+    The write goes through a temporary sibling file and an atomic rename,
+    so a crash mid-save never leaves a truncated snapshot behind.
+    Returns the path written.
+    """
+    path = Path(path)
+    out_indptr, out_dst, out_weight, out_fwd = _pack_adjacency(graph._out)
+    in_indptr, in_src, in_weight, in_fwd = _pack_adjacency(graph._in)
+    postings, relation_nodes = index._export_postings()
+    post_terms, post_indptr, post_nodes = _pack_postings(postings)
+    rel_terms, rel_indptr, rel_nodes = _pack_postings(relation_nodes)
+
+    meta = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "num_nodes": graph.num_nodes,
+        "num_forward_edges": graph.num_forward_edges,
+        "labels": list(graph._labels),
+        "tables": list(graph._tables),
+        "refs": _encode_refs(graph),
+        "post_terms": post_terms,
+        "rel_terms": rel_terms,
+    }
+    meta_bytes = np.frombuffer(
+        json.dumps(meta, ensure_ascii=False).encode("utf-8"), dtype=np.uint8
+    )
+
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        meta=meta_bytes,
+        out_indptr=out_indptr,
+        out_dst=out_dst,
+        out_weight=out_weight,
+        out_fwd=out_fwd,
+        in_indptr=in_indptr,
+        in_src=in_src,
+        in_weight=in_weight,
+        in_fwd=in_fwd,
+        prestige=np.asarray(graph.prestige, dtype=np.float64),
+        in_invw=np.asarray(graph._in_inv_weight_sum, dtype=np.float64),
+        out_invw=np.asarray(graph._out_inv_weight_sum, dtype=np.float64),
+        post_indptr=post_indptr,
+        post_nodes=post_nodes,
+        rel_indptr=rel_indptr,
+        rel_nodes=rel_nodes,
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(buffer.getvalue())
+        os.replace(tmp, path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
+    return path
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def _unpack_adjacency(indptr, target, weight, fwd) -> list[list[tuple]]:
+    targets = target.tolist()
+    weights = weight.tolist()
+    forwards = fwd.astype(bool).tolist()
+    bounds = indptr.tolist()
+    return [
+        list(zip(targets[lo:hi], weights[lo:hi], forwards[lo:hi]))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def _unpack_postings(terms, indptr, nodes) -> dict[str, list[int]]:
+    flat = nodes.tolist()
+    bounds = indptr.tolist()
+    return {
+        term: flat[bounds[i] : bounds[i + 1]] for i, term in enumerate(terms)
+    }
+
+
+def _decode_refs(encoded: list) -> list:
+    refs = []
+    for entry in encoded:
+        if entry is None:
+            refs.append(None)
+            continue
+        table, kind, pk = entry
+        refs.append((table, int(pk) if kind == "i" else str(pk)))
+    return refs
+
+
+def _read_archive(
+    path: Union[str, os.PathLike], *, only_meta: bool = False
+) -> tuple[dict, dict]:
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            # np.load decompresses lazily per-array: header-only readers
+            # (snapshot_info) pull just the meta block, not the graph.
+            names = ["meta"] if only_meta and "meta" in archive.files else archive.files
+            arrays = {name: archive[name] for name in names}
+    except FileNotFoundError:
+        raise SnapshotError(f"snapshot file {path} does not exist") from None
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        # BadZipFile/EOFError: a truncated or corrupt container.
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if "meta" not in arrays:
+        raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file (no meta)")
+    try:
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has a corrupt meta block: {exc}") from exc
+    if meta.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} has format {meta.get('format')!r}, expected {SNAPSHOT_FORMAT!r}"
+        )
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path} is snapshot version {meta.get('version')!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}"
+        )
+    return meta, arrays
+
+
+def snapshot_info(path: Union[str, os.PathLike]) -> dict:
+    """Cheap header inspection: version and size counters as a dict."""
+    meta, _ = _read_archive(path, only_meta=True)
+    return {
+        "format": meta["format"],
+        "version": meta["version"],
+        "num_nodes": meta["num_nodes"],
+        "num_forward_edges": meta["num_forward_edges"],
+        "index_terms": len(meta["post_terms"]),
+        "relation_terms": len(meta["rel_terms"]),
+        "file_bytes": Path(path).stat().st_size,
+    }
+
+
+def load_snapshot(
+    path: Union[str, os.PathLike],
+) -> tuple[SearchGraph, InvertedIndex]:
+    """Restore the ``(graph, index)`` pair saved by :func:`save_snapshot`."""
+    meta, arrays = _read_archive(path)
+    required = (
+        "out_indptr", "out_dst", "out_weight", "out_fwd",
+        "in_indptr", "in_src", "in_weight", "in_fwd",
+        "prestige", "in_invw", "out_invw",
+        "post_indptr", "post_nodes", "rel_indptr", "rel_nodes",
+    )
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise SnapshotError(f"{path} is missing arrays: {', '.join(missing)}")
+
+    num_nodes = int(meta["num_nodes"])
+    for field in ("labels", "tables", "refs"):
+        if len(meta[field]) != num_nodes:
+            raise SnapshotError(f"{path} metadata is inconsistent: bad {field} length")
+    if len(arrays["prestige"]) != num_nodes:
+        raise SnapshotError(f"{path} metadata is inconsistent with its arrays")
+    # A corrupt file must fail here, not as an IndexError (or a silent
+    # negative-index mis-score or mis-slice) deep inside a later search.
+    # Adjacency and postings use the same CSR shape, so one checker
+    # covers all four array pairs.
+    csr_pairs = (
+        ("out_indptr", "out_dst", num_nodes),
+        ("in_indptr", "in_src", num_nodes),
+        ("post_indptr", "post_nodes", len(meta["post_terms"])),
+        ("rel_indptr", "rel_nodes", len(meta["rel_terms"])),
+    )
+    for indptr_name, ids_name, num_rows in csr_pairs:
+        indptr, ids = arrays[indptr_name], arrays[ids_name]
+        if (
+            len(indptr) != num_rows + 1
+            or indptr[0] != 0
+            or indptr[-1] != len(ids)
+            or np.any(np.diff(indptr) < 0)
+        ):
+            raise SnapshotError(f"{path} has a malformed {indptr_name} array")
+        if ids.size and (ids.min() < 0 or ids.max() >= num_nodes):
+            raise SnapshotError(
+                f"{path} has out-of-range node ids in {ids_name} "
+                f"(expected [0, {num_nodes}))"
+            )
+    try:
+        graph = SearchGraph._from_adjacency(
+            out=_unpack_adjacency(
+                arrays["out_indptr"], arrays["out_dst"],
+                arrays["out_weight"], arrays["out_fwd"],
+            ),
+            in_=_unpack_adjacency(
+                arrays["in_indptr"], arrays["in_src"],
+                arrays["in_weight"], arrays["in_fwd"],
+            ),
+            labels=meta["labels"],
+            tables=meta["tables"],
+            refs=_decode_refs(meta["refs"]),
+            num_forward_edges=meta["num_forward_edges"],
+            prestige=arrays["prestige"],
+            in_inv_weight_sum=arrays["in_invw"].tolist(),
+            out_inv_weight_sum=arrays["out_invw"].tolist(),
+        )
+    except ValueError as exc:
+        # Residual inconsistencies (e.g. negative prestige) the explicit
+        # checks above did not name.
+        raise SnapshotError(f"{path} is corrupt: {exc}") from exc
+    index = InvertedIndex._from_postings(
+        _unpack_postings(meta["post_terms"], arrays["post_indptr"], arrays["post_nodes"]),
+        _unpack_postings(meta["rel_terms"], arrays["rel_indptr"], arrays["rel_nodes"]),
+    )
+    return graph, index
+
+
+# ----------------------------------------------------------------------
+# engine conveniences
+# ----------------------------------------------------------------------
+def save_engine(path: Union[str, os.PathLike], engine) -> Path:
+    """Snapshot a :class:`~repro.core.engine.KeywordSearchEngine`'s state.
+
+    Search parameters are *not* stored — they are run-time configuration,
+    not dataset state — so :func:`load_engine` accepts them explicitly.
+    """
+    return save_snapshot(path, engine.graph, engine.index)
+
+
+def load_engine(path: Union[str, os.PathLike], *, params=None):
+    """Rebuild a ready-to-query engine from a snapshot file."""
+    from repro.core.engine import KeywordSearchEngine
+
+    graph, index = load_snapshot(path)
+    return KeywordSearchEngine(graph, index, params=params)

@@ -1,0 +1,96 @@
+"""ServiceMetrics: percentile math, counters, export shape."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50.0) is None
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 100.0) == 7.0
+
+    def test_interpolation_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        for q in (0.0, 25.0, 50.0, 90.0, 99.0, 100.0):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestServiceMetrics:
+    def test_export_shape_is_json_serializable(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("bidirectional", 0.010, cached=False)
+        metrics.record_request("bidirectional", 0.030, cached=False)
+        metrics.record_request("bidirectional", 0.0001, cached=True)
+        metrics.record_error("si-backward", "KeywordNotFoundError")
+        exported = metrics.export()
+        json.dumps(exported)  # plain dict contract
+        assert exported["requests_total"] == 4
+        assert exported["errors_total"] == 1
+        assert exported["errors"] == {"KeywordNotFoundError": 1}
+        assert exported["cache_hits"] == 1 and exported["cache_misses"] == 2
+        assert exported["cache_hit_rate"] == pytest.approx(1 / 3)
+        bidi = exported["algorithms"]["bidirectional"]
+        assert bidi["requests"] == 3
+        # Cached responses stay out of the latency reservoir.
+        assert bidi["latency_count"] == 2
+        assert bidi["latency_mean"] == pytest.approx(0.020)
+        assert bidi["latency_p50"] == pytest.approx(0.020)
+        assert bidi["latency_p99"] == pytest.approx(0.030, rel=0.02)
+
+    def test_cache_bypass_leaves_hit_rate_alone(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("bidirectional", 0.010, cached=None)
+        exported = metrics.export()
+        assert exported["cache_hits"] == 0 and exported["cache_misses"] == 0
+        assert exported["cache_hit_rate"] == 0.0
+        # ... but the latency still counts: it was a real search.
+        assert exported["algorithms"]["bidirectional"]["latency_count"] == 1
+
+    def test_window_bounds_reservoir(self):
+        metrics = ServiceMetrics(window=10)
+        for i in range(100):
+            metrics.record_request("bidirectional", float(i), cached=False)
+        exported = metrics.export()["algorithms"]["bidirectional"]
+        assert exported["requests"] == 100
+        assert exported["latency_count"] == 10
+        # Only the most recent 10 samples (90..99) remain.
+        assert exported["latency_p50"] == pytest.approx(94.5)
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("bidirectional", 0.010, cached=False)
+        metrics.reset()
+        exported = metrics.export()
+        assert exported["requests_total"] == 0
+        assert exported["algorithms"] == {}
+
+    def test_concurrent_recording(self):
+        metrics = ServiceMetrics()
+
+        def worker() -> None:
+            for _ in range(250):
+                metrics.record_request("bidirectional", 0.001, cached=False)
+                metrics.record_error("mi-backward", "ValueError")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        exported = metrics.export()
+        assert exported["requests_total"] == 8 * 250 * 2
+        assert exported["errors"]["ValueError"] == 8 * 250

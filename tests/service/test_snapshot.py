@@ -1,0 +1,260 @@
+"""Snapshot format: round-trip fidelity, versioning, corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.errors import SnapshotError
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, Schema, Table
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    load_engine,
+    load_snapshot,
+    save_engine,
+    save_snapshot,
+    snapshot_info,
+)
+
+
+@pytest.fixture
+def toy_snapshot(toy_engine, tmp_path):
+    path = tmp_path / "toy.snap"
+    save_engine(path, toy_engine)
+    return path
+
+
+# ----------------------------------------------------------------------
+# round trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_graph_structure_is_identical(self, toy_engine, toy_snapshot):
+        graph, _ = load_snapshot(toy_snapshot)
+        original = toy_engine.graph
+        assert graph.num_nodes == original.num_nodes
+        assert graph.num_forward_edges == original.num_forward_edges
+        assert graph.num_edges == original.num_edges
+        for node in original.nodes():
+            # Edge *order* matters: search iteration order feeds
+            # tie-breaking, so restored adjacency must match verbatim.
+            assert graph.out_edges(node) == original.out_edges(node)
+            assert graph.in_edges(node) == original.in_edges(node)
+            assert graph.label(node) == original.label(node)
+            assert graph.table(node) == original.table(node)
+            assert graph.ref(node) == original.ref(node)
+            assert graph.in_inv_weight_sum(node) == original.in_inv_weight_sum(node)
+            assert graph.out_inv_weight_sum(node) == original.out_inv_weight_sum(node)
+
+    def test_prestige_is_bit_identical(self, toy_engine, toy_snapshot):
+        graph, _ = load_snapshot(toy_snapshot)
+        np.testing.assert_array_equal(graph.prestige, toy_engine.graph.prestige)
+
+    def test_index_answers_identically(self, toy_engine, toy_snapshot):
+        _, index = load_snapshot(toy_snapshot)
+        original = toy_engine.index
+        assert index.vocabulary_size() == original.vocabulary_size()
+        assert sorted(index.terms()) == sorted(original.terms())
+        for term in original.terms():
+            assert index.lookup(term) == original.lookup(term)
+        # Relation-name matches survive too.
+        assert index.lookup("paper") == original.lookup("paper")
+        assert index.terms_by_frequency() == original.terms_by_frequency()
+
+    def test_ref_lookup_and_pk_types_survive(self, toy_engine, toy_snapshot):
+        graph, _ = load_snapshot(toy_snapshot)
+        node = toy_engine.graph.node_by_ref("author", 1)
+        assert graph.node_by_ref("author", 1) == node
+        assert graph.ref(node) == ("author", 1)
+        assert isinstance(graph.ref(node)[1], int)
+
+    @pytest.mark.parametrize("algorithm", ["bidirectional", "si-backward", "mi-backward"])
+    def test_topk_results_identical_per_algorithm(
+        self, toy_engine, toy_snapshot, algorithm
+    ):
+        restored = load_engine(toy_snapshot)
+        for query in ("gray transaction", "selinger vldb", '"jim gray" sigmod'):
+            base = toy_engine.search(query, algorithm=algorithm, k=5)
+            again = restored.search(query, algorithm=algorithm, k=5)
+            assert again.scores() == base.scores()
+            assert again.signatures() == base.signatures()
+            assert [t.root for t in again.trees()] == [t.root for t in base.trees()]
+            assert [t.paths for t in again.trees()] == [t.paths for t in base.trees()]
+
+    def test_topk_identical_on_synthetic_dblp(self, dblp_small_engine, tmp_path):
+        path = tmp_path / "dblp.snap"
+        save_engine(path, dblp_small_engine)
+        restored = load_engine(path)
+        term, _ = dblp_small_engine.index.terms_by_frequency()[10]
+        query = (term, "paper")
+        base = dblp_small_engine.search(query, k=10)
+        again = restored.search(query, k=10)
+        assert again.scores() == base.scores()
+        assert again.signatures() == base.signatures()
+
+    def test_string_primary_keys(self, tmp_path):
+        schema = Schema(
+            tables=(
+                Table("person", ("id", "name"), text_columns=("name",)),
+                Table("likes", ("id", "who"), pk="id"),
+            ),
+            foreign_keys=(ForeignKey("likes", "who", "person"),),
+        )
+        db = Database(schema)
+        db.insert_many("person", [{"id": "p1", "name": "Ada"}, {"id": "p2", "name": "Alan"}])
+        db.insert_many("likes", [{"id": "l1", "who": "p1"}, {"id": "l2", "who": "p2"}])
+        engine = KeywordSearchEngine.from_database(db)
+        path = tmp_path / "str.snap"
+        save_engine(path, engine)
+        graph, _ = load_snapshot(path)
+        node = graph.node_by_ref("person", "p1")
+        assert graph.ref(node) == ("person", "p1")
+        assert isinstance(graph.ref(node)[1], str)
+
+
+# ----------------------------------------------------------------------
+# file format
+# ----------------------------------------------------------------------
+class TestFormat:
+    def test_info(self, toy_engine, toy_snapshot):
+        info = snapshot_info(toy_snapshot)
+        assert info["version"] == SNAPSHOT_VERSION
+        assert info["num_nodes"] == toy_engine.graph.num_nodes
+        assert info["num_forward_edges"] == toy_engine.graph.num_forward_edges
+        assert info["file_bytes"] > 0
+
+    def test_save_returns_exact_path_no_npz_suffix(self, toy_engine, tmp_path):
+        path = tmp_path / "plain-name-no-extension"
+        written = save_engine(path, toy_engine)
+        assert written == path
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            load_snapshot(tmp_path / "nope.snap")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_bytes(b"this is not a snapshot")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_truncated_file(self, toy_snapshot, tmp_path):
+        raw = toy_snapshot.read_bytes()
+        truncated = tmp_path / "half.snap"
+        truncated.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(truncated)
+
+    def test_wrong_format_magic(self, tmp_path):
+        path = tmp_path / "other.npz"
+        meta = np.frombuffer(
+            json.dumps({"format": "something-else", "version": 1}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, meta=meta)
+        with pytest.raises(SnapshotError, match="format"):
+            load_snapshot(path)
+
+    def test_future_version_rejected(self, toy_engine, tmp_path, toy_snapshot):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode())
+        meta["version"] = SNAPSHOT_VERSION + 1
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        future = tmp_path / "future.snap"
+        with open(future, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(future)
+
+    def test_out_of_range_node_ids_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["out_dst"] = arrays["out_dst"].copy()
+        arrays["out_dst"][0] = 10_000  # beyond num_nodes
+        bad = tmp_path / "bad-ids.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="out-of-range node ids"):
+            load_snapshot(bad)
+
+    def test_negative_node_ids_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["in_src"] = arrays["in_src"].copy()
+        arrays["in_src"][0] = -3  # would silently mis-index, not crash
+        bad = tmp_path / "neg-ids.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="out-of-range node ids"):
+            load_snapshot(bad)
+
+    def test_malformed_indptr_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["out_indptr"] = arrays["out_indptr"][:-2]
+        bad = tmp_path / "bad-indptr.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="malformed out_indptr"):
+            load_snapshot(bad)
+
+    def test_corrupt_postings_indptr_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["post_indptr"] = arrays["post_indptr"].copy()
+        arrays["post_indptr"][1] = -4  # decreasing: would mis-slice silently
+        bad = tmp_path / "bad-post.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="malformed post_indptr"):
+            load_snapshot(bad)
+
+    def test_corrupt_postings_node_ids_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["rel_nodes"] = arrays["rel_nodes"].copy()
+        arrays["rel_nodes"][0] = 10_000
+        bad = tmp_path / "bad-rel.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="out-of-range node ids in rel_nodes"):
+            load_snapshot(bad)
+
+    def test_corrupt_meta_lengths_raise_snapshot_error(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode())
+        meta["tables"] = meta["tables"][:-1]  # one element short
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        bad = tmp_path / "bad-tables.snap"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="bad tables length"):
+            load_snapshot(bad)
+
+    def test_missing_arrays_rejected(self, toy_snapshot, tmp_path):
+        with np.load(toy_snapshot) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        del arrays["prestige"]
+        truncated = tmp_path / "truncated.snap"
+        with open(truncated, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(SnapshotError, match="missing arrays"):
+            load_snapshot(truncated)
+
+    def test_no_stale_tmp_file_left(self, toy_engine, tmp_path):
+        path = tmp_path / "clean.snap"
+        save_engine(path, toy_engine)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "clean.snap"]
+        assert leftovers == []
+
+    def test_load_engine_applies_params(self, toy_snapshot):
+        from repro.core.params import SearchParams
+
+        engine = load_engine(toy_snapshot, params=SearchParams(max_results=3))
+        assert engine.params.max_results == 3
+        result = engine.search("gray transaction")
+        assert len(result.answers) <= 3
