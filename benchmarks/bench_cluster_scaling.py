@@ -1,0 +1,174 @@
+"""Cluster scaling: batch QPS vs worker count, threads vs processes.
+
+The same uncached mixed-query workload pushed through
+
+* a thread-pool :class:`repro.service.QueryService` (``search_many``
+  with ``max_workers=w``) — pure-Python search holds the GIL, so adding
+  threads buys overlap, not cores; and
+* a :class:`repro.cluster.ShardedQueryService` with ``w`` snapshot-
+  warmed worker processes, the dataset replicated across all of them so
+  routing fans queries out — CPU time actually divides across cores.
+
+One JSON line per configuration (``{"mode": ..., "workers": ...,
+"seconds": ..., "qps": ...}``) so fleet dashboards can ingest the
+results, plus the usual rendered table.
+
+Shape assertions: every response ok and process-tier results equal to
+sequential search.  The scaling assertion (sharded >= 1.5x threads at 4
+workers) only applies when the machine actually has >= 4 cores —
+process pools cannot beat the GIL on a single-core box, and the bench
+stays honest about that.
+
+Env knobs: ``BENCH_CLUSTER_WORKERS`` (default ``1,2,4,8``) bounds the
+sweep — CI smoke uses ``1,2``; ``REPRO_SCALE`` scales the dataset.
+
+Run directly (``python benchmarks/bench_cluster_scaling.py``) or under
+pytest-benchmark.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.cluster import ShardedQueryService
+from repro.experiments.common import Report, build_bench, fmt
+from repro.service import QueryRequest, QueryService
+from repro.service.snapshot import save_engine
+
+from conftest import as_float, cell, run_report
+
+NUM_REQUESTS = 48
+SEED_TERMS = 8
+
+
+def _worker_counts() -> list[int]:
+    raw = os.environ.get("BENCH_CLUSTER_WORKERS", "1,2,4,8")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _mixed_queries(engine) -> list[str]:
+    mids = [
+        term
+        for term, freq in engine.index.terms_by_frequency()
+        if 5 <= freq <= 60
+    ]
+    pairs = min(SEED_TERMS, len(mids) // 2)
+    assert pairs > 0, (
+        f"dataset too small: only {len(mids)} mid-frequency terms; "
+        f"raise REPRO_SCALE"
+    )
+    return [f"{mids[i]} {mids[i + pairs]}" for i in range(pairs)]
+
+
+def _requests(stream: list[str]) -> list[QueryRequest]:
+    # Uncached: this bench measures search throughput, not cache reads.
+    return [QueryRequest("dblp", query, k=5, use_cache=False) for query in stream]
+
+
+def run_scaling() -> Report:
+    bench = build_bench("dblp", 0.4)
+    queries = _mixed_queries(bench.engine)
+    stream = [queries[i % len(queries)] for i in range(NUM_REQUESTS)]
+    workers = _worker_counts()
+
+    baseline = [
+        bench.engine.search(query, k=5, algorithm="bidirectional")
+        for query in stream
+    ]
+
+    report = Report(
+        experiment="cluster-scaling",
+        title=(
+            f"{NUM_REQUESTS} uncached mixed queries, threads vs. processes "
+            f"(synthetic DBLP, k=5, {os.cpu_count()} cores)"
+        ),
+        headers=["mode", "workers", "seconds", "QPS", "vs 1 thread"],
+    )
+    qps: dict[tuple[str, int], float] = {}
+
+    def record(mode: str, count: int, seconds: float) -> None:
+        qps[(mode, count)] = NUM_REQUESTS / seconds
+        print(
+            json.dumps(
+                {
+                    "mode": mode,
+                    "workers": count,
+                    "seconds": round(seconds, 4),
+                    "qps": round(NUM_REQUESTS / seconds, 2),
+                }
+            )
+        )
+
+    for count in workers:
+        with QueryService(max_workers=count) as service:
+            service.register_engine("dblp", bench.engine)
+            start = time.perf_counter()
+            responses = service.search_many(_requests(stream))
+            seconds = time.perf_counter() - start
+        assert all(response.ok for response in responses)
+        record("threads", count, seconds)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = save_engine(Path(tmp) / "dblp.snap", bench.engine)
+        for count in workers:
+            with ShardedQueryService(
+                {"dblp": snapshot},
+                num_workers=count,
+                default_replicas=count,
+            ) as service:
+                service.warmup()  # spawn + disk load excluded from QPS
+                start = time.perf_counter()
+                responses = service.search_many(_requests(stream))
+                seconds = time.perf_counter() - start
+            assert all(response.ok for response in responses)
+            for response, expected in zip(responses, baseline):
+                assert response.result.scores() == expected.scores()
+            record("processes", count, seconds)
+
+    base = qps[("threads", workers[0])]
+    for mode in ("threads", "processes"):
+        for count in workers:
+            value = qps[(mode, count)]
+            report.rows.append(
+                [
+                    mode,
+                    str(count),
+                    fmt(NUM_REQUESTS / value, 3),
+                    fmt(value),
+                    fmt(value / base, 2),
+                ]
+            )
+    report.notes.append(
+        "threads overlap I/O but serialize search on the GIL; processes "
+        "divide CPU across cores (spawn + snapshot warmup excluded)"
+    )
+    cores = os.cpu_count() or 1
+    if cores >= 4 and 4 in workers:
+        ratio = qps[("processes", 4)] / qps[("threads", 4)]
+        report.notes.append(f"4-worker process/thread QPS ratio: {ratio:.2f}x")
+        assert ratio >= 1.5, (
+            f"sharded tier should beat threads >=1.5x at 4 workers on "
+            f"{cores} cores, got {ratio:.2f}x"
+        )
+    else:
+        report.notes.append(
+            f"only {cores} core(s): scaling assertion skipped (processes "
+            f"cannot beat the GIL without cores to divide across)"
+        )
+    return report
+
+
+def test_cluster_scaling(benchmark):
+    report = run_report(benchmark, run_scaling)
+    for row in range(len(report.rows)):
+        assert as_float(cell(report, row, 3)) > 0
+
+
+if __name__ == "__main__":
+    print(run_scaling().render())

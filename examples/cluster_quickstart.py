@@ -1,0 +1,129 @@
+"""Quickstart for the process-pool sharding tier (:mod:`repro.cluster`).
+
+The multi-core deployment story, end to end:
+
+1. build an engine once and snapshot it to disk — the only expensive
+   step, paid one time,
+2. spin up a :class:`repro.ShardedQueryService`: worker processes warm
+   from the snapshot (disk load, no ``from_database``), the dataset
+   replicated across both workers so queries fan out,
+3. run a mixed batch through ``search_many`` — same facade as the
+   thread tier, but CPU time divides across cores,
+4. serve the fleet over HTTP (stdlib only) and hit ``/search``,
+   ``/metrics`` and ``/healthz`` like an external client would,
+5. export the merged cluster metrics dict.
+
+Run:  python examples/cluster_quickstart.py
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro import KeywordSearchEngine, ShardedQueryService
+from repro.cluster.http import make_server
+from repro.datasets import DblpConfig, make_dblp
+from repro.service.snapshot import save_engine
+
+QUERIES = [
+    ("paper stream", "bidirectional"),
+    ("paper stream", "mi-backward"),
+    ("graph query", "si-backward"),
+    ("graph query", "bidirectional"),
+]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # --------------------------------------------------------------
+        # 1. build once, snapshot to disk
+        # --------------------------------------------------------------
+        start = time.perf_counter()
+        engine = KeywordSearchEngine.from_database(make_dblp(DblpConfig()))
+        build_s = time.perf_counter() - start
+        snapshot = save_engine(Path(tmp) / "dblp.snap", engine)
+        print(
+            f"built engine in {build_s * 1000:.0f} ms, snapshot "
+            f"{snapshot.stat().st_size / 1024:.0f} KiB"
+        )
+
+        # --------------------------------------------------------------
+        # 2. two snapshot-warmed workers, dataset replicated over both
+        # --------------------------------------------------------------
+        with ShardedQueryService(
+            {"dblp": snapshot}, num_workers=2, default_replicas=2
+        ) as cluster:
+            timings = cluster.warmup()
+            print(
+                f"fleet warm: {cluster.health()['alive']} workers, slowest "
+                f"snapshot load {timings['dblp'] * 1000:.0f} ms "
+                f"(vs {build_s * 1000:.0f} ms from_database)"
+            )
+
+            # ----------------------------------------------------------
+            # 3. a batch over the fleet, checked against the local engine
+            # ----------------------------------------------------------
+            requests = [
+                ("dblp", query, algorithm) for query, algorithm in QUERIES
+            ] * 3
+            responses = cluster.search_many(requests)
+            agree = all(
+                response.ok
+                and response.result.scores()
+                == engine.search(
+                    response.request.query, algorithm=response.request.algorithm
+                ).scores()
+                for response in responses
+            )
+            print(
+                f"search_many: {len(responses)} responses across the fleet, "
+                f"all match the local engine: {agree}"
+            )
+
+            # ----------------------------------------------------------
+            # 4. the same fleet over HTTP
+            # ----------------------------------------------------------
+            server = make_server(cluster)
+            host, port = server.server_address[:2]
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            body = json.dumps(
+                {"dataset": "dblp", "query": "paper stream", "k": 3}
+            ).encode("utf-8")
+            http_request = urllib.request.Request(
+                f"http://{host}:{port}/search",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(http_request) as http_response:
+                answer = json.loads(http_response.read())
+                print(
+                    f"HTTP /search: {http_response.status}, "
+                    f"{len(answer['result']['answers'])} answers, "
+                    f"cached={answer['cached']}"
+                )
+            with urllib.request.urlopen(f"http://{host}:{port}/healthz") as hz:
+                print(f"HTTP /healthz: {json.loads(hz.read())}")
+            server.shutdown()
+            server.server_close()
+
+            # ----------------------------------------------------------
+            # 5. one merged metrics dict for the whole fleet
+            # ----------------------------------------------------------
+            metrics = cluster.metrics()
+            print(
+                "cluster metrics: "
+                f"requests={metrics['requests_total']}, "
+                f"errors={metrics['errors_total']}, "
+                f"alive={metrics['cluster']['alive']}/"
+                f"{metrics['cluster']['workers']}, "
+                f"assignments={metrics['cluster']['assignments']}"
+            )
+
+
+if __name__ == "__main__":
+    main()

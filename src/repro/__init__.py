@@ -19,6 +19,13 @@ Public API highlights
     Deployment layer: :class:`~repro.service.QueryService` engine
     registry, LRU+TTL result cache, concurrent batch execution with
     per-request deadlines, disk snapshots and exported metrics.
+:mod:`repro.cluster`
+    Multi-core scale-out: :class:`~repro.cluster.ShardedQueryService`
+    dispatches the same ``search`` / ``search_many`` facade over a
+    supervised pool of snapshot-warmed worker processes (deterministic
+    shard routing, replica fan-out, restart-on-crash with structured
+    error responses, merged cluster metrics) plus a stdlib HTTP
+    front-end (``repro.cluster.http``).
 :mod:`repro.experiments`
     Harness regenerating every table and figure of Section 5
     (``python -m repro.experiments --list``).
@@ -40,14 +47,18 @@ from repro.core import (
     exhaustive_answers,
     parse_query,
 )
+from repro.cluster import ShardedQueryService
 from repro.errors import (
+    ClusterError,
     DeadlineExceededError,
     EmptyQueryError,
     KeywordNotFoundError,
+    PoolClosedError,
     ReproError,
     ServiceError,
     SnapshotError,
     UnknownDatasetError,
+    WorkerCrashedError,
 )
 from repro.graph import (
     DataGraph,
@@ -86,13 +97,17 @@ __all__ = [
     "SingleIteratorBackwardSearch",
     "exhaustive_answers",
     "parse_query",
+    "ClusterError",
     "DeadlineExceededError",
     "EmptyQueryError",
     "KeywordNotFoundError",
+    "PoolClosedError",
     "ReproError",
     "ServiceError",
+    "ShardedQueryService",
     "SnapshotError",
     "UnknownDatasetError",
+    "WorkerCrashedError",
     "DataGraph",
     "SearchGraph",
     "build_data_graph",

@@ -1,0 +1,39 @@
+"""Process-pool sharding tier (ROADMAP: multi-core scale-out).
+
+The thread-based :class:`~repro.service.QueryService` batch executor
+serializes pure-Python search on the GIL; this package is the tier
+above it that finally lets a batch use every core:
+
+* :class:`ShardedQueryService` — same facade as ``QueryService``
+  (``search`` / ``search_many`` / ``metrics`` / ``warmup`` / context
+  manager), dispatching over worker processes.
+* :class:`~repro.cluster.router.ShardRouter` — deterministic
+  dataset -> worker placement with replica fan-out for hot datasets.
+* :class:`~repro.cluster.pool.WorkerPool` — supervised processes:
+  health checks, restart-on-crash with structured error responses for
+  lost in-flight requests, graceful drain on close.
+* :mod:`repro.cluster.worker` — the process entrypoint; each worker
+  warms a private ``QueryService`` from
+  :mod:`repro.service.snapshot` files (disk load, never
+  ``from_database``) and owns a private result cache.
+* :func:`~repro.cluster.metrics.merge_metrics` — per-worker metrics
+  merged into one cluster view with exact percentiles.
+* :mod:`repro.cluster.http` — stdlib HTTP front-end (``/search``,
+  ``/batch``, ``/metrics``, ``/healthz``) serving either tier.
+
+Only primitives cross the process boundary: snapshot paths, request
+dicts, response dicts (:mod:`repro.service.wire`).  See
+``examples/cluster_quickstart.py`` for the end-to-end tour.
+"""
+
+from repro.cluster.metrics import merge_metrics
+from repro.cluster.pool import WorkerPool
+from repro.cluster.router import ShardRouter
+from repro.cluster.service import ShardedQueryService
+
+__all__ = [
+    "ShardedQueryService",
+    "ShardRouter",
+    "WorkerPool",
+    "merge_metrics",
+]

@@ -1,0 +1,217 @@
+"""Stdlib HTTP front-end for a query service (ROADMAP follow-up).
+
+``QueryRequest`` / ``QueryResponse`` were wire-shaped from the start —
+structured errors, no exceptions across the boundary, JSON-ready
+metrics — so the endpoint is a thin translation layer over either a
+:class:`~repro.service.QueryService` or a
+:class:`~repro.cluster.ShardedQueryService` (anything exposing
+``search`` / ``search_many`` / ``metrics`` / ``datasets``).  Pure
+stdlib: ``http.server.ThreadingHTTPServer``, no new dependencies.
+
+Routes
+------
+``POST /search``
+    Body: one request object (:func:`repro.service.wire.request_from_dict`
+    shape, e.g. ``{"dataset": "dblp", "query": "gray transaction",
+    "k": 5}``).  Response: one response object; HTTP status mirrors the
+    structured ``error_type`` (404 unknown dataset / absent keyword,
+    400 malformed, 504 deadline, 503 crashed worker, 500 otherwise).
+``POST /batch``
+    Body: ``{"requests": [...], "timeout": seconds?}``.  Always 200:
+    per-item errors live inside the response objects, matching
+    ``search_many``'s never-raise contract.
+``GET /metrics``
+    The service's metrics dict.
+``GET /healthz``
+    ``{"status": "ok", "datasets": [...]}`` plus fleet liveness when
+    the service exposes ``health()`` (the sharded tier does); degrades
+    to 503 when workers are down.
+
+Use :func:`make_server` + ``serve_forever`` in a thread (see
+``examples/cluster_quickstart.py``), or :func:`serve` to block.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import (
+    DeadlineExceededError,
+    EmptyQueryError,
+    KeywordNotFoundError,
+    UnknownDatasetError,
+    WorkerCrashedError,
+)
+from repro.service.wire import (
+    error_response_dict,
+    request_from_dict,
+    response_to_dict,
+)
+
+__all__ = ["QueryHTTPServer", "make_server", "serve", "status_for_error"]
+
+#: Structured error type -> HTTP status.
+_ERROR_STATUS = {
+    UnknownDatasetError.__name__: 404,
+    KeywordNotFoundError.__name__: 404,
+    EmptyQueryError.__name__: 400,
+    ValueError.__name__: 400,
+    TypeError.__name__: 400,
+    DeadlineExceededError.__name__: 504,
+    WorkerCrashedError.__name__: 503,
+}
+
+
+def status_for_error(error_type: Optional[str]) -> int:
+    """HTTP status for a structured ``QueryResponse.error_type``."""
+    if error_type is None:
+        return 200
+    return _ERROR_STATUS.get(error_type, 500)
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one query service."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service, *, quiet: bool = True) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-query-http/1.0"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, error_type: str) -> None:
+        self._send_json(status, {"error": message, "error_type": error_type})
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._handle_healthz()
+            elif self.path == "/metrics":
+                self._send_json(200, self.server.service.metrics())
+            else:
+                self._send_error_json(
+                    404, f"no route {self.path!r}", "NotFoundError"
+                )
+        except Exception as exc:  # pragma: no cover - handler backstop
+            self._send_error_json(500, str(exc), type(exc).__name__)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/search":
+                self._handle_search()
+            elif self.path == "/batch":
+                self._handle_batch()
+            else:
+                self._send_error_json(
+                    404, f"no route {self.path!r}", "NotFoundError"
+                )
+        except ValueError as exc:
+            self._send_error_json(400, str(exc), type(exc).__name__)
+        except Exception as exc:  # pragma: no cover - handler backstop
+            self._send_error_json(500, str(exc), type(exc).__name__)
+
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        service = self.server.service
+        payload = {"status": "ok", "datasets": service.datasets()}
+        status = 200
+        health = getattr(service, "health", None)
+        if callable(health):
+            fleet = health()
+            payload.update(fleet)
+            if fleet.get("alive", 0) < fleet.get("workers", 0):
+                payload["status"] = "degraded"
+                status = 503
+        self._send_json(status, payload)
+
+    def _handle_search(self) -> None:
+        request = request_from_dict(self._read_json())
+        response = self.server.service.search(request)
+        self._send_json(
+            status_for_error(response.error_type), response_to_dict(response)
+        )
+
+    def _handle_batch(self) -> None:
+        body = self._read_json()
+        if not isinstance(body, dict) or "requests" not in body:
+            raise ValueError('batch body must be {"requests": [...]}')
+        raw_items = body["requests"]
+        if not isinstance(raw_items, list):
+            raise ValueError('"requests" must be a list of request objects')
+        timeout = body.get("timeout")
+
+        # Convert what converts; malformed items keep their slots as
+        # structured errors, mirroring search_many's contract.
+        slots: list[Optional[dict]] = [None] * len(raw_items)
+        requests, positions = [], []
+        for i, raw in enumerate(raw_items):
+            try:
+                requests.append(request_from_dict(raw))
+                positions.append(i)
+            except Exception as exc:
+                slots[i] = error_response_dict(raw, str(exc), type(exc).__name__)
+        responses = self.server.service.search_many(requests, timeout=timeout)
+        for position, response in zip(positions, responses):
+            slots[position] = response_to_dict(response)
+        self._send_json(200, {"responses": slots})
+
+
+def make_server(
+    service, host: str = "127.0.0.1", port: int = 0, *, quiet: bool = True
+) -> QueryHTTPServer:
+    """Build (but do not run) a server; ``port=0`` picks a free port.
+
+    The bound address is ``server.server_address``.  Run with
+    ``server.serve_forever()`` (often in a thread) and stop with
+    ``server.shutdown()``.
+    """
+    return QueryHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    service, host: str = "127.0.0.1", port: int = 8080, *, quiet: bool = False
+) -> None:  # pragma: no cover - blocking convenience
+    """Serve ``service`` until interrupted."""
+    server = make_server(service, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving {type(service).__name__} on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

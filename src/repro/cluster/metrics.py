@@ -1,0 +1,135 @@
+"""Merging per-worker ``ServiceMetrics`` exports into one cluster view.
+
+Counters add; rates are recomputed from the summed numerators and
+denominators (averaging per-worker hit rates would weight an idle
+worker the same as a loaded one); latency percentiles are recomputed
+from the *concatenated* raw samples — a percentile of percentiles is
+not a percentile, which is why workers export their reservoirs
+(``ServiceMetrics.export(include_samples=True)``) instead of just the
+summary rows.
+
+The merge is tolerant of heterogeneous parts: the supervisor's local
+metrics (deadline misses, malformed requests, crash errors) carry no
+``cache`` or ``datasets`` section, and a part recorded without samples
+merges with ``None`` percentiles rather than silently wrong ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.service.metrics import EXPORTED_PERCENTILES, percentile
+
+__all__ = ["merge_metrics"]
+
+
+def _merge_algorithm(parts: list[dict]) -> dict:
+    requests = sum(part.get("requests", 0) for part in parts)
+    count = sum(part.get("latency_count", 0) for part in parts)
+    total = 0.0
+    mean: Optional[float] = None
+    for part in parts:
+        part_mean = part.get("latency_mean")
+        if part_mean is not None:
+            total += part_mean * part.get("latency_count", 0)
+    if count:
+        mean = total / count
+
+    samples: list[float] = []
+    samples_complete = True
+    for part in parts:
+        part_samples = part.get("latency_samples")
+        if part_samples is None:
+            if part.get("latency_count", 0):
+                samples_complete = False
+        else:
+            samples.extend(part_samples)
+
+    merged = {
+        "requests": requests,
+        "latency_count": count,
+        "latency_mean": mean,
+    }
+    for q in EXPORTED_PERCENTILES:
+        merged[f"latency_p{q:g}"] = (
+            percentile(samples, q) if samples_complete else None
+        )
+    merged["latency_samples"] = samples if samples_complete else None
+    return merged
+
+
+def _merge_cache(parts: list[dict]) -> dict:
+    hits = sum(part.get("hits", 0) for part in parts)
+    misses = sum(part.get("misses", 0) for part in parts)
+    lookups = hits + misses
+    ttls = {part.get("ttl") for part in parts}
+    return {
+        "size": sum(part.get("size", 0) for part in parts),
+        "capacity": sum(part.get("capacity", 0) for part in parts),
+        "ttl": ttls.pop() if len(ttls) == 1 else None,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+        "evictions": sum(part.get("evictions", 0) for part in parts),
+        "expirations": sum(part.get("expirations", 0) for part in parts),
+    }
+
+
+def _merge_datasets(parts: list[dict]) -> dict:
+    registered: set[str] = set()
+    built: set[str] = set()
+    build_seconds: dict[str, float] = {}
+    for part in parts:
+        registered.update(part.get("registered", ()))
+        built.update(part.get("built", ()))
+        for name, seconds in part.get("build_seconds", {}).items():
+            # Replicas each pay their own build; report the slowest —
+            # the one that gates a fleet-wide warmup.
+            build_seconds[name] = max(build_seconds.get(name, 0.0), seconds)
+    return {
+        "registered": sorted(registered),
+        "built": sorted(built),
+        "build_seconds": dict(sorted(build_seconds.items())),
+    }
+
+
+def merge_metrics(parts: Sequence[dict]) -> dict:
+    """Merge ``QueryService.metrics()``-shaped dicts into one.
+
+    Accepts any mix of full worker exports and bare ``ServiceMetrics``
+    exports; missing sections are simply skipped.  The result has the
+    same shape as a single service's metrics dict, so dashboards and
+    tests treat one worker and a whole cluster uniformly.
+    """
+    errors: Counter = Counter()
+    for part in parts:
+        errors.update(part.get("errors", {}))
+    cache_hits = sum(part.get("cache_hits", 0) for part in parts)
+    cache_misses = sum(part.get("cache_misses", 0) for part in parts)
+    lookups = cache_hits + cache_misses
+
+    algorithm_parts: dict[str, list[dict]] = {}
+    for part in parts:
+        for name, entry in part.get("algorithms", {}).items():
+            algorithm_parts.setdefault(name, []).append(entry)
+
+    merged = {
+        "requests_total": sum(part.get("requests_total", 0) for part in parts),
+        "errors_total": sum(part.get("errors_total", 0) for part in parts),
+        "errors": dict(sorted(errors.items())),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "cache_hit_rate": (cache_hits / lookups) if lookups else 0.0,
+        "algorithms": {
+            name: _merge_algorithm(entries)
+            for name, entries in sorted(algorithm_parts.items())
+        },
+    }
+    cache_parts = [part["cache"] for part in parts if "cache" in part]
+    if cache_parts:
+        merged["cache"] = _merge_cache(cache_parts)
+    dataset_parts = [part["datasets"] for part in parts if "datasets" in part]
+    if dataset_parts:
+        merged["datasets"] = _merge_datasets(dataset_parts)
+    return merged

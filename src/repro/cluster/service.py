@@ -1,0 +1,387 @@
+"""``ShardedQueryService``: the process-pool tier above ``QueryService``.
+
+Same facade, different execution substrate: ``search`` / ``search_many``
+/ ``metrics`` / ``warmup`` / context-manager semantics match
+:class:`~repro.service.QueryService`, but requests are dispatched over
+N worker *processes*, each holding a private snapshot-warmed
+``QueryService`` — so a batch's pure-Python search time actually
+divides across cores instead of serializing on one GIL (the ROADMAP's
+first open item).
+
+Everything crossing the process boundary is primitives: snapshot paths
+at spawn time, request-shaped dicts out, response-shaped dicts back
+(:mod:`repro.service.wire`).  Routing is deterministic
+(:class:`~repro.cluster.router.ShardRouter`): a dataset lives on a
+fixed replica set, and a given query always lands on the same replica —
+which is also what makes each worker's private result cache effective.
+
+Failure semantics extend the service contract across processes:
+
+* a malformed request or unroutable dataset is answered supervisor-side
+  as a structured error response;
+* a deadline miss is answered supervisor-side
+  (``error_type="DeadlineExceededError"``) while the worker finishes in
+  the background, exactly like the thread tier;
+* a worker crash turns its in-flight requests into
+  ``error_type="WorkerCrashedError"`` responses and the pool restarts
+  the worker — callers never hang, and the *next* batch is served.
+
+Supervisor-side events (deadline misses, malformed requests, crashes)
+are recorded in a local :class:`~repro.service.metrics.ServiceMetrics`;
+:meth:`metrics` merges it with every worker's export into one cluster
+view (:func:`~repro.cluster.metrics.merge_metrics`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.engine import parse_query
+from repro.core.params import SearchParams
+from repro.errors import (
+    DeadlineExceededError,
+    PoolClosedError,
+    WorkerCrashedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import (
+    QueryRequest,
+    QueryResponse,
+    coerce_request,
+    normalize_search_args,
+)
+from repro.service.wire import request_to_dict, response_from_dict
+from repro.cluster.metrics import merge_metrics
+from repro.cluster.pool import WorkerPool, control_error
+from repro.cluster.router import ShardRouter
+
+__all__ = ["ShardedQueryService"]
+
+
+class ShardedQueryService:
+    """Facade owning a shard router, a worker pool and merged metrics.
+
+    Parameters
+    ----------
+    snapshots:
+        ``{dataset_name: snapshot_path}`` — every dataset a worker may
+        serve must exist as a snapshot file
+        (:func:`repro.service.snapshot.save_engine`); workers load from
+        disk, ``from_database`` never runs in the fleet.
+    num_workers:
+        Process count (default: the machine's CPU count).
+    default_replicas / replicas:
+        Replica fan-out per dataset (see :class:`ShardRouter`).  A
+        single hot dataset on an 8-core box wants
+        ``default_replicas=8``.
+    cache_capacity / cache_ttl:
+        Per-worker result-cache knobs.
+    start_method:
+        Worker start method (default ``"spawn"``; see ``WorkerPool``).
+    restart:
+        Restart-on-crash policy, on by default.
+    """
+
+    def __init__(
+        self,
+        snapshots: Mapping[str, os.PathLike],
+        *,
+        num_workers: Optional[int] = None,
+        default_replicas: int = 1,
+        replicas: Optional[Mapping[str, int]] = None,
+        cache_capacity: int = 1024,
+        cache_ttl: Optional[float] = None,
+        metrics_window: int = 2048,
+        start_method: Optional[str] = "spawn",
+        health_interval: float = 0.5,
+        restart: bool = True,
+    ) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        self.router = ShardRouter(
+            list(snapshots),
+            num_workers,
+            default_replicas=default_replicas,
+            replicas=replicas,
+        )
+        paths = {name: str(path) for name, path in snapshots.items()}
+        specs = {
+            worker_id: {name: paths[name] for name in names}
+            for worker_id, names in self.router.assignments().items()
+        }
+        self.pool = WorkerPool(
+            specs,
+            settings={"cache_capacity": cache_capacity, "cache_ttl": cache_ttl},
+            start_method=start_method,
+            health_interval=health_interval,
+            restart=restart,
+        )
+        self._local_metrics = ServiceMetrics(metrics_window)
+
+    # ------------------------------------------------------------------
+    # registry view
+    # ------------------------------------------------------------------
+    def datasets(self) -> list[str]:
+        """Dataset names the cluster serves, sorted."""
+        return self.router.datasets()
+
+    def warmup(self, names: Optional[Sequence[str]] = None) -> dict[str, float]:
+        """Build every shard's engines from disk now.
+
+        Returns ``{dataset: build_seconds}``, reporting each dataset's
+        *slowest* replica — the one that gates fleet readiness.
+        """
+        wanted = set(names) if names is not None else None
+        futures: dict[int, Future] = {}
+        for worker_id, assigned in self.router.assignments().items():
+            targets = (
+                list(assigned)
+                if wanted is None
+                else [name for name in assigned if name in wanted]
+            )
+            if not targets:
+                continue
+            futures[worker_id] = self.pool.submit(worker_id, "warmup", targets)
+        timings: dict[str, float] = {}
+        for future in futures.values():
+            payload = future.result()
+            error = control_error(payload)
+            if error is not None:
+                # e.g. a SnapshotError warming from a corrupt file —
+                # re-raised here with its original type where possible.
+                raise error
+            for name, seconds in payload.items():
+                timings[name] = max(timings.get(name, 0.0), seconds)
+        return timings
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        dataset: Union[str, QueryRequest],
+        query: Optional[Union[str, Sequence[str]]] = None,
+        *,
+        algorithm: str = "bidirectional",
+        k: Optional[int] = None,
+        params: Optional[SearchParams] = None,
+        timeout: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> QueryResponse:
+        """Execute one query on its shard (same signature and dual
+        calling convention as :meth:`QueryService.search`)."""
+        request = normalize_search_args(
+            dataset,
+            query,
+            algorithm=algorithm,
+            k=k,
+            params=params,
+            timeout=timeout,
+            use_cache=use_cache,
+        )
+        dispatched = self._dispatch(request)
+        if isinstance(dispatched, QueryResponse):
+            return dispatched
+        deadline = (
+            time.monotonic() + request.timeout
+            if request.timeout is not None
+            else None
+        )
+        return self._await(request, dispatched, deadline)
+
+    def search_many(
+        self,
+        requests: Sequence[Union[QueryRequest, tuple]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> list[QueryResponse]:
+        """Execute a batch across the fleet; responses in request order.
+
+        The whole batch is dispatched before any response is awaited,
+        so shards run concurrently — this is the call whose CPU time
+        finally spreads over cores.  Per-item failures (malformed item,
+        unknown dataset, absent keyword, crash, deadline) come back as
+        structured error responses in their slots, never exceptions.
+        """
+        prepared: list[Union[QueryRequest, QueryResponse]] = []
+        for raw in requests:
+            try:
+                prepared.append(coerce_request(raw, default_timeout=timeout))
+            except Exception as exc:
+                prepared.append(self._malformed_response(exc))
+        submitted = time.monotonic()
+        dispatched = [
+            self._dispatch(item) if isinstance(item, QueryRequest) else item
+            for item in prepared
+        ]
+        responses: list[QueryResponse] = []
+        for item, outcome in zip(prepared, dispatched):
+            if isinstance(outcome, QueryResponse):
+                responses.append(outcome)
+                continue
+            deadline = (
+                submitted + item.timeout if item.timeout is not None else None
+            )
+            responses.append(self._await(item, outcome, deadline))
+        return responses
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def metrics(self, *, include_samples: bool = False) -> dict:
+        """One cluster-wide metrics dict.
+
+        Worker exports (latency reservoirs included, so percentiles are
+        exact) are merged with the supervisor's own counters; a
+        ``cluster`` section adds fleet state — per-worker liveness,
+        restart counts and shard assignments.
+
+        Known divergence from the thread tier: a deadline-missed
+        request is recorded twice — once here as a supervisor-side
+        ``DeadlineExceededError`` and once by the worker when the
+        abandoned search eventually completes.  The thread tier's
+        exactly-once claim needs shared memory; across processes the
+        honest choice is counting both sides rather than hiding either.
+        """
+        per_worker = self.pool.metrics()
+        parts = list(per_worker.values())
+        parts.append(self._local_metrics.export(include_samples=True))
+        merged = merge_metrics(parts)
+        if not include_samples:
+            for entry in merged.get("algorithms", {}).values():
+                entry.pop("latency_samples", None)
+        alive = self.pool.alive()
+        merged["cluster"] = {
+            "workers": self.router.num_workers,
+            "alive": sum(alive.values()),
+            "restarts": {str(w): n for w, n in sorted(self.pool.restarts().items())},
+            "assignments": {
+                str(w): list(names)
+                for w, names in sorted(self.router.assignments().items())
+            },
+            "per_worker": {
+                str(w): {
+                    "requests_total": metrics.get("requests_total", 0),
+                    "errors_total": metrics.get("errors_total", 0),
+                }
+                for w, metrics in sorted(per_worker.items())
+            },
+        }
+        return merged
+
+    def reset_metrics(self) -> None:
+        self._local_metrics.reset()
+
+    def health(self) -> dict:
+        """Fleet liveness summary for a health endpoint."""
+        alive = self.pool.alive()
+        return {
+            "workers": self.router.num_workers,
+            "alive": sum(alive.values()),
+            "restarts": sum(self.pool.restarts().values()),
+            "datasets": self.datasets(),
+        }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain and stop the worker fleet (idempotent)."""
+        self.pool.close(timeout)
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, request: QueryRequest
+    ) -> Union[Future, QueryResponse]:
+        """Route and ship one request; supervisor-side failures (bad
+        query, unknown dataset) come back as an immediate response."""
+        start = time.perf_counter()
+        try:
+            keywords = parse_query(request.query)
+            worker_id = self.router.route(
+                request.dataset, (keywords, request.algorithm)
+            )
+        except Exception as exc:
+            self._local_metrics.record_error(request.algorithm, type(exc).__name__)
+            return QueryResponse(
+                request=request,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                elapsed=time.perf_counter() - start,
+                exception=exc,
+            )
+        wire_request = request_to_dict(request)
+        # The supervisor owns the deadline; the worker runs to completion.
+        wire_request["timeout"] = None
+        try:
+            return self.pool.request(worker_id, wire_request)
+        except PoolClosedError:
+            raise  # caller bug, like searching a closed QueryService
+        except Exception as exc:
+            # e.g. WorkerCrashedError with restarts disabled: the shard
+            # is gone, which is an answer, not an exception.
+            self._local_metrics.record_error(request.algorithm, type(exc).__name__)
+            return QueryResponse(
+                request=request,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                elapsed=time.perf_counter() - start,
+                exception=exc,
+            )
+
+    def _await(
+        self,
+        request: QueryRequest,
+        future: Future,
+        deadline: Optional[float],
+    ) -> QueryResponse:
+        try:
+            if deadline is None:
+                payload = future.result()
+            else:
+                payload = future.result(
+                    timeout=max(deadline - time.monotonic(), 0.0)
+                )
+        except FutureTimeoutError:
+            self._local_metrics.record_error(
+                request.algorithm, DeadlineExceededError.__name__
+            )
+            return QueryResponse(
+                request=request,
+                error=(
+                    f"deadline of {request.timeout}s exceeded "
+                    f"(the shard worker keeps running it in the background)"
+                ),
+                error_type=DeadlineExceededError.__name__,
+                elapsed=request.timeout or 0.0,
+            )
+        response = response_from_dict(payload)
+        # Hand the caller back the exact object it submitted (the wire
+        # copy lost nothing, but identity is friendlier than equality).
+        response.request = request
+        if response.error_type == WorkerCrashedError.__name__:
+            # Worker-side errors are counted by the worker; a crash is
+            # the one failure only the supervisor can account for.
+            self._local_metrics.record_error(
+                request.algorithm, WorkerCrashedError.__name__
+            )
+            response.exception = WorkerCrashedError(response.error)
+        return response
+
+    def _malformed_response(self, exc: Exception) -> QueryResponse:
+        self._local_metrics.record_error("invalid-request", type(exc).__name__)
+        return QueryResponse(
+            request=None,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            exception=exc,
+        )

@@ -1,0 +1,164 @@
+"""Shard worker: one process, one snapshot-warmed ``QueryService``.
+
+``worker_main`` is the target the supervisor passes to
+``multiprocessing.Process``.  Its whole world is one queue and one pipe:
+
+* the **request queue** (private to this worker) carries ``(kind,
+  job_id, ...)`` tuples of primitives — request-shaped dicts, dataset
+  name lists, floats — never live objects;
+* the **response connection** (private to this worker) carries
+  ``(worker_id, job_id, payload)`` with a dict payload.
+
+Responses travel over a per-worker ``Pipe`` rather than one shared
+queue deliberately: a ``multiprocessing.Queue`` writer killed mid-put
+can die holding the queue's shared write lock, wedging every *other*
+worker's responses forever.  A killed worker can only corrupt its own
+pipe, whose buffered responses stay readable up to the EOF and which
+the supervisor discards on restart — crash containment, not just crash
+detection.
+
+Engines are registered from snapshot *paths* via
+:meth:`QueryService.register_snapshot`, so warmup is a disk load —
+``from_database`` never runs inside a worker, and nothing un-picklable
+crosses the process boundary in either direction.
+
+The loop never lets a per-message failure kill the process: any
+exception while handling a message becomes a structured error payload
+for that job and the loop continues.  The worker exits on the ``stop``
+sentinel, on a torn-down channel, or when it notices its parent died
+(orphan protection: a supervisor crash must not strand worker
+processes).
+
+Deadlines are *not* enforced here — the supervisor strips ``timeout``
+before shipping a request and watches the clock itself, so a worker
+executes exactly one request at a time, synchronously.  (A deadline
+miss therefore still occupies the worker until the search finishes,
+same as the thread tier; ``SearchParams.node_budget`` bounds the
+damage.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from typing import Optional
+
+from repro.service.service import QueryService
+from repro.service.wire import (
+    error_response_dict,
+    request_from_dict,
+    response_to_dict,
+)
+
+__all__ = ["worker_main", "WORKER_POLL_SECONDS"]
+
+#: How often a blocked worker wakes to check its parent is still alive.
+WORKER_POLL_SECONDS = 1.0
+
+
+def _parent_alive() -> bool:
+    parent = multiprocessing.parent_process()
+    return parent is None or parent.is_alive()
+
+
+def _handle_request(service: QueryService, payload: dict) -> dict:
+    """Execute one request dict, returning a response dict (never raises)."""
+    try:
+        request = request_from_dict(payload)
+    except Exception as exc:
+        return error_response_dict(payload, str(exc), type(exc).__name__)
+    # QueryService.search never raises for a well-formed request: engine
+    # failures come back as structured error responses already.
+    return response_to_dict(service.search(request))
+
+
+def _handle_message(
+    service: QueryService, worker_id: int, kind: str, message: tuple
+) -> dict:
+    """Dispatch one non-stop message to its handler (may raise)."""
+    if kind == "request":
+        return _handle_request(service, message[2])
+    if kind == "ping":
+        return {
+            "pong": True,
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "datasets": service.datasets(),
+        }
+    if kind == "metrics":
+        return service.metrics(include_samples=message[2])
+    if kind == "warmup":
+        names: Optional[list] = message[2]
+        return service.warmup(names)
+    if kind == "sleep":
+        # Debug/test hook: hold this worker busy for a while, the cheap
+        # stand-in for a long search when exercising crash recovery and
+        # drain behaviour.
+        time.sleep(message[2])
+        return {"slept": message[2]}
+    raise ValueError(f"unknown message kind {kind!r}")
+
+
+def worker_main(
+    worker_id: int,
+    snapshots: dict,
+    settings: dict,
+    request_queue,
+    response_conn,
+) -> None:
+    """Run the worker loop until stopped (process entrypoint).
+
+    Parameters
+    ----------
+    worker_id:
+        This worker's id, echoed on every response.
+    snapshots:
+        ``{dataset_name: snapshot_path_string}`` for this shard.
+    settings:
+        Plain dict of ``QueryService`` knobs: ``cache_capacity``,
+        ``cache_ttl``.
+    request_queue / response_conn:
+        The channel pair described in the module docstring.
+    """
+    service = QueryService(
+        cache_capacity=settings.get("cache_capacity", 1024),
+        cache_ttl=settings.get("cache_ttl"),
+        max_workers=1,
+    )
+    for name, path in snapshots.items():
+        service.register_snapshot(name, path)
+
+    try:
+        while True:
+            try:
+                message = request_queue.get(timeout=WORKER_POLL_SECONDS)
+            except queue.Empty:
+                if not _parent_alive():
+                    break
+                continue
+            except (EOFError, OSError):
+                break
+
+            kind = message[0]
+            if kind == "stop":
+                break
+            job_id = message[1]
+            try:
+                payload = _handle_message(service, worker_id, kind, message)
+            except Exception as exc:
+                payload = {"error": str(exc), "error_type": type(exc).__name__}
+            try:
+                response_conn.send((worker_id, job_id, payload))
+            except (BrokenPipeError, OSError):
+                break  # supervisor is gone; nothing left to serve
+    finally:
+        service.close(wait=False)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(
+        "repro.cluster.worker is a process entrypoint; start workers "
+        "through repro.cluster.WorkerPool"
+    )

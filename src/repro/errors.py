@@ -24,6 +24,9 @@ __all__ = [
     "UnknownDatasetError",
     "DeadlineExceededError",
     "SnapshotError",
+    "ClusterError",
+    "WorkerCrashedError",
+    "PoolClosedError",
 ]
 
 
@@ -104,3 +107,22 @@ class DeadlineExceededError(ServiceError, TimeoutError):
 
 class SnapshotError(ServiceError):
     """Raised on malformed, incompatible or unwritable snapshot files."""
+
+
+class ClusterError(ServiceError):
+    """Base class for process-pool sharding tier problems."""
+
+
+class WorkerCrashedError(ClusterError):
+    """Raised (or reported as an error type) when a shard worker process
+    died with a request in flight.
+
+    The supervisor converts the loss into structured error responses for
+    the affected requests and restarts the worker; the error type lets
+    callers distinguish "your request was lost to a crash, retry it"
+    from a deterministic failure like an absent keyword.
+    """
+
+
+class PoolClosedError(ClusterError):
+    """Raised when submitting work to a worker pool that has been closed."""

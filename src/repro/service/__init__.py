@@ -17,7 +17,12 @@ See ``examples/service_quickstart.py`` for the end-to-end tour.
 
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics, percentile
-from repro.service.service import QueryRequest, QueryResponse, QueryService
+from repro.service.service import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    coerce_request,
+)
 from repro.service.snapshot import (
     SNAPSHOT_VERSION,
     load_engine,
@@ -26,11 +31,26 @@ from repro.service.snapshot import (
     save_snapshot,
     snapshot_info,
 )
+from repro.service.wire import (
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 
 __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "coerce_request",
+    "request_to_dict",
+    "request_from_dict",
+    "response_to_dict",
+    "response_from_dict",
+    "result_to_dict",
+    "result_from_dict",
     "ResultCache",
     "canonical_cache_key",
     "ServiceMetrics",

@@ -85,8 +85,14 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
-    def export(self) -> dict:
-        """Everything as one plain, JSON-serializable dict."""
+    def export(self, *, include_samples: bool = False) -> dict:
+        """Everything as one plain, JSON-serializable dict.
+
+        ``include_samples=True`` adds each algorithm's raw latency
+        reservoir under ``latency_samples`` — percentiles of percentiles
+        are meaningless, so a multi-worker aggregator (the cluster tier)
+        needs the samples themselves to merge distributions exactly.
+        """
         with self._lock:
             lookups = self._cache_hits + self._cache_misses
             algorithms = {}
@@ -101,6 +107,8 @@ class ServiceMetrics:
                 }
                 for q in EXPORTED_PERCENTILES:
                     entry[f"latency_p{q:g}"] = percentile(samples, q)
+                if include_samples:
+                    entry["latency_samples"] = samples
                 algorithms[algorithm] = entry
             return {
                 "requests_total": sum(self._requests.values()),

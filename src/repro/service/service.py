@@ -49,7 +49,13 @@ from repro.errors import DeadlineExceededError, UnknownDatasetError
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
 
-__all__ = ["QueryRequest", "QueryResponse", "QueryService"]
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "coerce_request",
+    "normalize_search_args",
+]
 
 _MISS = object()
 
@@ -162,6 +168,91 @@ class QueryResponse:
                 raise DeadlineExceededError(message)
             raise RuntimeError(message)
         return self
+
+
+def coerce_request(
+    request, *, default_timeout: Optional[float] = None
+) -> QueryRequest:
+    """Normalize one batch item into a :class:`QueryRequest`.
+
+    Accepts a prepared request (given ``default_timeout``, a request
+    without its own deadline picks it up) or a ``(dataset, query[,
+    algorithm])`` tuple.  Shared by :meth:`QueryService.search_many` and
+    the cluster tier's supervisor, so both layers reject malformed items
+    identically.  Raises on anything else — callers turn the exception
+    into a structured error response.
+    """
+    if isinstance(request, QueryRequest):
+        if request.timeout is None and default_timeout is not None:
+            return QueryRequest(
+                dataset=request.dataset,
+                query=request.query,
+                algorithm=request.algorithm,
+                k=request.k,
+                params=request.params,
+                timeout=default_timeout,
+                use_cache=request.use_cache,
+            )
+        return request
+    dataset, query, *rest = request
+    if len(rest) > 1:
+        raise ValueError(
+            f"batch tuple must be (dataset, query[, algorithm]), got "
+            f"{len(rest) + 2} elements — build a QueryRequest for more knobs"
+        )
+    return QueryRequest(
+        dataset=dataset,
+        query=query if isinstance(query, str) else tuple(query),
+        algorithm=rest[0] if rest else "bidirectional",
+        timeout=default_timeout,
+    )
+
+
+def normalize_search_args(
+    dataset: Union[str, QueryRequest],
+    query: Optional[Union[str, Sequence[str]]],
+    *,
+    algorithm: str,
+    k: Optional[int],
+    params,
+    timeout: Optional[float],
+    use_cache: bool,
+) -> QueryRequest:
+    """Resolve ``search``'s dual calling convention to one request.
+
+    Both the thread tier and the cluster tier accept either a prepared
+    :class:`QueryRequest` or the ``(dataset, query, ...)`` shorthand —
+    not both: keyword overrides alongside a request object would be
+    silently shadowed by the request's own fields, so they are
+    rejected.  Shared so the two facades can never drift.
+    """
+    if isinstance(dataset, QueryRequest):
+        overrides = (
+            query is not None
+            or algorithm != "bidirectional"
+            or k is not None
+            or params is not None
+            or timeout is not None
+            or use_cache is not True
+        )
+        if overrides:
+            raise ValueError(
+                "pass either a QueryRequest or (dataset, query, ...) "
+                "keywords, not both — the request object already fixes "
+                "those fields"
+            )
+        return dataset
+    if query is None:
+        raise ValueError("query is required when dataset is a name")
+    return QueryRequest(
+        dataset=dataset,
+        query=query if isinstance(query, str) else tuple(query),
+        algorithm=algorithm,
+        k=k,
+        params=params,
+        timeout=timeout,
+        use_cache=use_cache,
+    )
 
 
 class QueryService:
@@ -326,34 +417,15 @@ class QueryService:
         ``timeout`` the request runs on the executor so the deadline is
         enforced.
         """
-        if isinstance(dataset, QueryRequest):
-            overrides = (
-                query is not None
-                or algorithm != "bidirectional"
-                or k is not None
-                or params is not None
-                or timeout is not None
-                or use_cache is not True
-            )
-            if overrides:
-                raise ValueError(
-                    "pass either a QueryRequest or (dataset, query, ...) "
-                    "keywords, not both — the request object already fixes "
-                    "those fields"
-                )
-            request = dataset
-        else:
-            if query is None:
-                raise ValueError("query is required when dataset is a name")
-            request = QueryRequest(
-                dataset=dataset,
-                query=query if isinstance(query, str) else tuple(query),
-                algorithm=algorithm,
-                k=k,
-                params=params,
-                timeout=timeout,
-                use_cache=use_cache,
-            )
+        request = normalize_search_args(
+            dataset,
+            query,
+            algorithm=algorithm,
+            k=k,
+            params=params,
+            timeout=timeout,
+            use_cache=use_cache,
+        )
         if request.timeout is None:
             return self._execute(request)
         future, record = self._submit(request)
@@ -381,7 +453,7 @@ class QueryService:
         prepared: list[Union[QueryRequest, QueryResponse]] = []
         for raw in requests:
             try:
-                prepared.append(self._coerce_request(raw, default_timeout=timeout))
+                prepared.append(coerce_request(raw, default_timeout=timeout))
             except Exception as exc:
                 prepared.append(self._malformed_response(exc))
         submitted = time.monotonic()
@@ -402,9 +474,14 @@ class QueryService:
     # ------------------------------------------------------------------
     # observability / lifecycle
     # ------------------------------------------------------------------
-    def metrics(self) -> dict:
-        """Latency percentiles, cache and error counters as a plain dict."""
-        exported = self._metrics.export()
+    def metrics(self, *, include_samples: bool = False) -> dict:
+        """Latency percentiles, cache and error counters as a plain dict.
+
+        ``include_samples=True`` adds the raw latency reservoirs (see
+        :meth:`ServiceMetrics.export`) — what the cluster tier ships to
+        its supervisor so merged percentiles are exact.
+        """
+        exported = self._metrics.export(include_samples=include_samples)
         exported["cache"] = self.cache.stats()
         with self._registry_lock:
             exported["datasets"] = {
@@ -440,34 +517,6 @@ class QueryService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _coerce_request(
-        self, request, *, default_timeout: Optional[float]
-    ) -> QueryRequest:
-        if isinstance(request, QueryRequest):
-            if request.timeout is None and default_timeout is not None:
-                return QueryRequest(
-                    dataset=request.dataset,
-                    query=request.query,
-                    algorithm=request.algorithm,
-                    k=request.k,
-                    params=request.params,
-                    timeout=default_timeout,
-                    use_cache=request.use_cache,
-                )
-            return request
-        dataset, query, *rest = request
-        if len(rest) > 1:
-            raise ValueError(
-                f"batch tuple must be (dataset, query[, algorithm]), got "
-                f"{len(rest) + 2} elements — build a QueryRequest for more knobs"
-            )
-        return QueryRequest(
-            dataset=dataset,
-            query=query if isinstance(query, str) else tuple(query),
-            algorithm=rest[0] if rest else "bidirectional",
-            timeout=default_timeout,
-        )
-
     def _malformed_response(self, exc: Exception) -> QueryResponse:
         self._metrics.record_error("invalid-request", type(exc).__name__)
         return QueryResponse(

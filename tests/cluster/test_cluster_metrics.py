@@ -1,0 +1,118 @@
+"""merge_metrics: cluster aggregation equals a hand-merge of the parts."""
+
+import numpy as np
+
+from repro.cluster.metrics import merge_metrics
+from repro.service.metrics import ServiceMetrics
+
+
+def _worker_part(latencies, *, hits, misses, errors, cache, datasets):
+    metrics = ServiceMetrics()
+    for seconds in latencies:
+        metrics.record_request("bidirectional", seconds, cached=False)
+    for _ in range(hits):
+        metrics.record_request("bidirectional", 0.0, cached=True)
+    for error_type in errors:
+        metrics.record_error("bidirectional", error_type)
+    part = metrics.export(include_samples=True)
+    # record_request(cached=False) already counted `misses`; align the
+    # synthetic cache section with the counters.
+    assert part["cache_misses"] == len(latencies)
+    part["cache"] = cache
+    part["datasets"] = datasets
+    return part
+
+
+def test_merge_equals_hand_merge():
+    lat_a = [0.010, 0.020, 0.030, 0.500]
+    lat_b = [0.001, 0.002, 0.003]
+    part_a = _worker_part(
+        lat_a,
+        hits=3,
+        misses=len(lat_a),
+        errors=["KeywordNotFoundError"],
+        cache={"size": 4, "capacity": 64, "ttl": None, "hits": 3, "misses": 4,
+               "hit_rate": 3 / 7, "evictions": 1, "expirations": 0},
+        datasets={"registered": ["alpha", "beta"], "built": ["alpha"],
+                  "build_seconds": {"alpha": 0.5}},
+    )
+    part_b = _worker_part(
+        lat_b,
+        hits=1,
+        misses=len(lat_b),
+        errors=["KeywordNotFoundError", "UnknownDatasetError"],
+        cache={"size": 2, "capacity": 64, "ttl": None, "hits": 1, "misses": 3,
+               "hit_rate": 1 / 4, "evictions": 0, "expirations": 0},
+        datasets={"registered": ["alpha"], "built": ["alpha"],
+                  "build_seconds": {"alpha": 0.9}},
+    )
+    merged = merge_metrics([part_a, part_b])
+
+    # Counters: plain sums.
+    assert merged["requests_total"] == part_a["requests_total"] + part_b["requests_total"]
+    assert merged["errors_total"] == 3
+    assert merged["errors"] == {"KeywordNotFoundError": 2, "UnknownDatasetError": 1}
+
+    # Hit rate: recomputed from summed numerators/denominators, not an
+    # average of the per-worker rates.
+    hits, misses = 3 + 1, len(lat_a) + len(lat_b)
+    assert merged["cache_hits"] == hits
+    assert merged["cache_misses"] == misses
+    assert merged["cache_hit_rate"] == hits / (hits + misses)
+
+    # Percentiles: exact over the concatenated samples.
+    combined = lat_a + lat_b
+    entry = merged["algorithms"]["bidirectional"]
+    assert sorted(entry["latency_samples"]) == sorted(combined)
+    assert entry["latency_count"] == len(combined)
+    assert entry["latency_mean"] == sum(combined) / len(combined)
+    for q in (50.0, 90.0, 99.0):
+        assert entry[f"latency_p{q:g}"] == float(np.percentile(combined, q))
+    # Sanity: the naive "average the p50s" answer differs, proving the
+    # merge is over samples.
+    naive = (part_a["algorithms"]["bidirectional"]["latency_p50"]
+             + part_b["algorithms"]["bidirectional"]["latency_p50"]) / 2
+    assert entry["latency_p50"] != naive
+
+    # Cache section: summed counters, recomputed rate.
+    assert merged["cache"]["hits"] == 4
+    assert merged["cache"]["capacity"] == 128
+    assert merged["cache"]["hit_rate"] == 4 / (4 + 7)
+
+    # Datasets: union, slowest replica's build time.
+    assert merged["datasets"]["registered"] == ["alpha", "beta"]
+    assert merged["datasets"]["build_seconds"] == {"alpha": 0.9}
+
+
+def test_merge_without_samples_yields_none_percentiles():
+    metrics = ServiceMetrics()
+    metrics.record_request("bidirectional", 0.01, cached=False)
+    no_samples = metrics.export(include_samples=False)
+    with_samples = metrics.export(include_samples=True)
+    merged = merge_metrics([no_samples, with_samples])
+    entry = merged["algorithms"]["bidirectional"]
+    # One part lacks its reservoir: exact percentiles are impossible,
+    # and the merge must say so rather than guess.
+    assert entry["latency_p50"] is None
+    assert entry["latency_samples"] is None
+    assert entry["latency_count"] == 2
+    assert entry["latency_mean"] == 0.01
+
+
+def test_merge_tolerates_supervisor_only_parts():
+    supervisor = ServiceMetrics()
+    supervisor.record_error("bidirectional", "DeadlineExceededError")
+    merged = merge_metrics([supervisor.export(include_samples=True)])
+    assert merged["requests_total"] == 1
+    assert merged["errors"] == {"DeadlineExceededError": 1}
+    assert "cache" not in merged
+    assert "datasets" not in merged
+    assert merge_metrics([]) == {
+        "requests_total": 0,
+        "errors_total": 0,
+        "errors": {},
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "cache_hit_rate": 0.0,
+        "algorithms": {},
+    }

@@ -1,0 +1,150 @@
+"""HTTP front-end: routes, status mapping, batch slots, health."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster.http import make_server, status_for_error
+from repro.service.service import QueryService
+
+
+@pytest.fixture(scope="module")
+def http_service(toy_engine_session):
+    service = QueryService()
+    service.register_engine("toy", toy_engine_session)
+    with service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def server(http_service):
+    server = make_server(http_service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(_url(server, path), timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(server, path, obj):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(obj).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_search_ok(server, toy_engine_session):
+    status, body = _post(
+        server, "/search", {"dataset": "toy", "query": "gray transaction", "k": 3}
+    )
+    assert status == 200
+    assert body["error"] is None
+    local = toy_engine_session.search("gray transaction", k=3)
+    assert [a["tree"]["score"] for a in body["result"]["answers"]] == local.scores()
+
+
+def test_search_error_statuses(server):
+    assert _post(server, "/search", {"dataset": "nope", "query": "x"})[0] == 404
+    status, body = _post(server, "/search", {"dataset": "toy", "query": "zzznope"})
+    assert status == 404
+    assert body["error_type"] == "KeywordNotFoundError"
+    # Malformed request object: 400 with a structured body.
+    status, body = _post(server, "/search", {"bogus": 1})
+    assert status == 400
+    assert body["error_type"] == "ValueError"
+
+
+def test_bad_json_and_unknown_route(server):
+    request = urllib.request.Request(
+        _url(server, "/search"), data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert _get(server, "/nope")[0] == 404
+    assert _post(server, "/nope", {})[0] == 404
+
+
+def test_batch_keeps_slots(server):
+    status, body = _post(
+        server,
+        "/batch",
+        {
+            "requests": [
+                {"dataset": "toy", "query": "gray transaction"},
+                {"oops": True},
+                {"dataset": "toy", "query": "zzznope"},
+            ]
+        },
+    )
+    assert status == 200  # per-item errors live inside the slots
+    responses = body["responses"]
+    assert len(responses) == 3
+    assert responses[0]["error"] is None
+    assert responses[1]["error_type"] == "ValueError"
+    assert responses[2]["error_type"] == "KeywordNotFoundError"
+
+    status, body = _post(server, "/batch", {"nope": 1})
+    assert status == 400
+
+
+def test_metrics_and_healthz(server):
+    status, body = _get(server, "/metrics")
+    assert status == 200
+    assert body["requests_total"] >= 1
+    status, body = _get(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["datasets"] == ["toy"]
+
+
+def test_healthz_reports_fleet_state(server, sharded):
+    # Swap the bound service for the sharded tier: same facade, and
+    # healthz now carries fleet liveness.
+    original = server.service
+    try:
+        server.service = sharded
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["workers"] == 2
+        assert body["alive"] == 2
+        status, body = _post(
+            server, "/search", {"dataset": "alpha", "query": "gray transaction"}
+        )
+        assert status == 200
+        assert body["error"] is None
+    finally:
+        server.service = original
+
+
+def test_status_for_error_mapping():
+    assert status_for_error(None) == 200
+    assert status_for_error("UnknownDatasetError") == 404
+    assert status_for_error("KeywordNotFoundError") == 404
+    assert status_for_error("EmptyQueryError") == 400
+    assert status_for_error("DeadlineExceededError") == 504
+    assert status_for_error("WorkerCrashedError") == 503
+    assert status_for_error("SomethingElse") == 500

@@ -1,0 +1,128 @@
+"""Wire round-trips: service dataclasses <-> JSON-safe dicts."""
+
+import json
+
+import pytest
+
+from repro.core.params import SearchParams
+from repro.service.service import QueryRequest, QueryResponse
+from repro.service.wire import (
+    params_from_dict,
+    params_to_dict,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+def test_params_round_trip():
+    params = SearchParams(mu=0.3, lam=0.5, dmax=4, max_results=7)
+    assert params_from_dict(params_to_dict(params)) == params
+
+
+def test_params_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown fields"):
+        params_from_dict({"mu": 0.5, "bogus": 1})
+
+
+def test_request_round_trip_string_query():
+    request = QueryRequest("dblp", "gray transaction", k=5, timeout=2.0)
+    data = request_to_dict(request)
+    json.dumps(data)  # JSON-safe
+    assert request_from_dict(data) == request
+
+
+def test_request_round_trip_tuple_query_and_params():
+    request = QueryRequest(
+        "dblp",
+        ("gray", "transaction"),
+        algorithm="mi-backward",
+        params=SearchParams(dmax=4),
+        use_cache=False,
+    )
+    data = request_to_dict(request)
+    json.dumps(data)
+    restored = request_from_dict(data)
+    assert restored == request
+    assert isinstance(restored.query, tuple)
+
+
+def test_request_rejects_wrong_field_types():
+    # Boundary validation: an HTTP client's string timeout must be a
+    # structured ValueError here, not a TypeError deep in the service.
+    base = {"dataset": "d", "query": "q"}
+    for field, value in [
+        ("timeout", "5"),
+        ("k", "10"),
+        ("k", True),
+        ("dataset", 3),
+        ("query", 3),
+        ("query", ["ok", 7]),
+        ("algorithm", 1),
+        ("use_cache", "yes"),
+        ("params", "not an object"),
+    ]:
+        with pytest.raises(ValueError):
+            request_from_dict({**base, field: value})
+
+
+def test_request_defaults_and_validation():
+    restored = request_from_dict({"dataset": "d", "query": "q"})
+    assert restored.algorithm == "bidirectional"
+    assert restored.use_cache is True
+    with pytest.raises(ValueError, match="missing"):
+        request_from_dict({"dataset": "d"})
+    with pytest.raises(ValueError, match="unknown fields"):
+        request_from_dict({"dataset": "d", "query": "q", "zzz": 1})
+    with pytest.raises(ValueError):
+        request_from_dict("not a dict")
+
+
+def test_result_round_trip_preserves_answers_and_stats(toy_engine):
+    result = toy_engine.search("gray transaction", k=3)
+    data = result_to_dict(result)
+    json.dumps(data)
+    restored = result_from_dict(data)
+    assert restored.algorithm == result.algorithm
+    assert restored.keywords == result.keywords
+    assert restored.scores() == result.scores()
+    assert restored.signatures() == result.signatures()
+    assert [a.tree.paths for a in restored] == [a.tree.paths for a in result]
+    assert restored.stats.nodes_explored == result.stats.nodes_explored
+    assert restored.stats.elapsed == pytest.approx(result.stats.elapsed)
+
+
+def test_response_round_trip_success(toy_engine):
+    result = toy_engine.search("gray transaction", k=2)
+    response = QueryResponse(
+        request=QueryRequest("toy", "gray transaction", k=2),
+        result=result,
+        cached=True,
+        elapsed=0.5,
+    )
+    data = response_to_dict(response)
+    json.dumps(data)
+    restored = response_from_dict(data)
+    assert restored.ok
+    assert restored.cached is True
+    assert restored.elapsed == 0.5
+    assert restored.request == response.request
+    assert restored.result.scores() == result.scores()
+
+
+def test_response_round_trip_error_drops_exception_keeps_fields():
+    response = QueryResponse(
+        request=None,
+        error="keyword 'zzz' matches no node in the index",
+        error_type="KeywordNotFoundError",
+        exception=RuntimeError("not serializable"),
+    )
+    restored = response_from_dict(response_to_dict(response))
+    assert not restored.ok
+    assert restored.error_type == "KeywordNotFoundError"
+    assert restored.exception is None
+    with pytest.raises(RuntimeError, match="KeywordNotFoundError"):
+        restored.raise_for_error()
