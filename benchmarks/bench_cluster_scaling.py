@@ -26,7 +26,6 @@ Run directly (``python benchmarks/bench_cluster_scaling.py``) or under
 pytest-benchmark.
 """
 
-import json
 import os
 import sys
 import tempfile
@@ -41,7 +40,7 @@ from repro.experiments.common import Report, build_bench, fmt
 from repro.service import QueryRequest, QueryService
 from repro.service.snapshot import save_engine
 
-from conftest import as_float, cell, run_report
+from conftest import as_float, cell, emit_json, run_report
 
 NUM_REQUESTS = 48
 SEED_TERMS = 8
@@ -94,15 +93,13 @@ def run_scaling() -> Report:
 
     def record(mode: str, count: int, seconds: float) -> None:
         qps[(mode, count)] = NUM_REQUESTS / seconds
-        print(
-            json.dumps(
-                {
-                    "mode": mode,
-                    "workers": count,
-                    "seconds": round(seconds, 4),
-                    "qps": round(NUM_REQUESTS / seconds, 2),
-                }
-            )
+        emit_json(
+            {
+                "mode": mode,
+                "workers": count,
+                "seconds": round(seconds, 4),
+                "qps": round(NUM_REQUESTS / seconds, 2),
+            }
         )
 
     for count in workers:

@@ -11,6 +11,20 @@ Scale every dataset up or down with the ``REPRO_SCALE`` env var.
 
 from __future__ import annotations
 
+import json
+import os
+
+
+def emit_json(row: dict) -> None:
+    """Print one JSON result row; also append it to ``BENCH_JSON_OUT``
+    when set (how CI collects rows as workflow artifacts)."""
+    line = json.dumps(row)
+    print(line)
+    path = os.environ.get("BENCH_JSON_OUT")
+    if path:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
 
 def run_report(benchmark, fn, **kwargs):
     """Run ``fn`` under pytest-benchmark and print its Report."""

@@ -8,7 +8,24 @@ The production-facing tier above :class:`repro.KeywordSearchEngine`:
 3. watch a repeated query come back from the LRU+TTL result cache,
 4. run a mixed batch through ``search_many`` and check it agrees with
    sequential calls,
-5. export the service metrics dict.
+5. export the service metrics dict,
+6. miss a deadline on purpose — cooperative cancellation stops the
+   search, frees the thread, and (with ``allow_partial=True``) hands
+   back the answers the Section 4.5 bound had already certified.
+
+Deadline semantics in one paragraph: ``QueryRequest.timeout`` (seconds,
+or ``deadline_ms`` if you think in milliseconds) arms a cancellation
+token that the search's pop loop checks every
+``SearchParams.cancel_check_interval`` pops.  On expiry the response is
+a structured ``error_type="DeadlineExceededError"`` — and because the
+search stopped cooperatively, the worker thread is free again within a
+couple of check intervals instead of grinding to the end.  With
+``allow_partial=True`` the response also carries ``result`` with
+``complete=False``: a *prefix* of what the full run would have
+returned, in the same order — a deadline can cost you answers, never
+reorder them.  Partial results are never cached.  Requests with a
+``request_id`` can be cancelled mid-flight via ``cancel(request_id)``
+(HTTP: ``DELETE /search/<id>``).
 
 Run:  python examples/service_quickstart.py
 """
@@ -17,7 +34,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import QueryRequest, QueryService
+from repro import QueryRequest, QueryService, SearchParams
 from repro.datasets import DblpConfig, make_dblp
 
 QUERIES = [
@@ -107,6 +124,45 @@ def main() -> None:
                     f"errors={metrics['errors_total']}, "
                     "p50(bidirectional)="
                     f"{metrics['algorithms']['bidirectional']['latency_p50'] * 1000:.2f} ms"
+                )
+
+                # ------------------------------------------------------
+                # 6. deadlines: cooperative cancellation + partials
+                # ------------------------------------------------------
+                doomed = QueryRequest(
+                    "dblp",
+                    "paper stream",
+                    algorithm="mi-backward",
+                    timeout=0.002,  # far below this query's runtime
+                    allow_partial=True,
+                    use_cache=False,
+                    # Check the token every pop: tightest responsiveness,
+                    # for demonstration (default is every 32 pops).
+                    params=SearchParams(cancel_check_interval=1),
+                )
+                response = warm.search(doomed)
+                if response.ok:
+                    print("deadline demo: query beat its 2 ms deadline")
+                else:
+                    # Note `is not None`: an empty partial result is
+                    # falsy (SearchResult has __len__), but it is still
+                    # a result.
+                    partial = response.result
+                    have = partial is not None
+                    print(
+                        f"deadline demo: [{response.error_type}] with "
+                        f"{len(partial.answers) if have else 0} partial "
+                        f"answers (complete="
+                        f"{partial.complete if have else '-'}); the "
+                        f"worker thread was freed at the next check, not "
+                        f"at search end"
+                    )
+                cancel_stats = warm.metrics()["cancellations"]
+                print(
+                    f"cancellation metrics: "
+                    f"deadline_exceeded={cancel_stats['deadline_exceeded']}, "
+                    f"cancelled={cancel_stats['cancelled']}, "
+                    f"overrun={cancel_stats['overrun_seconds'] * 1000:.1f} ms"
                 )
 
 

@@ -19,6 +19,12 @@ Public API highlights
     Deployment layer: :class:`~repro.service.QueryService` engine
     registry, LRU+TTL result cache, concurrent batch execution with
     per-request deadlines, disk snapshots and exported metrics.
+    Deadlines are enforced by cooperative cancellation
+    (:class:`~repro.core.cancellation.CancellationToken` threaded
+    through every search loop): an expired or explicitly cancelled
+    query stops within a couple of check intervals, frees its worker,
+    and can return the answers released so far as a ``complete=False``
+    partial result.
 :mod:`repro.cluster`
     Multi-core scale-out: :class:`~repro.cluster.ShardedQueryService`
     dispatches the same ``search`` / ``search_many`` facade over a
@@ -36,6 +42,7 @@ from repro.core import (
     AnswerTree,
     BackwardExpandingSearch,
     BidirectionalSearch,
+    CancellationToken,
     DEFAULT_PARAMS,
     KeywordSearchEngine,
     OutputAnswer,
@@ -55,6 +62,7 @@ from repro.errors import (
     KeywordNotFoundError,
     PoolClosedError,
     ReproError,
+    SearchCancelledError,
     ServiceError,
     SnapshotError,
     UnknownDatasetError,
@@ -87,6 +95,7 @@ __all__ = [
     "AnswerTree",
     "BackwardExpandingSearch",
     "BidirectionalSearch",
+    "CancellationToken",
     "DEFAULT_PARAMS",
     "KeywordSearchEngine",
     "OutputAnswer",
@@ -103,6 +112,7 @@ __all__ = [
     "KeywordNotFoundError",
     "PoolClosedError",
     "ReproError",
+    "SearchCancelledError",
     "ServiceError",
     "ShardedQueryService",
     "SnapshotError",

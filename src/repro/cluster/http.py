@@ -20,6 +20,12 @@ Routes
     Body: ``{"requests": [...], "timeout": seconds?}``.  Always 200:
     per-item errors live inside the response objects, matching
     ``search_many``'s never-raise contract.
+``DELETE /search/<request_id>``
+    Cancel an in-flight search submitted with that ``request_id``.
+    The search stops at its next cooperative check; the original
+    ``POST /search`` gets its structured cancelled/partial response.
+    Always 200 with ``{"cancelled": true|false}`` — cancellation is
+    racy by nature, a request that just completed is not an error.
 ``GET /metrics``
     The service's metrics dict.
 ``GET /healthz``
@@ -27,13 +33,23 @@ Routes
     the service exposes ``health()`` (the sharded tier does); degrades
     to 503 when workers are down.
 
+Client disconnects map to cancellation: while a ``POST /search`` is
+running, a watcher thread peeks the socket; a client that hung up has
+its search cancelled (nobody is left to read the answer), freeing the
+worker.  A cancelled search's response uses 499, nginx's "client
+closed request" convention.
+
 Use :func:`make_server` + ``serve_forever`` in a thread (see
 ``examples/cluster_quickstart.py``), or :func:`serve` to block.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import socket
+import threading
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -41,6 +57,8 @@ from repro.errors import (
     DeadlineExceededError,
     EmptyQueryError,
     KeywordNotFoundError,
+    PoolClosedError,
+    SearchCancelledError,
     UnknownDatasetError,
     WorkerCrashedError,
 )
@@ -60,8 +78,15 @@ _ERROR_STATUS = {
     ValueError.__name__: 400,
     TypeError.__name__: 400,
     DeadlineExceededError.__name__: 504,
+    SearchCancelledError.__name__: 499,
     WorkerCrashedError.__name__: 503,
+    PoolClosedError.__name__: 503,
 }
+
+#: Seconds between socket peeks while a search runs.
+_DISCONNECT_POLL_SECONDS = 0.05
+
+_internal_ids = itertools.count(1)
 
 
 def status_for_error(error_type: Optional[str]) -> int:
@@ -139,8 +164,31 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_json(
                     404, f"no route {self.path!r}", "NotFoundError"
                 )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; its search was cancelled already
         except ValueError as exc:
             self._send_error_json(400, str(exc), type(exc).__name__)
+        except Exception as exc:  # pragma: no cover - handler backstop
+            self._send_error_json(500, str(exc), type(exc).__name__)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            prefix = "/search/"
+            if not self.path.startswith(prefix) or self.path == prefix:
+                self._send_error_json(
+                    404, f"no route {self.path!r}", "NotFoundError"
+                )
+                return
+            request_id = self.path[len(prefix):]
+            cancel = getattr(self.server.service, "cancel", None)
+            if not callable(cancel):
+                self._send_error_json(
+                    501, "service does not support cancellation", "NotImplemented"
+                )
+                return
+            self._send_json(
+                200, {"request_id": request_id, "cancelled": bool(cancel(request_id))}
+            )
         except Exception as exc:  # pragma: no cover - handler backstop
             self._send_error_json(500, str(exc), type(exc).__name__)
 
@@ -160,10 +208,70 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_search(self) -> None:
         request = request_from_dict(self._read_json())
-        response = self.server.service.search(request)
+        service = self.server.service
+        watcher_stop: Optional[threading.Event] = None
+        if callable(getattr(service, "cancel", None)) and hasattr(
+            socket, "MSG_DONTWAIT"
+        ):
+            # Map a client disconnect to cancellation: nobody is left
+            # to read the answer, so free the worker.  Needs an id the
+            # service registers; mint one if the client didn't.
+            if request.request_id is None:
+                request = replace(
+                    request, request_id=f"http-internal-{next(_internal_ids)}"
+                )
+            watcher_stop = threading.Event()
+            threading.Thread(
+                target=self._watch_disconnect,
+                args=(watcher_stop, request.request_id),
+                name="repro-http-disconnect-watch",
+                daemon=True,
+            ).start()
+        try:
+            response = service.search(request)
+        finally:
+            if watcher_stop is not None:
+                watcher_stop.set()
         self._send_json(
             status_for_error(response.error_type), response_to_dict(response)
         )
+
+    def _watch_disconnect(self, stop: threading.Event, request_id: str) -> None:
+        """Peek the client socket while its search runs; EOF means the
+        client hung up — cancel the search it was waiting on.
+
+        Deliberate tradeoff: a read-side FIN cannot be distinguished
+        from a full disconnect by peeking, so a client that half-closes
+        its write side (``shutdown(SHUT_WR)``) while still listening —
+        legal but rare; browsers, curl and every mainstream HTTP client
+        keep the socket fully open — has its search cancelled and gets
+        the 499 response.  The alternative (ignoring EOF) would leave
+        every genuinely vanished client burning a worker, which is the
+        load pattern this watcher exists to stop.
+        """
+        disconnected = False
+        while not stop.wait(_DISCONNECT_POLL_SECONDS):
+            if not disconnected:
+                try:
+                    chunk = self.connection.recv(
+                        1, socket.MSG_PEEK | socket.MSG_DONTWAIT
+                    )
+                except (BlockingIOError, InterruptedError):
+                    continue  # no bytes waiting: still connected
+                except OSError:
+                    chunk = b""  # socket torn down
+                if chunk != b"":
+                    # Pipelined bytes from a live client: nothing to
+                    # cancel; keep watching for EOF.
+                    continue
+                disconnected = True
+            # Keep retrying until the cancel lands: the request may not
+            # be registered yet (still queued behind a busy executor),
+            # and a one-shot miss would leave the orphaned search
+            # running to completion.  The handler sets `stop` when the
+            # search returns.
+            if self.server.service.cancel(request_id):
+                return
 
     def _handle_batch(self) -> None:
         body = self._read_json()
@@ -173,6 +281,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(raw_items, list):
             raise ValueError('"requests" must be a list of request objects')
         timeout = body.get("timeout")
+        # Boundary rule (see wire.py): a string timeout must be a
+        # structured 400 here, not a TypeError per item later.
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+        ):
+            raise ValueError(
+                f'batch "timeout" must be seconds (number), '
+                f"got {type(timeout).__name__}"
+            )
 
         # Convert what converts; malformed items keep their slots as
         # structured errors, mirroring search_many's contract.

@@ -105,6 +105,17 @@ def merge_metrics(parts: Sequence[dict]) -> dict:
     errors: Counter = Counter()
     for part in parts:
         errors.update(part.get("errors", {}))
+    cancellations = {
+        key: sum(
+            part.get("cancellations", {}).get(key, 0) for part in parts
+        )
+        for key in (
+            "cancelled",
+            "deadline_exceeded",
+            "reclaimed_seconds",
+            "overrun_seconds",
+        )
+    }
     cache_hits = sum(part.get("cache_hits", 0) for part in parts)
     cache_misses = sum(part.get("cache_misses", 0) for part in parts)
     lookups = cache_hits + cache_misses
@@ -118,6 +129,7 @@ def merge_metrics(parts: Sequence[dict]) -> dict:
         "requests_total": sum(part.get("requests_total", 0) for part in parts),
         "errors_total": sum(part.get("errors_total", 0) for part in parts),
         "errors": dict(sorted(errors.items())),
+        "cancellations": cancellations,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "cache_hit_rate": (cache_hits / lookups) if lookups else 0.0,

@@ -28,6 +28,18 @@ callers have exception semantics.
 ``close()`` sends each worker the stop sentinel, joins with a deadline,
 kills stragglers, and fails anything still in flight with
 ``PoolClosedError`` — a closed pool leaves no waiter blocked.
+
+Cancellation control channel: each worker also gets a small
+shared-memory **cancel ring** (a ``multiprocessing.Array`` of job ids).
+:meth:`WorkerPool.cancel` writes the doomed job id into its worker's
+ring; the worker probes the ring from inside the search's cooperative
+cancellation token (and once before starting each job, which covers
+requests cancelled while still queued).  Shared memory rather than a
+queue message because the request queue is FIFO: a cancel message would
+arrive *behind* the very request it is meant to stop, and the worker
+reads the queue only between jobs anyway.  Ring slots are overwritten
+oldest-first; job ids are never reused, so a stale id in a slot is
+harmless.
 """
 
 from __future__ import annotations
@@ -124,6 +136,13 @@ class WorkerPool:
     #: before giving up with :class:`WorkerCrashedError`.
     RESPAWN_WAIT_SECONDS = 5.0
 
+    #: Slots in each worker's shared-memory cancel ring.  Bounds how
+    #: many *concurrently pending* cancellations a worker can track;
+    #: overwriting the oldest is safe (ids are unique, a lost cancel
+    #: degrades to the request running to completion, never to a wrong
+    #: answer).
+    CANCEL_SLOTS = 32
+
     def __init__(
         self,
         specs: Mapping[int, Mapping[str, str]],
@@ -150,6 +169,8 @@ class WorkerPool:
         self._processes: dict[int, Optional[multiprocessing.process.BaseProcess]] = {}
         self._queues: dict[int, object] = {}
         self._conns: dict[int, object] = {}
+        self._cancel_cells: dict[int, object] = {}
+        self._cancel_slot: dict[int, int] = {w: 0 for w in self._specs}
         self._restarts: dict[int, int] = {w: 0 for w in self._specs}
         self._started = False
         self._closed = False
@@ -184,6 +205,9 @@ class WorkerPool:
         """Create the process + channel pair for ``worker_id`` (lock held)."""
         request_queue = self._ctx.Queue()
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        # Fresh ring per generation: cancels aimed at a dead worker's
+        # jobs die with it (those jobs were failed over already).
+        cancel_cells = self._ctx.Array("q", self.CANCEL_SLOTS)
         process = self._ctx.Process(
             target=worker_main,
             args=(
@@ -192,6 +216,7 @@ class WorkerPool:
                 self._settings,
                 request_queue,
                 send_conn,
+                cancel_cells,
             ),
             name=f"repro-shard-{worker_id}",
             daemon=True,
@@ -202,6 +227,8 @@ class WorkerPool:
         send_conn.close()
         self._queues[worker_id] = request_queue
         self._conns[worker_id] = recv_conn
+        self._cancel_cells[worker_id] = cancel_cells
+        self._cancel_slot[worker_id] = 0
         self._processes[worker_id] = process
 
     def close(self, timeout: float = 10.0) -> None:
@@ -268,42 +295,58 @@ class WorkerPool:
                 self.start()
             if worker_id not in self._specs:
                 raise KeyError(f"unknown worker id {worker_id!r}")
-        deadline = time.monotonic() + self.RESPAWN_WAIT_SECONDS
-        while True:
-            with self._lock:
-                if self._closed:
-                    raise PoolClosedError("WorkerPool is closed")
-                process = self._processes.get(worker_id)
-            if process is not None and process.is_alive():
-                break
-            if process is not None:
-                self._handle_crash(worker_id, process)
-                continue
-            # Slot is None: a crash handler is mid-respawn (wait for
-            # it) or restarts are disabled (fail now).
-            if not self._restart:
-                raise WorkerCrashedError(
-                    f"worker {worker_id} is down and restart is disabled"
-                )
-            if time.monotonic() >= deadline:
-                raise WorkerCrashedError(
-                    f"worker {worker_id} has no live replacement after "
-                    f"{self.RESPAWN_WAIT_SECONDS}s"
-                )
-            time.sleep(0.02)
         future: Future = Future()
         job_id = next(self._job_ids)
+        # Exposed for cancellation: callers hand the id back to
+        # :meth:`cancel` (the sharded service keys its request_id
+        # registry on it).
+        future.job_id = job_id  # type: ignore[attr-defined]
+        future.worker_id = worker_id  # type: ignore[attr-defined]
         job = _Job(
             worker_id=worker_id,
             kind=kind,
             future=future,
             request=payload[0] if kind == "request" and payload else None,
         )
-        with self._lock:
-            if self._closed:
-                raise PoolClosedError("WorkerPool is closed")
-            self._inflight[job_id] = job
-            request_queue = self._queues[worker_id]
+        deadline = time.monotonic() + self.RESPAWN_WAIT_SECONDS
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise PoolClosedError("WorkerPool is closed")
+                process = self._processes.get(worker_id)
+            if process is None or not process.is_alive():
+                if process is not None:
+                    self._handle_crash(worker_id, process)
+                    continue
+                # Slot is None: a crash handler is mid-respawn (wait
+                # for it) or restarts are disabled (fail now).
+                if not self._restart:
+                    raise WorkerCrashedError(
+                        f"worker {worker_id} is down and restart is disabled"
+                    )
+                if time.monotonic() >= deadline:
+                    raise WorkerCrashedError(
+                        f"worker {worker_id} has no live replacement after "
+                        f"{self.RESPAWN_WAIT_SECONDS}s"
+                    )
+                time.sleep(0.02)
+                continue
+            with self._lock:
+                if self._closed:
+                    raise PoolClosedError("WorkerPool is closed")
+                # The generation guard closing the register/crash race:
+                # if the worker died after the liveness check above, a
+                # crash handler may already have collected its doomed
+                # jobs and swapped in a fresh queue — registering now
+                # and writing to the *old* queue would strand this job
+                # forever.  Registering under the same lock that
+                # verifies the process is still the observed one means
+                # any later crash handling sees (and fails) this job.
+                if self._processes.get(worker_id) is not process:
+                    continue
+                self._inflight[job_id] = job
+                request_queue = self._queues[worker_id]
+            break
         try:
             request_queue.put((kind, job_id, *payload))
         except (OSError, ValueError) as exc:  # pragma: no cover - queue gone
@@ -313,8 +356,41 @@ class WorkerPool:
         return future
 
     def request(self, worker_id: int, request_dict: dict) -> Future:
-        """Submit one request-shaped dict; resolves to a response dict."""
+        """Submit one request-shaped dict; resolves to a response dict.
+
+        The returned future carries ``job_id`` / ``worker_id``
+        attributes — the handle :meth:`cancel` takes.
+        """
         return self.submit(worker_id, "request", request_dict)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: int) -> bool:
+        """Ask the worker holding ``job_id`` to stop it cooperatively.
+
+        Writes the id into the worker's shared-memory cancel ring; the
+        worker notices inside the search's token checks (or before
+        starting the job, if it was still queued) and responds with a
+        structured cancelled/partial response through the normal pipe —
+        the waiter is *not* failed here.  Returns True if the job was
+        found in flight; False means it already completed (or never
+        existed), which is not an error: cancellation is inherently
+        racy and idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            job = self._inflight.get(job_id)
+            if job is None or job.kind != "request":
+                return False
+            cells = self._cancel_cells.get(job.worker_id)
+            if cells is None:  # pragma: no cover - worker mid-respawn
+                return False
+            slot = self._cancel_slot[job.worker_id]
+            self._cancel_slot[job.worker_id] = (slot + 1) % self.CANCEL_SLOTS
+        cells[slot] = job_id
+        return True
 
     # ------------------------------------------------------------------
     # health / observability
@@ -491,9 +567,22 @@ class WorkerPool:
     def _fail_job(self, job: _Job, message: str) -> None:
         if job.future.done():  # pragma: no cover - lost the race benignly
             return
+        closed = "closed" in message
         if job.kind == "request":
-            job.future.set_result(_crash_response(job.request, message))
-        elif "closed" in message:
+            # The error type must name the real cause: a crashed worker
+            # means "retry it, the pool restarted the shard", a closed
+            # pool means there is nothing left to retry against.
+            error_type = (
+                PoolClosedError.__name__ if closed else WorkerCrashedError.__name__
+            )
+            job.future.set_result(
+                error_response_dict(
+                    job.request if isinstance(job.request, dict) else None,
+                    message,
+                    error_type,
+                )
+            )
+        elif closed:
             job.future.set_exception(PoolClosedError(message))
         else:
             job.future.set_exception(WorkerCrashedError(message))

@@ -19,9 +19,20 @@ Failure semantics extend the service contract across processes:
 
 * a malformed request or unroutable dataset is answered supervisor-side
   as a structured error response;
-* a deadline miss is answered supervisor-side
-  (``error_type="DeadlineExceededError"``) while the worker finishes in
-  the background, exactly like the thread tier;
+* a deadline is enforced *worker-side first*: the request ships with
+  its ``timeout``, the worker arms a cooperative
+  :class:`~repro.core.cancellation.CancellationToken`, and the expired
+  search stops within a couple of check intervals and frees the shard
+  (``error_type="DeadlineExceededError"``, carrying partial answers
+  when ``allow_partial``).  The supervisor still watches the clock as a
+  backstop — a request that missed its deadline while *queued* is
+  killed through the pool's cancel ring
+  (:meth:`~repro.cluster.pool.WorkerPool.cancel`) so it never occupies
+  the shard at all;
+* requests carrying a ``request_id`` can be stopped explicitly through
+  :meth:`ShardedQueryService.cancel` (what ``DELETE /search/<id>`` and
+  the HTTP disconnect watcher call) — the shard stops searching, the
+  waiter gets a structured ``SearchCancelledError`` response;
 * a worker crash turns its in-flight requests into
   ``error_type="WorkerCrashedError"`` responses and the pool restarts
   the worker — callers never hang, and the *next* batch is served.
@@ -35,6 +46,7 @@ view (:func:`~repro.cluster.metrics.merge_metrics`).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -45,6 +57,7 @@ from repro.core.params import SearchParams
 from repro.errors import (
     DeadlineExceededError,
     PoolClosedError,
+    SearchCancelledError,
     WorkerCrashedError,
 )
 from repro.service.metrics import ServiceMetrics
@@ -84,6 +97,15 @@ class ShardedQueryService:
         Worker start method (default ``"spawn"``; see ``WorkerPool``).
     restart:
         Restart-on-crash policy, on by default.
+    cooperative_cancellation:
+        Arm worker-side cancellation tokens (deadlines stop searches
+        and free shards; ``cancel`` works).  False restores the old
+        run-to-completion behaviour — the control arm of
+        ``benchmarks/bench_cancellation.py``.
+    cancel_grace:
+        How long a deadline-missed ``allow_partial`` request waits for
+        the cancelled search's partial response before settling for a
+        bare deadline error.
     """
 
     def __init__(
@@ -99,9 +121,13 @@ class ShardedQueryService:
         start_method: Optional[str] = "spawn",
         health_interval: float = 0.5,
         restart: bool = True,
+        cooperative_cancellation: bool = True,
+        cancel_grace: float = 1.0,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
+        if cancel_grace < 0:
+            raise ValueError(f"cancel_grace must be >= 0, got {cancel_grace!r}")
         self.router = ShardRouter(
             list(snapshots),
             num_workers,
@@ -115,12 +141,20 @@ class ShardedQueryService:
         }
         self.pool = WorkerPool(
             specs,
-            settings={"cache_capacity": cache_capacity, "cache_ttl": cache_ttl},
+            settings={
+                "cache_capacity": cache_capacity,
+                "cache_ttl": cache_ttl,
+                "cooperative_cancellation": cooperative_cancellation,
+            },
             start_method=start_method,
             health_interval=health_interval,
             restart=restart,
         )
+        self._cooperative = cooperative_cancellation
+        self._cancel_grace = cancel_grace
         self._local_metrics = ServiceMetrics(metrics_window)
+        self._active_lock = threading.Lock()
+        self._active: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # registry view
@@ -129,11 +163,17 @@ class ShardedQueryService:
         """Dataset names the cluster serves, sorted."""
         return self.router.datasets()
 
-    def warmup(self, names: Optional[Sequence[str]] = None) -> dict[str, float]:
+    def warmup(
+        self, names: Optional[Sequence[str]] = None, *, timeout: float = 300.0
+    ) -> dict[str, float]:
         """Build every shard's engines from disk now.
 
         Returns ``{dataset: build_seconds}``, reporting each dataset's
         *slowest* replica — the one that gates fleet readiness.
+        ``timeout`` bounds the whole fleet warmup: a worker alive but
+        stuck loading (hung filesystem read) must surface as an error,
+        not block startup forever — the same deadline discipline as
+        :meth:`WorkerPool.warmup`.
         """
         wanted = set(names) if names is not None else None
         futures: dict[int, Future] = {}
@@ -147,8 +187,11 @@ class ShardedQueryService:
                 continue
             futures[worker_id] = self.pool.submit(worker_id, "warmup", targets)
         timings: dict[str, float] = {}
+        deadline = time.monotonic() + timeout
         for future in futures.values():
-            payload = future.result()
+            payload = future.result(
+                timeout=max(deadline - time.monotonic(), 0.0)
+            )
             error = control_error(payload)
             if error is not None:
                 # e.g. a SnapshotError warming from a corrupt file —
@@ -183,14 +226,18 @@ class ShardedQueryService:
             timeout=timeout,
             use_cache=use_cache,
         )
-        dispatched = self._dispatch(request)
-        if isinstance(dispatched, QueryResponse):
-            return dispatched
+        # Anchor the deadline *before* dispatch — crash-drain/respawn
+        # waits inside the pool count against the caller's budget, the
+        # same semantics search_many applies from its submission
+        # instant.
         deadline = (
             time.monotonic() + request.timeout
             if request.timeout is not None
             else None
         )
+        dispatched = self._dispatch(request)
+        if isinstance(dispatched, QueryResponse):
+            return dispatched
         return self._await(request, dispatched, deadline)
 
     def search_many(
@@ -273,6 +320,25 @@ class ShardedQueryService:
         }
         return merged
 
+    def cancel(self, request_id: str) -> bool:
+        """Cancel an in-flight request by its ``QueryRequest.request_id``.
+
+        Routed through the pool's cancel ring: the shard worker stops
+        the search at its next cooperative check (or skips it entirely
+        if still queued) and the waiter receives the structured
+        cancelled/partial response.  Returns True if a live request
+        with that id was found.  Always False with
+        ``cooperative_cancellation=False`` — the workers discarded
+        their cancel rings, so claiming success would be a lie.
+        """
+        if not self._cooperative:
+            return False
+        with self._active_lock:
+            job_id = self._active.get(request_id)
+        if job_id is None:
+            return False
+        return self.pool.cancel(job_id)
+
     def reset_metrics(self) -> None:
         self._local_metrics.reset()
 
@@ -320,10 +386,14 @@ class ShardedQueryService:
                 exception=exc,
             )
         wire_request = request_to_dict(request)
-        # The supervisor owns the deadline; the worker runs to completion.
-        wire_request["timeout"] = None
+        if not self._cooperative:
+            # Control arm: the supervisor owns the deadline; the worker
+            # runs every search to completion (pre-cancellation
+            # behaviour).  Cooperative mode ships the timeout so the
+            # worker arms its own token and frees the shard on expiry.
+            wire_request["timeout"] = None
         try:
-            return self.pool.request(worker_id, wire_request)
+            future = self.pool.request(worker_id, wire_request)
         except PoolClosedError:
             raise  # caller bug, like searching a closed QueryService
         except Exception as exc:
@@ -337,6 +407,10 @@ class ShardedQueryService:
                 elapsed=time.perf_counter() - start,
                 exception=exc,
             )
+        if self._cooperative and request.request_id is not None:
+            with self._active_lock:
+                self._active[request.request_id] = future.job_id  # type: ignore[attr-defined]
+        return future
 
     def _await(
         self,
@@ -345,6 +419,22 @@ class ShardedQueryService:
         deadline: Optional[float],
     ) -> QueryResponse:
         try:
+            return self._await_inner(request, future, deadline)
+        finally:
+            if request.request_id is not None:
+                job_id = getattr(future, "job_id", None)
+                with self._active_lock:
+                    if self._active.get(request.request_id) == job_id:
+                        del self._active[request.request_id]
+
+    def _await_inner(
+        self,
+        request: QueryRequest,
+        future: Future,
+        deadline: Optional[float],
+    ) -> QueryResponse:
+        payload: Optional[dict] = None
+        try:
             if deadline is None:
                 payload = future.result()
             else:
@@ -352,19 +442,51 @@ class ShardedQueryService:
                     timeout=max(deadline - time.monotonic(), 0.0)
                 )
         except FutureTimeoutError:
-            self._local_metrics.record_error(
-                request.algorithm, DeadlineExceededError.__name__
-            )
-            return QueryResponse(
-                request=request,
-                error=(
-                    f"deadline of {request.timeout}s exceeded "
-                    f"(the shard worker keeps running it in the background)"
-                ),
-                error_type=DeadlineExceededError.__name__,
-                elapsed=request.timeout or 0.0,
-            )
+            payload = None
+        if payload is None:
+            # Deadline passed without a response.  Cooperative mode:
+            # kill the request through the cancel ring — a search in
+            # flight stops at its next check, a request still *queued*
+            # never starts — then, for partial-results requests, give
+            # the worker's answer a grace period to arrive.  (In the
+            # common case the worker's own deadline token already
+            # fired and its structured response is moments away.)
+            cancelled = False
+            job_id = getattr(future, "job_id", None)
+            if self._cooperative and job_id is not None:
+                cancelled = self.pool.cancel(job_id)
+            if self._cooperative and request.allow_partial:
+                try:
+                    payload = future.result(timeout=self._cancel_grace)
+                except FutureTimeoutError:  # pragma: no cover - stuck shard
+                    payload = None
+            if payload is None:
+                self._local_metrics.record_error(
+                    request.algorithm, DeadlineExceededError.__name__
+                )
+                suffix = (
+                    "the shard worker is stopping it cooperatively"
+                    if cancelled or self._cooperative
+                    else "the shard worker keeps running it in the background"
+                )
+                return QueryResponse(
+                    request=request,
+                    error=f"deadline of {request.timeout}s exceeded ({suffix})",
+                    error_type=DeadlineExceededError.__name__,
+                    elapsed=request.timeout or 0.0,
+                )
         response = response_from_dict(payload)
+        if (
+            deadline is not None
+            and response.error_type == SearchCancelledError.__name__
+            and time.monotonic() >= deadline
+        ):
+            # The ring cancel was *caused* by the deadline; surface the
+            # cause, not the mechanism.
+            response.error_type = DeadlineExceededError.__name__
+            response.error = (
+                f"deadline of {request.timeout}s exceeded ({response.error})"
+            )
         # Hand the caller back the exact object it submitted (the wire
         # copy lost nothing, but identity is friendlier than equality).
         response.request = request

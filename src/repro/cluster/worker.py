@@ -29,12 +29,21 @@ sentinel, on a torn-down channel, or when it notices its parent died
 (orphan protection: a supervisor crash must not strand worker
 processes).
 
-Deadlines are *not* enforced here — the supervisor strips ``timeout``
-before shipping a request and watches the clock itself, so a worker
-executes exactly one request at a time, synchronously.  (A deadline
-miss therefore still occupies the worker until the search finishes,
-same as the thread tier; ``SearchParams.node_budget`` bounds the
-damage.)
+Deadlines *are* enforced here (cooperatively): the supervisor ships
+``timeout`` with the request, the worker's private ``QueryService``
+arms a :class:`~repro.core.cancellation.CancellationToken` from it, and
+an expired search stops at its next check and returns a structured
+``DeadlineExceededError`` response — with the answers released so far
+when the request set ``allow_partial``.  The supervisor still watches
+the clock as a backstop (a request stuck in the queue behind a long
+search has no worker-side token yet).
+
+The supervisor can also stop a request explicitly: it writes the job id
+into this worker's shared-memory **cancel ring**
+(:meth:`~repro.cluster.pool.WorkerPool.cancel`); the token's external
+check probes the ring during the search, and a ring hit *before* the
+search starts (the request was cancelled while queued) short-circuits
+to a cancelled response without touching the engine.
 """
 
 from __future__ import annotations
@@ -45,6 +54,8 @@ import queue
 import time
 from typing import Optional
 
+from repro.core.cancellation import CancellationToken
+from repro.errors import SearchCancelledError
 from repro.service.service import QueryService
 from repro.service.wire import (
     error_response_dict,
@@ -63,23 +74,55 @@ def _parent_alive() -> bool:
     return parent is None or parent.is_alive()
 
 
-def _handle_request(service: QueryService, payload: dict) -> dict:
+def _ring_probe(cancel_cells, job_id: int):
+    """A zero-arg callable: is ``job_id`` in the cancel ring?
+
+    One slice read per probe; the synchronized Array takes its lock
+    once.  Probes run only every ``check_every`` pops, so the lock is
+    off the hot path.
+    """
+
+    def probe() -> bool:
+        return job_id in cancel_cells[:]
+
+    return probe
+
+
+def _handle_request(
+    service: QueryService, payload: dict, job_id: int, cancel_cells
+) -> dict:
     """Execute one request dict, returning a response dict (never raises)."""
     try:
         request = request_from_dict(payload)
     except Exception as exc:
         return error_response_dict(payload, str(exc), type(exc).__name__)
+    token: Optional[CancellationToken] = None
+    if cancel_cells is not None:
+        probe = _ring_probe(cancel_cells, job_id)
+        if probe():
+            # Cancelled while still queued: answer without searching.
+            return error_response_dict(
+                payload,
+                "request cancelled before execution",
+                SearchCancelledError.__name__,
+            )
+        # Consumed as the *parent* of the token the service arms, whose
+        # full checks probe parents ungated — so only the ring probe
+        # matters here; the service's own token carries the per-request
+        # check interval.
+        token = CancellationToken(external_check=probe)
     # QueryService.search never raises for a well-formed request: engine
-    # failures come back as structured error responses already.
-    return response_to_dict(service.search(request))
+    # failures come back as structured error responses already, and the
+    # service composes its own deadline token on top of ``token``.
+    return response_to_dict(service.search(request, token=token))
 
 
 def _handle_message(
-    service: QueryService, worker_id: int, kind: str, message: tuple
+    service: QueryService, worker_id: int, kind: str, message: tuple, cancel_cells
 ) -> dict:
     """Dispatch one non-stop message to its handler (may raise)."""
     if kind == "request":
-        return _handle_request(service, message[2])
+        return _handle_request(service, message[2], message[1], cancel_cells)
     if kind == "ping":
         return {
             "pong": True,
@@ -107,6 +150,7 @@ def worker_main(
     settings: dict,
     request_queue,
     response_conn,
+    cancel_cells=None,
 ) -> None:
     """Run the worker loop until stopped (process entrypoint).
 
@@ -118,14 +162,23 @@ def worker_main(
         ``{dataset_name: snapshot_path_string}`` for this shard.
     settings:
         Plain dict of ``QueryService`` knobs: ``cache_capacity``,
-        ``cache_ttl``.
+        ``cache_ttl``, ``cooperative_cancellation``.
     request_queue / response_conn:
         The channel pair described in the module docstring.
+    cancel_cells:
+        This worker's shared-memory cancel ring (None disables the
+        explicit-cancel channel; deadlines still work).
     """
+    cooperative = settings.get("cooperative_cancellation", True)
+    if not cooperative:
+        # Control-arm fidelity (bench_cancellation): no ring probes, no
+        # armed tokens — a deadline miss burns the worker to completion.
+        cancel_cells = None
     service = QueryService(
         cache_capacity=settings.get("cache_capacity", 1024),
         cache_ttl=settings.get("cache_ttl"),
         max_workers=1,
+        cooperative_cancellation=cooperative,
     )
     for name, path in snapshots.items():
         service.register_snapshot(name, path)
@@ -146,7 +199,9 @@ def worker_main(
                 break
             job_id = message[1]
             try:
-                payload = _handle_message(service, worker_id, kind, message)
+                payload = _handle_message(
+                    service, worker_id, kind, message, cancel_cells
+                )
             except Exception as exc:
                 payload = {"error": str(exc), "error_type": type(exc).__name__}
             try:

@@ -5,6 +5,7 @@ from repro.core.answer import AnswerTree, OutputAnswer, SearchResult, is_minimal
 from repro.core.backward_mi import BackwardExpandingSearch, ShortestPathIterator
 from repro.core.backward_si import SingleIteratorBackwardSearch
 from repro.core.bidirectional import BidirectionalSearch
+from repro.core.cancellation import CancellationToken
 from repro.core.driver import nra_edge_bound
 from repro.core.engine import ALGORITHMS, KeywordSearchEngine, parse_query
 from repro.core.exhaustive import exhaustive_answers, keyword_distances
@@ -25,6 +26,7 @@ __all__ = [
     "ShortestPathIterator",
     "SingleIteratorBackwardSearch",
     "BidirectionalSearch",
+    "CancellationToken",
     "nra_edge_bound",
     "ALGORITHMS",
     "KeywordSearchEngine",

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
+from repro.core.stats import SearchStats
+
 __all__ = ["AnswerTree", "OutputAnswer", "SearchResult", "is_minimal_rooting"]
 
 #: Undirected-skeleton signature: rotations of the same tree share it
@@ -155,12 +157,23 @@ class OutputAnswer:
 
 @dataclass
 class SearchResult:
-    """Everything a search run produced, in output order."""
+    """Everything a search run produced, in output order.
+
+    ``complete`` is False when the run was stopped by a cooperative
+    :class:`~repro.core.cancellation.CancellationToken` (deadline or
+    explicit cancel); ``cancel_reason`` then records why.  A cancelled
+    result's ``answers`` are exactly the prefix the Section 4.5 bound
+    had already certified — buffered-but-unproven answers are *not*
+    drained, so a cancelled run's answer stream is a prefix of the
+    uncancelled run's (the property the cancellation tests assert).
+    """
 
     algorithm: str
     keywords: tuple[str, ...]
     answers: list[OutputAnswer] = field(default_factory=list)
-    stats: object = None
+    stats: Optional[SearchStats] = None
+    complete: bool = True
+    cancel_reason: Optional[str] = None
 
     def trees(self) -> list[AnswerTree]:
         return [answer.tree for answer in self.answers]

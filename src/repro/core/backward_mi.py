@@ -101,8 +101,11 @@ class BackwardExpandingSearch(BaseSearch):
         *,
         params: Optional[SearchParams] = None,
         scorer: Optional[Scorer] = None,
+        token=None,
     ) -> None:
-        super().__init__(graph, keywords, keyword_sets, params=params, scorer=scorer)
+        super().__init__(
+            graph, keywords, keyword_sets, params=params, scorer=scorer, token=token
+        )
         # One iterator per *node* in S = union of the S_i; an origin
         # matching several keywords serves them all (Section 3).
         origin_keywords: dict[int, list[int]] = {}
@@ -126,6 +129,8 @@ class BackwardExpandingSearch(BaseSearch):
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
         while self._schedule and not self._done and not self._budget_exhausted():
+            if self._cancelled():
+                break
             idx, _ = self._schedule.pop()
             iterator = self._iterators[idx]
             node = iterator.settle_next(self.params.dmax)

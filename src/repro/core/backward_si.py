@@ -43,8 +43,11 @@ class SingleIteratorBackwardSearch(BaseSearch):
         *,
         params: Optional[SearchParams] = None,
         scorer: Optional[Scorer] = None,
+        token=None,
     ) -> None:
-        super().__init__(graph, keywords, keyword_sets, params=params, scorer=scorer)
+        super().__init__(
+            graph, keywords, keyword_sets, params=params, scorer=scorer, token=token
+        )
         self._queue = LazyMinHeap()
         self._explored: set[int] = set()
         self._depth: dict[int, int] = {}
@@ -75,6 +78,8 @@ class SingleIteratorBackwardSearch(BaseSearch):
             self.stats.touch()
 
         while self._queue and not self._done and not self._budget_exhausted():
+            if self._cancelled():
+                break
             node, _ = self._queue.pop()
             if node in self._explored:
                 continue

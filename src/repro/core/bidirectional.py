@@ -51,8 +51,11 @@ class BidirectionalSearch(BaseSearch):
         *,
         params: Optional[SearchParams] = None,
         scorer: Optional[Scorer] = None,
+        token=None,
     ) -> None:
-        super().__init__(graph, keywords, keyword_sets, params=params, scorer=scorer)
+        super().__init__(
+            graph, keywords, keyword_sets, params=params, scorer=scorer, token=token
+        )
         self._qin = LazyMaxHeap()
         self._qout = LazyMaxHeap()
         self._xin: set[int] = set()
@@ -87,7 +90,7 @@ class BidirectionalSearch(BaseSearch):
             self.stats.touch()
 
         while (self._qin or self._qout) and not self._done:
-            if self._budget_exhausted():
+            if self._budget_exhausted() or self._cancelled():
                 break
             pin = self._qin.peek_priority()
             pout = self._qout.peek_priority()

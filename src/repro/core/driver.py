@@ -21,6 +21,7 @@ from math import inf, isinf
 from typing import Iterable, Optional, Sequence
 
 from repro.core.answer import OutputAnswer, SearchResult, is_minimal_rooting
+from repro.core.cancellation import CancellationToken
 from repro.core.output_heap import OutputHeap
 from repro.core.params import SearchParams
 from repro.core.scoring import Scorer
@@ -65,6 +66,7 @@ class BaseSearch:
         *,
         params: Optional[SearchParams] = None,
         scorer: Optional[Scorer] = None,
+        token: Optional[CancellationToken] = None,
     ) -> None:
         if len(keywords) != len(keyword_sets):
             raise ValueError("keywords and keyword_sets must align")
@@ -76,6 +78,7 @@ class BaseSearch:
         self.k = len(self.keyword_sets)
         self.params = params if params is not None else SearchParams()
         self.scorer = scorer if scorer is not None else Scorer(graph, self.params.lam)
+        self.token = token
         self.stats = SearchStats()
         self.output = OutputHeap(self.params.output_mode)
         self._result = SearchResult(
@@ -83,6 +86,7 @@ class BaseSearch:
         )
         self._pops_since_flush = 0
         self._done = False
+        self._stopped_by_cancel = False
 
     # ------------------------------------------------------------------
     # emission
@@ -167,8 +171,33 @@ class BaseSearch:
         budget = self.params.node_budget
         return budget is not None and self.stats.nodes_explored >= budget
 
+    def _cancelled(self) -> bool:
+        """One cooperative tick per pop; True once the token has fired.
+
+        The anytime contract: each algorithm's main loop calls this
+        alongside its budget check and simply breaks — the result is
+        assembled (and flagged) by :meth:`_finish`.
+        """
+        token = self.token
+        if token is not None and token.tick():
+            self._stopped_by_cancel = True
+            return True
+        return False
+
     def _finish(self) -> SearchResult:
-        if not self._done:
+        if self._stopped_by_cancel and not self._done:
+            # Cancelled: keep exactly the answers the Section 4.5 bound
+            # already certified and released.  Draining the buffer here
+            # would break the prefix property — a longer run could
+            # still generate answers that outrank the buffered ones.
+            # (A token firing after the queues drained naturally is not
+            # a cancellation: the search finished, the result is
+            # complete.)
+            self._result.complete = False
+            self._result.cancel_reason = (
+                self.token.reason if self.token is not None else None
+            )
+        elif not self._done:
             self._drain()
         self.stats.finish()
         return self._result

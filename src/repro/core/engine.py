@@ -22,6 +22,7 @@ from repro.core.answer import SearchResult
 from repro.core.backward_mi import BackwardExpandingSearch
 from repro.core.backward_si import SingleIteratorBackwardSearch
 from repro.core.bidirectional import BidirectionalSearch
+from repro.core.cancellation import CancellationToken
 from repro.core.exhaustive import exhaustive_answers
 from repro.core.params import SearchParams
 from repro.core.scoring import Scorer
@@ -99,7 +100,9 @@ class KeywordSearchEngine:
         return cls(graph, index, params=params)
 
     # ------------------------------------------------------------------
-    def resolve(self, query: Union[str, Sequence[str]]) -> tuple[tuple[str, ...], list[frozenset[int]]]:
+    def resolve(
+        self, query: Union[str, Sequence[str]]
+    ) -> tuple[tuple[str, ...], list[frozenset[int]]]:
         """Parse the query and resolve each keyword to its node set ``S_i``.
 
         A multi-word keyword matches the intersection of its words'
@@ -148,6 +151,7 @@ class KeywordSearchEngine:
         algorithm: str = "bidirectional",
         k: Optional[int] = None,
         params: Optional[SearchParams] = None,
+        token: Optional[CancellationToken] = None,
     ) -> SearchResult:
         """Run a keyword search and return its :class:`SearchResult`.
 
@@ -162,6 +166,12 @@ class KeywordSearchEngine:
             Top-k override (defaults to ``params.max_results``).
         params:
             Full parameter override for this call.
+        token:
+            Optional :class:`CancellationToken`, ticked once per pop:
+            a deadline or an explicit :meth:`~CancellationToken.cancel`
+            stops the search at its next check, which returns the
+            bound-certified answers released so far with
+            ``complete=False`` (never raises).
         """
         try:
             search_cls = ALGORITHMS[algorithm]
@@ -180,6 +190,7 @@ class KeywordSearchEngine:
             keyword_sets,
             params=run_params,
             scorer=self.scorer_for(run_params.lam),
+            token=token,
         )
         return search.run()
 
@@ -290,8 +301,14 @@ class KeywordSearchEngine:
         *,
         max_results: Optional[int] = None,
         max_edge_score: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ):
-        """Oracle enumeration of every answer (small graphs only)."""
+        """Oracle enumeration of every answer (small graphs only).
+
+        A fired ``token`` raises
+        :class:`~repro.errors.SearchCancelledError` — a half-enumerated
+        ground truth has no partial-answer semantics.
+        """
         _, keyword_sets = self.resolve(query)
         return exhaustive_answers(
             self.graph,
@@ -299,4 +316,5 @@ class KeywordSearchEngine:
             self.scorer,
             max_results=max_results,
             max_edge_score=max_edge_score,
+            token=token,
         )

@@ -18,13 +18,24 @@ from math import inf
 from typing import Optional, Sequence
 
 from repro.core.answer import AnswerTree, is_minimal_rooting
+from repro.core.cancellation import CancellationToken
 from repro.core.scoring import Scorer
+from repro.errors import SearchCancelledError
 
 __all__ = ["keyword_distances", "exhaustive_answers"]
 
 
+def _tick_or_raise(token: Optional[CancellationToken]) -> None:
+    """The oracle's cooperative check: no anytime semantics here — a
+    half-enumerated ground truth is worthless — so a fired token
+    unwinds with :class:`SearchCancelledError` instead of returning a
+    partial result."""
+    if token is not None and token.tick():
+        raise SearchCancelledError(token.reason or "cancelled")
+
+
 def keyword_distances(
-    graph, targets: frozenset[int]
+    graph, targets: frozenset[int], *, token: Optional[CancellationToken] = None
 ) -> tuple[dict[int, float], dict[int, tuple[int, float]]]:
     """Shortest distance from every node *down to* any node in ``targets``.
 
@@ -37,6 +48,7 @@ def keyword_distances(
     heap: list[tuple[float, int]] = [(0.0, node) for node in sorted(targets)]
     heapq.heapify(heap)
     while heap:
+        _tick_or_raise(token)
         d, x = heapq.heappop(heap)
         if d > dist.get(x, inf):
             continue
@@ -68,6 +80,7 @@ def exhaustive_answers(
     *,
     max_results: Optional[int] = None,
     max_edge_score: Optional[float] = None,
+    token: Optional[CancellationToken] = None,
 ) -> list[AnswerTree]:
     """All minimal answer trees, best (shortest-path-per-keyword) per
     root, rotations deduplicated, sorted by descending score.
@@ -78,10 +91,13 @@ def exhaustive_answers(
     """
     if scorer is None:
         scorer = Scorer(graph)
-    per_keyword = [keyword_distances(graph, targets) for targets in keyword_sets]
+    per_keyword = [
+        keyword_distances(graph, targets, token=token) for targets in keyword_sets
+    ]
 
     best: dict[object, AnswerTree] = {}
     for root in graph.nodes():
+        _tick_or_raise(token)
         vectors = [table[0].get(root) for table in per_keyword]
         if any(d is None for d in vectors):
             continue

@@ -53,6 +53,12 @@ class SearchParams:
         MI-Backward only: cap on origin combinations emitted per
         confluence node, bounding the cross-product blowup inherent to
         the multi-iterator algorithm.
+    cancel_check_interval:
+        How many pops apart a search probes its cooperative
+        :class:`~repro.core.cancellation.CancellationToken`'s expensive
+        sources (deadline clock, external cancel channel).  Bounds the
+        overrun of a cancelled search at ~2 intervals of pops; the
+        service layers forward it as the token's ``check_every``.
     """
 
     mu: float = 0.5
@@ -64,6 +70,7 @@ class SearchParams:
     output_mode: str = "exact"
     flush_interval: int = 16
     max_combos_per_node: int = 64
+    cancel_check_interval: int = 32
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mu <= 1.0:
@@ -92,6 +99,11 @@ class SearchParams:
         if self.max_combos_per_node < 1:
             raise ValueError(
                 f"max_combos_per_node must be >= 1, got {self.max_combos_per_node!r}"
+            )
+        if self.cancel_check_interval < 1:
+            raise ValueError(
+                f"cancel_check_interval must be >= 1, got "
+                f"{self.cancel_check_interval!r}"
             )
 
     def with_(self, **changes) -> "SearchParams":

@@ -20,6 +20,7 @@ __all__ = [
     "QueryError",
     "EmptyQueryError",
     "KeywordNotFoundError",
+    "SearchCancelledError",
     "ServiceError",
     "UnknownDatasetError",
     "DeadlineExceededError",
@@ -81,6 +82,23 @@ class KeywordNotFoundError(QueryError, LookupError):
     def __init__(self, keyword: str):
         super().__init__(f"keyword {keyword!r} matches no node in the index")
         self.keyword = keyword
+
+
+class SearchCancelledError(ReproError):
+    """Raised when a :class:`~repro.core.cancellation.CancellationToken`
+    fires inside code with no partial answer to return.
+
+    The anytime search algorithms never raise this — they stop at the
+    next cooperative check and return partial results flagged
+    ``complete=False``.  All-or-nothing consumers (the exhaustive
+    oracle, ``raise_if_cancelled`` call sites) unwind with this
+    exception instead; ``reason`` distinguishes an explicit cancel from
+    a deadline expiry.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(f"search cancelled ({reason})")
+        self.reason = reason
 
 
 class ServiceError(ReproError):

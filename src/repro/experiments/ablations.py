@@ -14,7 +14,6 @@ much output-order quality is given up.
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
 from repro.core.params import SearchParams

@@ -47,6 +47,9 @@ class ServiceMetrics:
         self._latencies: dict[str, deque] = {}
         self._requests: Counter = Counter()
         self._errors: Counter = Counter()
+        self._cancellations: Counter = Counter()
+        self._reclaimed_seconds = 0.0
+        self._overrun_seconds = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -82,6 +85,42 @@ class ServiceMetrics:
             self._requests[algorithm] += 1
             self._errors[error_type] += 1
 
+    def record_cancellation(
+        self,
+        reason: str,
+        *,
+        reclaimed_seconds: float = 0.0,
+        overrun_seconds: float = 0.0,
+    ) -> None:
+        """Record one cooperatively cancelled search.
+
+        Fleet-wide counters, deliberately not broken down per
+        algorithm: a cancellation is a property of the request's
+        deadline, and the per-algorithm request/error tables already
+        carry the structured ``DeadlineExceededError`` /
+        ``SearchCancelledError`` entries.
+
+        ``reason`` is the token's: ``"deadline"`` (counted as
+        ``deadline_exceeded``) or ``"cancelled"`` (an explicit cancel —
+        client disconnect, ``DELETE /search/<id>``, batch drain).
+
+        ``reclaimed_seconds`` is the *measurable* capacity win: how far
+        ahead of the request's deadline budget the worker was freed
+        (explicit cancels reclaim ``deadline - return``; a
+        deadline-fired cancel reclaims the unknowable remainder of the
+        search, which shows up in throughput, not here).
+        ``overrun_seconds`` is how long past its deadline the search
+        kept running before the cooperative check fired — bounded by
+        the check interval, and the number to alert on if a
+        non-cooperative section ever grows.
+        """
+        with self._lock:
+            self._cancellations[
+                "deadline_exceeded" if reason == "deadline" else "cancelled"
+            ] += 1
+            self._reclaimed_seconds += max(0.0, reclaimed_seconds)
+            self._overrun_seconds += max(0.0, overrun_seconds)
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
@@ -114,6 +153,12 @@ class ServiceMetrics:
                 "requests_total": sum(self._requests.values()),
                 "errors_total": sum(self._errors.values()),
                 "errors": dict(sorted(self._errors.items())),
+                "cancellations": {
+                    "cancelled": self._cancellations["cancelled"],
+                    "deadline_exceeded": self._cancellations["deadline_exceeded"],
+                    "reclaimed_seconds": self._reclaimed_seconds,
+                    "overrun_seconds": self._overrun_seconds,
+                },
                 "cache_hits": self._cache_hits,
                 "cache_misses": self._cache_misses,
                 "cache_hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
@@ -125,5 +170,8 @@ class ServiceMetrics:
             self._latencies.clear()
             self._requests.clear()
             self._errors.clear()
+            self._cancellations.clear()
+            self._reclaimed_seconds = 0.0
+            self._overrun_seconds = 0.0
             self._cache_hits = 0
             self._cache_misses = 0

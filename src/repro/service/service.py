@@ -26,26 +26,43 @@ with in-flight searches, deduplication of identical queries through the
 cache, deadline enforcement, and a single shared warm engine.  A
 process-pool sharding tier is the ROADMAP follow-up.
 
-A deadline miss cannot interrupt the losing search (no cooperative
-cancellation points in the algorithms yet); the response returns
-immediately with ``error_type="DeadlineExceededError"`` while the worker
-thread finishes in the background and frees its slot.  Bound the damage
-with ``SearchParams.node_budget`` for adversarial workloads.
+Deadlines are enforced *cooperatively*: the service arms a
+:class:`~repro.core.cancellation.CancellationToken` from each request's
+deadline and threads it into the engine's pop loop, so a deadline miss
+actually stops the losing search within a couple of check intervals and
+frees its worker thread — the capacity win
+``benchmarks/bench_cancellation.py`` measures.  The expired query's
+response is a structured ``error_type="DeadlineExceededError"``; with
+``QueryRequest.allow_partial=True`` it additionally carries the
+bound-certified answers the search had already released, flagged
+``complete=False``.  Explicit cancellation rides the same token:
+requests carrying a ``request_id`` can be stopped mid-flight through
+:meth:`QueryService.cancel` (what the HTTP front-end's ``DELETE
+/search/<id>`` and client-disconnect mapping call).  Construct with
+``cooperative_cancellation=False`` to fall back to the old
+abandon-the-thread behaviour (the benchmark's control arm).
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence, Union
 
 from repro.core.answer import SearchResult
+from repro.core.cancellation import CancellationToken
 from repro.core.engine import ALGORITHMS, KeywordSearchEngine
 from repro.core.params import SearchParams
-from repro.errors import DeadlineExceededError, UnknownDatasetError
+from repro.errors import (
+    DeadlineExceededError,
+    SearchCancelledError,
+    UnknownDatasetError,
+)
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
 
@@ -58,6 +75,30 @@ __all__ = [
 ]
 
 _MISS = object()
+
+
+@functools.lru_cache(maxsize=256)
+def _accepts_token(search_fn) -> bool:
+    """Whether an engine's ``search`` takes the ``token`` kwarg.
+
+    Duck-typed engines (tests, embedders) predating cooperative
+    cancellation must keep working; they simply run uncancellable, with
+    the deadline watcher's structured response as the fallback.
+
+    Memoized — the answer is a property of the function, and the
+    reflection must stay off the per-request hot path.  Callers pass
+    the *underlying* function (``__func__`` for bound methods) so the
+    cache neither grows per bound-method object nor pins engine
+    instances alive.
+    """
+    try:
+        parameters = inspect.signature(search_fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return False
+    return "token" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 class _Once:
@@ -104,9 +145,23 @@ class QueryRequest:
     timeout:
         Per-request deadline in seconds, measured from when the request
         is handed to the executor.
+    deadline_ms:
+        The same deadline in milliseconds — the spelling HTTP clients
+        think in.  Normalized into ``timeout`` at construction (the
+        canonical field; ``deadline_ms`` reads None afterwards); setting
+        both is an error.
     use_cache:
         Set False to force a fresh search (the result still refreshes
         the cache for later callers).
+    allow_partial:
+        When the deadline fires (or the request is cancelled), attach
+        the bound-certified answers the search had already released to
+        the error response (``result.complete`` is False).  Default
+        False: an expired query returns only the structured error.
+    request_id:
+        Optional caller-chosen id making the request cancellable
+        mid-flight via ``cancel(request_id)`` on either service tier
+        (and ``DELETE /search/<id>`` over HTTP).
     """
 
     dataset: str
@@ -115,7 +170,10 @@ class QueryRequest:
     k: Optional[int] = None
     params: Optional[SearchParams] = None
     timeout: Optional[float] = None
+    deadline_ms: Optional[float] = None
     use_cache: bool = True
+    allow_partial: bool = False
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, (str, tuple)):
@@ -125,13 +183,26 @@ class QueryRequest:
                 f"unknown algorithm {self.algorithm!r}; expected one of "
                 f"{sorted(ALGORITHMS)}"
             )
+        if self.deadline_ms is not None:
+            if self.timeout is not None:
+                raise ValueError(
+                    "set timeout (seconds) or deadline_ms (milliseconds), "
+                    "not both"
+                )
+            object.__setattr__(self, "timeout", self.deadline_ms / 1000.0)
+            object.__setattr__(self, "deadline_ms", None)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout!r}")
 
 
 @dataclass
 class QueryResponse:
-    """Outcome of one request: a result or a structured error, never both.
+    """Outcome of one request: a result, or a structured error.
+
+    The one case carrying both: a deadline-expired or cancelled request
+    with ``allow_partial=True`` keeps its error fields *and* attaches
+    the partial result (``result.complete`` is False) — the paper's
+    anytime semantics surfaced at the service boundary.
 
     ``request`` is None only when the raw batch item was too malformed
     to build a :class:`QueryRequest` at all (unknown algorithm, wrong
@@ -184,15 +255,7 @@ def coerce_request(
     """
     if isinstance(request, QueryRequest):
         if request.timeout is None and default_timeout is not None:
-            return QueryRequest(
-                dataset=request.dataset,
-                query=request.query,
-                algorithm=request.algorithm,
-                k=request.k,
-                params=request.params,
-                timeout=default_timeout,
-                use_cache=request.use_cache,
-            )
+            return replace(request, timeout=default_timeout)
         return request
     dataset, query, *rest = request
     if len(rest) > 1:
@@ -259,6 +322,16 @@ class QueryService:
     """Facade owning engines, cache, executor and metrics.
 
     Usable as a context manager; :meth:`close` shuts the executor down.
+
+    ``cooperative_cancellation`` (default True) arms a
+    :class:`CancellationToken` per request so deadlines and explicit
+    :meth:`cancel` calls actually stop the search and free its thread;
+    False restores the old abandon-the-thread behaviour (kept as the
+    control arm of ``benchmarks/bench_cancellation.py``).
+    ``cancel_grace`` bounds how long a deadline-missed *partial-results*
+    request waits for the cancelled search to hand back what it has —
+    cooperative checks make that a few milliseconds; the grace only
+    matters if a search is stuck in a non-cooperative section.
     """
 
     def __init__(
@@ -269,12 +342,18 @@ class QueryService:
         max_workers: int = 8,
         metrics_window: int = 2048,
         clock: Callable[[], float] = time.monotonic,
+        cooperative_cancellation: bool = True,
+        cancel_grace: float = 1.0,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        if cancel_grace < 0:
+            raise ValueError(f"cancel_grace must be >= 0, got {cancel_grace!r}")
         self.cache = ResultCache(cache_capacity, cache_ttl, clock=clock)
         self._metrics = ServiceMetrics(metrics_window)
         self._max_workers = max_workers
+        self._cooperative = cooperative_cancellation
+        self._cancel_grace = cancel_grace
         self._engines: dict[str, KeywordSearchEngine] = {}
         self._factories: dict[str, Callable[[], KeywordSearchEngine]] = {}
         self._build_seconds: dict[str, float] = {}
@@ -282,6 +361,8 @@ class QueryService:
         self._build_locks: dict[str, threading.Lock] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        self._active_lock = threading.Lock()
+        self._active: dict[str, CancellationToken] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -407,6 +488,7 @@ class QueryService:
         params: Optional[SearchParams] = None,
         timeout: Optional[float] = None,
         use_cache: bool = True,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResponse:
         """Execute one query synchronously.
 
@@ -415,7 +497,9 @@ class QueryService:
         overrides alongside a request object would be silently shadowed
         by the request's own fields, so they are rejected.  With a
         ``timeout`` the request runs on the executor so the deadline is
-        enforced.
+        enforced.  ``token`` is an optional caller-owned
+        :class:`CancellationToken` (composes with the deadline token
+        the service arms itself).
         """
         request = normalize_search_args(
             dataset,
@@ -427,10 +511,10 @@ class QueryService:
             use_cache=use_cache,
         )
         if request.timeout is None:
-            return self._execute(request)
-        future, record = self._submit(request)
+            return self._execute(request, None, self._arm_token(request, token))
+        future, record, armed = self._submit(request, token)
         return self._await(
-            request, future, time.monotonic() + request.timeout, record
+            request, future, time.monotonic() + request.timeout, record, armed
         )
 
     def search_many(
@@ -438,13 +522,15 @@ class QueryService:
         requests: Sequence[Union[QueryRequest, tuple]],
         *,
         timeout: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> list[QueryResponse]:
         """Execute a batch concurrently; responses in request order.
 
         ``requests`` holds :class:`QueryRequest` objects or ``(dataset,
         query)`` / ``(dataset, query, algorithm)`` tuples.  ``timeout``
         is a default per-request deadline for requests without their
-        own; each deadline is measured from batch submission.
+        own; each deadline is measured from batch submission.  A shared
+        ``token`` cancels the whole batch at once.
 
         Never raises per-item: a malformed item (unknown algorithm,
         wrong shape) yields an error response in its slot and the rest
@@ -458,18 +544,35 @@ class QueryService:
                 prepared.append(self._malformed_response(exc))
         submitted = time.monotonic()
         submissions = [
-            self._submit(item) if isinstance(item, QueryRequest) else None
+            self._submit(item, token) if isinstance(item, QueryRequest) else None
             for item in prepared
         ]
-        responses = []
+        responses: list[QueryResponse] = []
         for item, submission in zip(prepared, submissions):
-            if submission is None:
+            if submission is None or not isinstance(item, QueryRequest):
+                assert isinstance(item, QueryResponse)
                 responses.append(item)  # malformed: already a response
                 continue
-            future, record = submission
+            future, record, armed = submission
             deadline = submitted + item.timeout if item.timeout is not None else None
-            responses.append(self._await(item, future, deadline, record))
+            responses.append(self._await(item, future, deadline, record, armed))
         return responses
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel an in-flight request by its ``QueryRequest.request_id``.
+
+        The running search stops at its next cooperative check and its
+        response comes back through the normal path
+        (``error_type="SearchCancelledError"``, carrying partial
+        answers when the request set ``allow_partial``).  Returns True
+        if a live request with that id was found.
+        """
+        with self._active_lock:
+            armed = self._active.get(request_id)
+        if armed is None:
+            return False
+        armed.cancel()
+        return True
 
     # ------------------------------------------------------------------
     # observability / lifecycle
@@ -526,17 +629,93 @@ class QueryService:
             exception=exc,
         )
 
-    def _submit(self, request: QueryRequest) -> tuple[Future, _Once]:
+    def _arm_token(
+        self, request: QueryRequest, token: Optional[CancellationToken]
+    ) -> Optional[CancellationToken]:
+        """The token a request's search will tick, or None.
+
+        Cooperative mode arms a fresh token per request — deadline from
+        ``request.timeout`` (anchored now, i.e. at submission),
+        ``check_every`` from the effective params, the caller's token
+        as parent — so deadline expiry, explicit :meth:`cancel` and a
+        caller-side cancel all stop the same search.  Non-cooperative
+        mode forwards only the caller's token untouched.  A request
+        with no cancellation source at all (no deadline, no caller
+        token, no ``request_id``) runs token-free, which also keeps
+        duck-typed engines without a ``token`` kwarg working.
+        """
+        if not self._cooperative:
+            return token
+        if (
+            request.timeout is None
+            and token is None
+            and request.request_id is None
+        ):
+            return None
+        if request.params is not None:
+            interval = request.params.cancel_check_interval
+        else:
+            # Peek only at already-built engines: arming must not pay
+            # (or serialize on) a lazy build — that happens on the
+            # worker thread in _execute.
+            with self._registry_lock:
+                engine = self._engines.get(request.dataset)
+            interval = (
+                engine.params.cancel_check_interval
+                if engine is not None
+                else SearchParams().cancel_check_interval
+            )
+        deadline = (
+            time.monotonic() + request.timeout
+            if request.timeout is not None
+            else None
+        )
+        return CancellationToken(
+            deadline=deadline, check_every=interval, parent=token
+        )
+
+    def _submit(
+        self, request: QueryRequest, token: Optional[CancellationToken] = None
+    ) -> tuple[Future, _Once, Optional[CancellationToken]]:
         record = _Once()
-        with self._executor_lock:
-            if self._closed:
-                raise RuntimeError("QueryService is closed")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self._max_workers,
-                    thread_name_prefix="repro-query",
-                )
-            return self._executor.submit(self._execute, request, record), record
+        armed = self._arm_token(request, token)
+        # Register for cancel() here, at submission — not when _execute
+        # starts — so a request still *queued* behind a busy executor is
+        # already cancellable (its pre-fired token then stops the search
+        # at the first pop).  The cluster tier's cancel ring gives
+        # queued requests the same treatment.
+        registered = self._register_active(request, armed)
+        try:
+            with self._executor_lock:
+                if self._closed:
+                    raise RuntimeError("QueryService is closed")
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self._max_workers,
+                        thread_name_prefix="repro-query",
+                    )
+                future = self._executor.submit(self._execute, request, record, armed)
+                return future, record, armed
+        except BaseException:
+            if registered:
+                self._unregister_active(request, armed)
+            raise
+
+    def _register_active(
+        self, request: QueryRequest, token: Optional[CancellationToken]
+    ) -> bool:
+        if token is None or request.request_id is None:
+            return False
+        with self._active_lock:
+            self._active[request.request_id] = token
+        return True
+
+    def _unregister_active(
+        self, request: QueryRequest, token: Optional[CancellationToken]
+    ) -> None:
+        with self._active_lock:
+            if self._active.get(request.request_id) is token:
+                del self._active[request.request_id]
 
     def _await(
         self,
@@ -544,6 +723,7 @@ class QueryService:
         future: Future,
         deadline: Optional[float],
         record: Optional[_Once] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResponse:
         if deadline is None:
             return future.result()
@@ -551,27 +731,49 @@ class QueryService:
         try:
             return future.result(timeout=max(remaining, 0.0))
         except FutureTimeoutError:
-            # The logical request is recorded exactly once; whoever wins
-            # the claim — this deadline watcher or the still-running
-            # worker — does the recording.
-            if record is None or record.claim():
-                self._metrics.record_error(
-                    request.algorithm, DeadlineExceededError.__name__
-                )
-            return QueryResponse(
-                request=request,
-                error=(
-                    f"deadline of {request.timeout}s exceeded "
-                    f"(search keeps running in the background)"
-                ),
-                error_type=DeadlineExceededError.__name__,
-                elapsed=request.timeout or 0.0,
+            pass
+        if token is not None and self._cooperative:
+            # Cooperative path: tell the search to stop (its own
+            # deadline normally fired already; an explicit cancel also
+            # covers a search armed late, e.g. behind a slow engine
+            # build).  For partial-results requests, give the search a
+            # grace period to hand back what it has — a few
+            # milliseconds when checks run — then fall through to the
+            # plain deadline response.  The cooperative guard matters:
+            # in the control arm the token is the *caller's own*
+            # (possibly shared across a batch), and firing it here
+            # would cancel sibling searches in the mode that promises
+            # run-to-completion.
+            token.cancel("deadline")
+            if request.allow_partial:
+                try:
+                    return future.result(timeout=self._cancel_grace)
+                except FutureTimeoutError:  # pragma: no cover - stuck search
+                    pass
+        # The logical request is recorded exactly once; whoever wins
+        # the claim — this deadline watcher or the still-running
+        # worker — does the recording.
+        if record is None or record.claim():
+            self._metrics.record_error(
+                request.algorithm, DeadlineExceededError.__name__
             )
+        suffix = (
+            "search stopping at its next cooperative check"
+            if token is not None and self._cooperative
+            else "search keeps running in the background"
+        )
+        return QueryResponse(
+            request=request,
+            error=f"deadline of {request.timeout}s exceeded ({suffix})",
+            error_type=DeadlineExceededError.__name__,
+            elapsed=request.timeout or 0.0,
+        )
 
     def _execute(
         self,
         request: QueryRequest,
         record: Optional[_Once] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResponse:
         """Run one request, never raising — any failure (library error,
         broken factory, engine bug) becomes a structured error response,
@@ -579,7 +781,24 @@ class QueryService:
         given, is the exactly-once metrics claim shared with the
         deadline watcher: if the watcher already recorded this request
         as a deadline miss, this worker stays silent (its result still
-        refreshes the cache)."""
+        refreshes the cache).  ``token`` is the armed cancellation
+        token the search will tick."""
+        # Re-registering here is an idempotent overwrite for executor
+        # submissions (already registered at _submit time) and the
+        # actual registration for the inline no-deadline path.
+        registered = self._register_active(request, token)
+        try:
+            return self._execute_inner(request, record, token)
+        finally:
+            if registered:
+                self._unregister_active(request, token)
+
+    def _execute_inner(
+        self,
+        request: QueryRequest,
+        record: Optional[_Once],
+        token: Optional[CancellationToken],
+    ) -> QueryResponse:
         start = time.perf_counter()
         try:
             engine = self.engine(request.dataset)
@@ -605,11 +824,24 @@ class QueryService:
                 )
 
         try:
-            result = engine.search(
-                request.query, algorithm=request.algorithm, params=run_params
-            )
+            search = engine.search
+            if token is not None and _accepts_token(
+                getattr(search, "__func__", search)
+            ):
+                result = engine.search(
+                    request.query,
+                    algorithm=request.algorithm,
+                    params=run_params,
+                    token=token,
+                )
+            else:
+                result = engine.search(
+                    request.query, algorithm=request.algorithm, params=run_params
+                )
         except Exception as exc:
             return self._error_response(request, exc, start, record)
+        if not result.complete:
+            return self._cancelled_response(request, result, start, record, token)
         self.cache.put(key, result)
         elapsed = time.perf_counter() - start
         if record is None or record.claim():
@@ -617,6 +849,60 @@ class QueryService:
                 request.algorithm, elapsed, cached=False if request.use_cache else None
             )
         return QueryResponse(request=request, result=result, elapsed=elapsed)
+
+    def _cancelled_response(
+        self,
+        request: QueryRequest,
+        result: SearchResult,
+        start: float,
+        record: Optional[_Once],
+        token: Optional[CancellationToken],
+    ) -> QueryResponse:
+        """The structured response for a cooperatively stopped search.
+
+        Never cached: a ``complete=False`` result is an artifact of one
+        request's deadline, not the query's answer.  The partial result
+        rides along only when the request opted in via
+        ``allow_partial``.
+        """
+        elapsed = time.perf_counter() - start
+        now = time.monotonic()
+        reason = result.cancel_reason or "cancelled"
+        deadline = token.deadline if token is not None else None
+        if reason == "deadline":
+            error_type = DeadlineExceededError.__name__
+            error = (
+                f"deadline of {request.timeout}s exceeded; search stopped "
+                f"cooperatively with {len(result.answers)} answers released"
+            )
+            exception: Exception = DeadlineExceededError(error)
+            overrun = max(0.0, now - deadline) if deadline is not None else 0.0
+            reclaimed = 0.0
+        else:
+            error_type = SearchCancelledError.__name__
+            error = (
+                f"search cancelled with {len(result.answers)} answers released"
+            )
+            exception = SearchCancelledError(reason)
+            overrun = 0.0
+            # The measurable win: the thread frees this far ahead of the
+            # deadline budget it was allowed to burn.
+            reclaimed = max(0.0, deadline - now) if deadline is not None else 0.0
+        self._metrics.record_cancellation(
+            reason,
+            reclaimed_seconds=reclaimed,
+            overrun_seconds=overrun,
+        )
+        if record is None or record.claim():
+            self._metrics.record_error(request.algorithm, error_type)
+        return QueryResponse(
+            request=request,
+            result=result if request.allow_partial else None,
+            error=error,
+            error_type=error_type,
+            elapsed=elapsed,
+            exception=exception,
+        )
 
     def _error_response(
         self,

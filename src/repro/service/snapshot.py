@@ -328,7 +328,9 @@ def load_snapshot(
         # checks above did not name.
         raise SnapshotError(f"{path} is corrupt: {exc}") from exc
     index = InvertedIndex._from_postings(
-        _unpack_postings(meta["post_terms"], arrays["post_indptr"], arrays["post_nodes"]),
+        _unpack_postings(
+            meta["post_terms"], arrays["post_indptr"], arrays["post_nodes"]
+        ),
         _unpack_postings(meta["rel_terms"], arrays["rel_indptr"], arrays["rel_nodes"]),
     )
     return graph, index

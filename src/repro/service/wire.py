@@ -76,6 +76,8 @@ def params_from_dict(data: dict) -> SearchParams:
 # QueryRequest
 # ----------------------------------------------------------------------
 def request_to_dict(request: QueryRequest) -> dict:
+    # No "deadline_ms" key: construction normalizes it into ``timeout``,
+    # so the wire shape has exactly one deadline spelling.
     return {
         "dataset": request.dataset,
         "query": (
@@ -90,6 +92,8 @@ def request_to_dict(request: QueryRequest) -> dict:
         ),
         "timeout": request.timeout,
         "use_cache": request.use_cache,
+        "allow_partial": request.allow_partial,
+        "request_id": request.request_id,
     }
 
 
@@ -117,14 +121,22 @@ def request_from_dict(data: dict) -> QueryRequest:
     _check_type(data, "algorithm", (str,), "algorithm name")
     _check_type(data, "k", (int,), "top-k")
     _check_type(data, "timeout", (int, float), "seconds")
+    _check_type(data, "deadline_ms", (int, float), "milliseconds")
     _check_type(data, "use_cache", (bool,), "flag")
+    _check_type(data, "allow_partial", (bool,), "flag")
+    _check_type(data, "request_id", (str,), "request id")
     query = data["query"]
     if not isinstance(query, str) and not all(
         isinstance(keyword, str) for keyword in query
     ):
         raise ValueError("request field 'query' must be a string or list of strings")
-    if isinstance(data.get("k"), bool) or isinstance(data.get("timeout"), bool):
-        raise ValueError("request fields 'k' and 'timeout' must be numbers")
+    if any(
+        isinstance(data.get(field), bool)
+        for field in ("k", "timeout", "deadline_ms")
+    ):
+        raise ValueError(
+            "request fields 'k', 'timeout' and 'deadline_ms' must be numbers"
+        )
     params = data.get("params")
     if params is not None and not isinstance(params, (dict, SearchParams)):
         raise ValueError(
@@ -141,7 +153,10 @@ def request_from_dict(data: dict) -> QueryRequest:
             else params_from_dict(params)
         ),
         timeout=data.get("timeout"),
+        deadline_ms=data.get("deadline_ms"),
         use_cache=data.get("use_cache", True),
+        allow_partial=data.get("allow_partial", False),
+        request_id=data.get("request_id"),
     )
 
 
@@ -203,6 +218,8 @@ def result_to_dict(result: SearchResult) -> dict:
         "keywords": list(result.keywords),
         "answers": [_answer_to_dict(answer) for answer in result.answers],
         "stats": stats.as_dict() if stats is not None else None,
+        "complete": result.complete,
+        "cancel_reason": result.cancel_reason,
     }
 
 
@@ -230,6 +247,8 @@ def result_from_dict(data: dict) -> SearchResult:
         keywords=tuple(data["keywords"]),
         answers=[_answer_from_dict(answer) for answer in data["answers"]],
         stats=_stats_from_dict(data.get("stats")),
+        complete=data.get("complete", True),
+        cancel_reason=data.get("cancel_reason"),
     )
 
 

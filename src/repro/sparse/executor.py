@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterator, Optional
 
+from repro.core.cancellation import CancellationToken
+from repro.errors import SearchCancelledError
 from repro.relational.database import Database
 from repro.relational.query import join_step
 from repro.sparse.candidate_networks import CandidateNetwork
@@ -46,12 +48,32 @@ class JoiningTree:
 
 
 class CNExecutor:
-    """Evaluates candidate networks with indexed nested-loop joins."""
+    """Evaluates candidate networks with indexed nested-loop joins.
 
-    def __init__(self, db: Database, tuple_sets: TupleSets) -> None:
+    ``token`` makes the row loops cooperative: the executor ticks it
+    once per scanned row and unwinds with
+    :class:`~repro.errors.SearchCancelledError` when it fires —
+    :class:`~repro.sparse.sparse_search.SparseSearch` catches that and
+    returns the joining trees already produced as a partial result.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        tuple_sets: TupleSets,
+        *,
+        token: Optional[CancellationToken] = None,
+    ) -> None:
         self.db = db
         self.tuple_sets = tuple_sets
         self.rows_scanned = 0
+        self.token = token
+
+    def _scan_row(self) -> None:
+        """Count one scanned row; the sparse tier's cooperative tick."""
+        self.rows_scanned += 1
+        if self.token is not None and self.token.tick():
+            raise SearchCancelledError(self.token.reason or "cancelled")
 
     # ------------------------------------------------------------------
     def execute(
@@ -74,7 +96,7 @@ class CNExecutor:
         adjacency = cn.adjacency()
         produced = 0
         for pk in start_pks:
-            self.rows_scanned += 1
+            self._scan_row()
             assignment: dict[int, tuple[str, Hashable]] = {
                 start: (start_node.table, pk)
             }
@@ -132,7 +154,7 @@ class CNExecutor:
         anchor_row = self.db.get(anchor_table, anchor_pk)
         used = set(assignment.values())
         for row in join_step(self.db, anchor_row, anchor_table, fk):
-            self.rows_scanned += 1
+            self._scan_row()
             pk = row[self.db.schema.table(target_node.table).pk]
             if not self.tuple_sets.in_tuple_set(target_node.table, pk, target_node.keywords):
                 continue

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
+from repro.core.cancellation import CancellationToken
 from repro.core.engine import parse_query
+from repro.errors import SearchCancelledError
 from repro.index.tokenizer import normalize_term
 from repro.relational.database import Database
 from repro.sparse.candidate_networks import (
@@ -29,7 +31,13 @@ __all__ = ["SparseResult", "SparseSearch"]
 
 @dataclass
 class SparseResult:
-    """Outcome of one Sparse run."""
+    """Outcome of one Sparse run.
+
+    ``complete`` is False when a cooperative
+    :class:`~repro.core.cancellation.CancellationToken` stopped the run
+    mid-execution; ``results`` then holds the joining trees produced so
+    far (same anytime contract as the graph searches).
+    """
 
     keywords: tuple[str, ...]
     networks: list[CandidateNetwork] = field(default_factory=list)
@@ -37,6 +45,8 @@ class SparseResult:
     enumerate_seconds: float = 0.0
     execute_seconds: float = 0.0
     rows_scanned: int = 0
+    complete: bool = True
+    cancel_reason: Optional[str] = None
 
     @property
     def elapsed(self) -> float:
@@ -71,12 +81,15 @@ class SparseSearch:
         k: Optional[int] = 10,
         max_cn_size: Optional[int] = None,
         per_network_limit: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
     ) -> SparseResult:
         """Run Sparse: enumerate CNs, execute them all, merge top-k.
 
         ``k = None`` keeps every result (used for ground truth);
         ``per_network_limit`` caps results per CN (the pruning knob of
-        the original algorithm).
+        the original algorithm).  A fired ``token`` stops execution at
+        the next scanned row and returns the trees produced so far with
+        ``complete=False``.
         """
         keywords = tuple(normalize_term(k) for k in parse_query(query))
         size_bound = max_cn_size if max_cn_size is not None else self.max_cn_size
@@ -90,11 +103,15 @@ class SparseSearch:
         outcome.enumerate_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        executor = CNExecutor(self.db, tuple_sets)
-        for network in outcome.networks:
-            outcome.results.extend(
-                executor.iter_execute(network, limit=per_network_limit)
-            )
+        executor = CNExecutor(self.db, tuple_sets, token=token)
+        try:
+            for network in outcome.networks:
+                outcome.results.extend(
+                    executor.iter_execute(network, limit=per_network_limit)
+                )
+        except SearchCancelledError as exc:
+            outcome.complete = False
+            outcome.cancel_reason = exc.reason
         outcome.execute_seconds = time.perf_counter() - start
         outcome.rows_scanned = executor.rows_scanned
 

@@ -1,0 +1,320 @@
+"""Cancellation across the process boundary: cancel ring, deadlines,
+sibling isolation, and the HTTP cancel/disconnect surface."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ShardedQueryService
+from repro.cluster.http import make_server, status_for_error
+from repro.cluster.pool import WorkerPool
+from repro.core.answer import SearchResult
+from repro.core.params import SearchParams
+from repro.core.stats import SearchStats
+from repro.errors import DeadlineExceededError, SearchCancelledError
+from repro.service.service import QueryRequest, QueryService
+from repro.service.snapshot import save_engine
+
+
+@pytest.fixture(scope="session")
+def dblp_snapshot(tmp_path_factory, dblp_small_engine):
+    """A dataset big enough that ``mi-backward`` runs for seconds —
+    long enough for a deadline to fire genuinely mid-search."""
+    path = tmp_path_factory.mktemp("cancel") / "dblp.snap"
+    return save_engine(path, dblp_small_engine)
+
+
+# ----------------------------------------------------------------------
+# pool-level: the cancel ring
+# ----------------------------------------------------------------------
+class TestPoolCancel:
+    def test_cancel_queued_request_never_searches(self, toy_snapshot):
+        with WorkerPool({0: {"toy": toy_snapshot}}) as pool:
+            pool.warmup()
+            # Occupy the worker, then queue a request behind it and
+            # cancel the queued request — deterministically cancelled
+            # *before* execution.
+            sleeper = pool.submit(0, "sleep", 0.6)
+            queued = pool.request(
+                0, {"dataset": "toy", "query": "gray transaction"}
+            )
+            assert pool.cancel(queued.job_id) is True
+            payload = queued.result(timeout=10.0)
+            assert payload["error_type"] == SearchCancelledError.__name__
+            assert "before execution" in payload["error"]
+            assert sleeper.result(timeout=10.0)["slept"] == 0.6
+            # The worker is unharmed: the next request is served.
+            follow_up = pool.request(
+                0, {"dataset": "toy", "query": "gray transaction"}
+            ).result(timeout=10.0)
+            assert follow_up["error"] is None
+            assert follow_up["result"]["answers"]
+            assert pool.restarts() == {0: 0}
+
+    def test_cancel_unknown_job_is_false(self, toy_snapshot):
+        with WorkerPool({0: {"toy": toy_snapshot}}) as pool:
+            pool.warmup()
+            assert pool.cancel(987654) is False
+
+
+# ----------------------------------------------------------------------
+# sharded-service level
+# ----------------------------------------------------------------------
+class TestShardedCancel:
+    def test_cancel_leaves_sibling_requests_untouched(self, toy_snapshot):
+        """Cancelling one in-flight request must not perturb its
+        neighbours on the same worker — not their results, and not the
+        worker process itself."""
+        with ShardedQueryService(
+            {"toy": toy_snapshot}, num_workers=1, health_interval=0.2
+        ) as service:
+            service.warmup()
+            baseline = service.search("toy", "gray transaction", use_cache=False)
+            assert baseline.ok
+
+            # Occupy the single worker so the cancellable request is
+            # deterministically still pending when cancel() lands.
+            sleeper = service.pool.submit(0, "sleep", 0.5)
+            box = {}
+
+            def run():
+                box["response"] = service.search(
+                    QueryRequest(
+                        "toy",
+                        "gray transaction",
+                        use_cache=False,
+                        request_id="doomed",
+                        allow_partial=True,
+                    )
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            cancelled = False
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not cancelled:
+                cancelled = service.cancel("doomed")
+                time.sleep(0.01)
+            assert cancelled
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert box["response"].error_type == SearchCancelledError.__name__
+
+            sleeper.result(timeout=10.0)
+            sibling = service.search("toy", "gray transaction", use_cache=False)
+            assert sibling.ok
+            assert sibling.result.scores() == baseline.result.scores()
+            assert sibling.result.complete
+            assert service.pool.restarts() == {0: 0}
+
+    def test_mid_search_deadline_returns_partial_from_worker(
+        self, dblp_snapshot
+    ):
+        with ShardedQueryService(
+            {"dblp": dblp_snapshot}, num_workers=1, health_interval=0.2
+        ) as service:
+            service.warmup()
+            start = time.monotonic()
+            response = service.search(
+                QueryRequest(
+                    "dblp",
+                    "database james john",
+                    algorithm="mi-backward",  # runs for seconds uncancelled
+                    use_cache=False,
+                    timeout=0.2,
+                    allow_partial=True,
+                    params=SearchParams(cancel_check_interval=1),
+                )
+            )
+            elapsed = time.monotonic() - start
+            assert response.error_type == DeadlineExceededError.__name__
+            assert response.result is not None
+            assert response.result.complete is False
+            # Whichever source fired first — the worker's own deadline
+            # token or the supervisor's ring cancel — the *cause* is
+            # surfaced as DeadlineExceededError above.
+            assert response.result.cancel_reason in ("deadline", "cancelled")
+            # The shard was freed near the deadline, not after the
+            # multi-second search it would have run to completion.
+            assert elapsed < 1.5
+            # And the fleet keeps serving, unrestarted.
+            assert service.search("dblp", "database query").ok
+            assert service.pool.restarts() == {0: 0}
+            # The worker-side service recorded the cancellation in the
+            # merged cluster metrics (under whichever reason won the
+            # race between deadline token and ring cancel).
+            cancellations = service.metrics()["cancellations"]
+            assert (
+                cancellations["deadline_exceeded"] + cancellations["cancelled"]
+                >= 1
+            )
+
+    def test_deadline_expired_while_queued_never_searches(self, toy_snapshot):
+        with ShardedQueryService(
+            {"toy": toy_snapshot}, num_workers=1, health_interval=0.2
+        ) as service:
+            service.warmup()
+            response = service.search(
+                QueryRequest(
+                    "toy",
+                    "gray transaction",
+                    use_cache=False,
+                    timeout=1e-6,
+                    allow_partial=True,
+                )
+            )
+            # The supervisor's backstop killed it through the cancel
+            # ring before the worker ever started searching; the cause
+            # (deadline) is surfaced, not the mechanism.
+            assert response.error_type == DeadlineExceededError.__name__
+            assert service.search("toy", "gray transaction").ok
+
+    def test_cancel_unknown_request_id_is_false(self, sharded):
+        assert sharded.cancel("nobody-home") is False
+
+    def test_non_cooperative_mode_refuses_to_claim_cancellation(
+        self, toy_snapshot
+    ):
+        """With cooperative_cancellation=False the workers discard
+        their cancel rings; cancel() must say so rather than pretend."""
+        with ShardedQueryService(
+            {"toy": toy_snapshot},
+            num_workers=1,
+            health_interval=0.2,
+            cooperative_cancellation=False,
+        ) as service:
+            service.warmup()
+            sleeper = service.pool.submit(0, "sleep", 0.3)
+            box = {}
+
+            def run():
+                box["response"] = service.search(
+                    QueryRequest(
+                        "toy",
+                        "gray transaction",
+                        use_cache=False,
+                        request_id="uncancellable",
+                    )
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.05)  # request dispatched, queued behind sleep
+            assert service.cancel("uncancellable") is False
+            sleeper.result(timeout=10.0)
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert box["response"].ok  # ran to completion, as promised
+
+
+# ----------------------------------------------------------------------
+# HTTP: DELETE /search/<id>, 499 mapping, disconnect watcher plumbing
+# ----------------------------------------------------------------------
+class GatedEngine:
+    def __init__(self):
+        self.params = SearchParams(cancel_check_interval=1)
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def search(self, query, *, algorithm, params, token=None):
+        self.started.set()
+        result = SearchResult(
+            algorithm=algorithm, keywords=("slow",), stats=SearchStats()
+        )
+        while not self.gate.is_set():
+            if token is not None and token.tick():
+                result.complete = False
+                result.cancel_reason = token.reason
+                break
+            time.sleep(0.002)
+        result.stats.finish()
+        return result
+
+
+@pytest.fixture
+def gated_server(toy_engine_session):
+    engine = GatedEngine()
+    service = QueryService()
+    service.register_engine("toy", toy_engine_session)
+    service.register_engine("slow", engine)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, engine
+    engine.gate.set()
+    server.shutdown()
+    server.server_close()
+    service.close(wait=False)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _request(server, path, method, obj=None):
+    data = json.dumps(obj).encode("utf-8") if obj is not None else None
+    request = urllib.request.Request(
+        _url(server, path),
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHTTPCancel:
+    def test_status_mapping(self):
+        assert status_for_error(SearchCancelledError.__name__) == 499
+
+    def test_delete_unknown_id_reports_not_cancelled(self, gated_server):
+        server, _ = gated_server
+        status, body = _request(server, "/search/no-such-id", "DELETE")
+        assert status == 200
+        assert body == {"request_id": "no-such-id", "cancelled": False}
+
+    def test_delete_route_requires_id(self, gated_server):
+        server, _ = gated_server
+        status, body = _request(server, "/search/", "DELETE")
+        assert status == 404
+
+    def test_delete_cancels_inflight_search(self, gated_server):
+        server, engine = gated_server
+        box = {}
+
+        def run():
+            box["status"], box["body"] = _request(
+                server,
+                "/search",
+                "POST",
+                {
+                    "dataset": "slow",
+                    "query": "anything",
+                    "request_id": "http-doomed",
+                    "allow_partial": True,
+                },
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert engine.started.wait(5.0)
+        deadline = time.monotonic() + 5.0
+        cancelled = False
+        while time.monotonic() < deadline and not cancelled:
+            _, body = _request(server, "/search/http-doomed", "DELETE")
+            cancelled = body["cancelled"]
+            time.sleep(0.01)
+        assert cancelled
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert box["status"] == 499
+        assert box["body"]["error_type"] == SearchCancelledError.__name__
+        assert box["body"]["result"]["complete"] is False

@@ -111,6 +111,12 @@ def test_merge_tolerates_supervisor_only_parts():
         "requests_total": 0,
         "errors_total": 0,
         "errors": {},
+        "cancellations": {
+            "cancelled": 0,
+            "deadline_exceeded": 0,
+            "reclaimed_seconds": 0,
+            "overrun_seconds": 0,
+        },
         "cache_hits": 0,
         "cache_misses": 0,
         "cache_hit_rate": 0.0,

@@ -169,7 +169,9 @@ def test_close_fails_inflight_requests_not_hangs(toy_snapshot):
     pool.close(timeout=1.0)
     payload = stuck.result(timeout=5.0)
     assert time.monotonic() - start < 30.0
-    assert payload["error_type"] == WorkerCrashedError.__name__
+    # A closed pool is not a crashed worker: "retry it" would be a lie,
+    # there is nothing left to retry against.
+    assert payload["error_type"] == PoolClosedError.__name__
 
     with pytest.raises(ValueError):
         WorkerPool({})

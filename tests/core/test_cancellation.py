@@ -1,0 +1,178 @@
+"""CancellationToken unit behaviour + cooperative stops in the searches."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.cancellation import CancellationToken
+from repro.errors import SearchCancelledError
+from repro.sparse.sparse_search import SparseSearch
+
+QUERY = "database james john"
+ALGORITHMS = ["bidirectional", "si-backward", "mi-backward"]
+
+
+# ----------------------------------------------------------------------
+# token unit behaviour
+# ----------------------------------------------------------------------
+class TestToken:
+    def test_live_token_never_fires(self):
+        token = CancellationToken(check_every=1)
+        assert not any(token.tick() for _ in range(100))
+        assert not token.fired
+        assert token.reason is None
+
+    def test_explicit_cancel_fires_and_first_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("cancelled")
+        token.cancel("deadline")
+        assert token.fired
+        assert token.reason == "cancelled"
+        assert token.tick()  # fast path: fired is sticky
+
+    def test_deadline_fires_on_full_check(self):
+        token = CancellationToken(
+            deadline=time.monotonic() - 0.001, check_every=4
+        )
+        ticks_until_fired = 0
+        while not token.tick():
+            ticks_until_fired += 1
+        assert ticks_until_fired < 4
+        assert token.reason == "deadline"
+
+    def test_with_timeout_sets_future_deadline(self):
+        token = CancellationToken.with_timeout(60.0)
+        assert not token.check()
+        assert 59.0 < token.remaining() <= 60.0
+
+    def test_with_timeout_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="timeout"):
+            CancellationToken.with_timeout(0.0)
+
+    def test_check_every_validated(self):
+        with pytest.raises(ValueError, match="check_every"):
+            CancellationToken(check_every=0)
+
+    def test_cancel_at_tick_is_exact(self):
+        token = CancellationToken(cancel_at_tick=5, check_every=1000)
+        fired_at = next(i for i in range(1, 100) if token.tick())
+        assert fired_at == 5
+        assert token.reason == "cancelled"
+
+    def test_parent_cancel_propagates_with_reason(self):
+        parent = CancellationToken()
+        child = CancellationToken(parent=parent, check_every=1)
+        assert not child.tick()
+        parent.cancel("deadline")
+        assert child.tick()
+        assert child.reason == "deadline"
+
+    def test_external_check_fires(self):
+        flag = []
+        token = CancellationToken(external_check=lambda: bool(flag), check_every=1)
+        assert not token.tick()
+        flag.append(1)
+        assert token.tick()
+        assert token.reason == "cancelled"
+
+    def test_raise_if_cancelled(self):
+        token = CancellationToken()
+        token.raise_if_cancelled()  # live: no-op
+        token.cancel()
+        with pytest.raises(SearchCancelledError) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.reason == "cancelled"
+
+    def test_cancel_from_another_thread_is_seen(self):
+        token = CancellationToken(check_every=1)
+        thread = threading.Thread(target=token.cancel)
+        thread.start()
+        thread.join()
+        assert token.tick()
+
+
+# ----------------------------------------------------------------------
+# search integration (one engine, all three algorithms)
+# ----------------------------------------------------------------------
+class TestSearchCancellation:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_prefired_token_returns_within_two_check_intervals(
+        self, dblp_small_engine, algorithm
+    ):
+        interval = 8
+        token = CancellationToken(check_every=interval)
+        token.cancel()
+        result = dblp_small_engine.search(QUERY, algorithm=algorithm, token=token)
+        assert result.complete is False
+        assert result.cancel_reason == "cancelled"
+        assert result.stats.nodes_explored <= 2 * interval
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_cancelled_answers_are_prefix_of_full_run(
+        self, dblp_small_engine, algorithm
+    ):
+        full = dblp_small_engine.search(QUERY, algorithm=algorithm)
+        assert full.complete
+        token = CancellationToken(cancel_at_tick=200, check_every=1)
+        part = dblp_small_engine.search(QUERY, algorithm=algorithm, token=token)
+        assert part.complete is False
+        assert len(part.answers) <= len(full.answers)
+        assert part.signatures() == full.signatures()[: len(part.answers)]
+
+    def test_expired_deadline_yields_deadline_reason(self, dblp_small_engine):
+        token = CancellationToken(
+            deadline=time.monotonic() - 1.0, check_every=4
+        )
+        result = dblp_small_engine.search(QUERY, token=token)
+        assert result.complete is False
+        assert result.cancel_reason == "deadline"
+
+    def test_unfired_token_leaves_result_complete(self, toy_engine):
+        token = CancellationToken.with_timeout(60.0)
+        result = toy_engine.search("gray transaction", token=token)
+        assert result.complete is True
+        assert result.cancel_reason is None
+        assert result.answers
+
+    def test_budget_exhaustion_is_not_cancellation(self, dblp_small_engine):
+        params = dblp_small_engine.params.with_(node_budget=50)
+        result = dblp_small_engine.search(QUERY, params=params)
+        assert result.complete is True
+        assert result.cancel_reason is None
+
+
+# ----------------------------------------------------------------------
+# the oracle and the sparse baseline
+# ----------------------------------------------------------------------
+def test_exhaustive_raises_on_cancel(toy_engine):
+    token = CancellationToken(cancel_at_tick=1, check_every=1)
+    with pytest.raises(SearchCancelledError):
+        toy_engine.exhaustive("gray transaction", token=token)
+
+
+def test_exhaustive_unfired_token_is_harmless(toy_engine):
+    with_token = toy_engine.exhaustive(
+        "gray transaction", token=CancellationToken.with_timeout(60.0)
+    )
+    without = toy_engine.exhaustive("gray transaction")
+    assert [t.signature() for t in with_token] == [t.signature() for t in without]
+
+
+class TestSparseCancellation:
+    def test_cancelled_sparse_returns_partial(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=4)
+        full = sparse.search("gray transaction", k=None)
+        assert full.complete
+        token = CancellationToken(cancel_at_tick=2, check_every=1)
+        part = sparse.search("gray transaction", k=None, token=token)
+        assert part.complete is False
+        assert part.cancel_reason == "cancelled"
+        assert len(part.results) <= len(full.results)
+
+    def test_unfired_token_leaves_sparse_complete(self, toy_db):
+        sparse = SparseSearch(toy_db, max_cn_size=4)
+        outcome = sparse.search(
+            "gray transaction", token=CancellationToken.with_timeout(60.0)
+        )
+        assert outcome.complete is True
