@@ -32,6 +32,14 @@ Public API highlights
     shard routing, replica fan-out, restart-on-crash with structured
     error responses, merged cluster metrics) plus a stdlib HTTP
     front-end (``repro.cluster.http``).
+:mod:`repro.live`
+    Live mutation subsystem: :class:`~repro.live.MutableDataset`
+    applies structured mutations (``add_node`` / ``add_edge`` /
+    ``remove_edge`` / ``update_text``) as copy-on-write overlays over
+    the frozen graph + index, committing monotone-versioned MVCC
+    epochs — in-flight searches keep their epoch, the service tiers
+    key result caches by version, and ``ShardedQueryService.apply``
+    broadcasts commits to every replica without a process restart.
 :mod:`repro.experiments`
     Harness regenerating every table and figure of Section 5
     (``python -m repro.experiments --list``).
@@ -60,6 +68,7 @@ from repro.errors import (
     DeadlineExceededError,
     EmptyQueryError,
     KeywordNotFoundError,
+    MutationError,
     PoolClosedError,
     ReproError,
     SearchCancelledError,
@@ -76,6 +85,13 @@ from repro.graph import (
     compute_prestige,
 )
 from repro.index import InvertedIndex, build_index, tokenize
+from repro.live import (
+    AddEdge,
+    AddNode,
+    MutableDataset,
+    RemoveEdge,
+    UpdateText,
+)
 from repro.relational import Database, ForeignKey, Schema, Table
 from repro.render import render_result, render_tree
 from repro.service import (
@@ -110,6 +126,7 @@ __all__ = [
     "DeadlineExceededError",
     "EmptyQueryError",
     "KeywordNotFoundError",
+    "MutationError",
     "PoolClosedError",
     "ReproError",
     "SearchCancelledError",
@@ -126,6 +143,11 @@ __all__ = [
     "InvertedIndex",
     "build_index",
     "tokenize",
+    "AddEdge",
+    "AddNode",
+    "MutableDataset",
+    "RemoveEdge",
+    "UpdateText",
     "Database",
     "ForeignKey",
     "Schema",

@@ -20,6 +20,13 @@ Routes
     Body: ``{"requests": [...], "timeout": seconds?}``.  Always 200:
     per-item errors live inside the response objects, matching
     ``search_many``'s never-raise contract.
+``POST /mutate``
+    Body: ``{"dataset": name, "mutations": [...]}`` with wire mutation
+    dicts (:mod:`repro.live.mutations`).  Applies the batch through the
+    service's ``apply`` — on the sharded tier that broadcasts to every
+    replica — and returns the commit outcome (new version, assigned
+    node ids).  400 for malformed batches, 404 for unknown datasets,
+    501 when the service has no live-mutation support.
 ``DELETE /search/<request_id>``
     Cancel an in-flight search submitted with that ``request_id``.
     The search stops at its next cooperative check; the original
@@ -57,7 +64,9 @@ from repro.errors import (
     DeadlineExceededError,
     EmptyQueryError,
     KeywordNotFoundError,
+    MutationError,
     PoolClosedError,
+    ReproError,
     SearchCancelledError,
     UnknownDatasetError,
     WorkerCrashedError,
@@ -75,6 +84,7 @@ _ERROR_STATUS = {
     UnknownDatasetError.__name__: 404,
     KeywordNotFoundError.__name__: 404,
     EmptyQueryError.__name__: 400,
+    MutationError.__name__: 400,
     ValueError.__name__: 400,
     TypeError.__name__: 400,
     DeadlineExceededError.__name__: 504,
@@ -160,6 +170,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_search()
             elif self.path == "/batch":
                 self._handle_batch()
+            elif self.path == "/mutate":
+                self._handle_mutate()
             else:
                 self._send_error_json(
                     404, f"no route {self.path!r}", "NotFoundError"
@@ -204,7 +216,41 @@ class _Handler(BaseHTTPRequestHandler):
             if fleet.get("alive", 0) < fleet.get("workers", 0):
                 payload["status"] = "degraded"
                 status = 503
+        if "versions" not in payload:
+            # Thread-tier services report per-dataset epoch versions
+            # directly (the sharded tier's health() already did).
+            versions = getattr(service, "dataset_versions", None)
+            if callable(versions):
+                payload["versions"] = versions()
         self._send_json(status, payload)
+
+    def _handle_mutate(self) -> None:
+        body = self._read_json()
+        if not isinstance(body, dict):
+            raise ValueError('mutate body must be {"dataset": ..., "mutations": [...]}')
+        dataset = body.get("dataset")
+        mutations = body.get("mutations")
+        if not isinstance(dataset, str):
+            raise ValueError('mutate body is missing the "dataset" name')
+        if not isinstance(mutations, list):
+            raise ValueError('"mutations" must be a list of mutation objects')
+        apply_fn = getattr(self.server.service, "apply", None)
+        if not callable(apply_fn):
+            self._send_error_json(
+                501, "service does not support live mutations", "NotImplemented"
+            )
+            return
+        try:
+            result = apply_fn(dataset, mutations)
+        except ReproError as exc:
+            # apply has exception semantics (unlike search): map the
+            # structured library errors onto the same status table.
+            self._send_error_json(
+                status_for_error(type(exc).__name__), str(exc), type(exc).__name__
+            )
+            return
+        payload = result.to_dict() if hasattr(result, "to_dict") else result
+        self._send_json(200, payload)
 
     def _handle_search(self) -> None:
         request = request_from_dict(self._read_json())

@@ -80,6 +80,7 @@ def _merge_datasets(parts: list[dict]) -> dict:
     registered: set[str] = set()
     built: set[str] = set()
     build_seconds: dict[str, float] = {}
+    versions: dict[str, set[int]] = {}
     for part in parts:
         registered.update(part.get("registered", ()))
         built.update(part.get("built", ()))
@@ -87,10 +88,18 @@ def _merge_datasets(parts: list[dict]) -> dict:
             # Replicas each pay their own build; report the slowest —
             # the one that gates a fleet-wide warmup.
             build_seconds[name] = max(build_seconds.get(name, 0.0), seconds)
+        for name, version in part.get("versions", {}).items():
+            versions.setdefault(name, set()).add(version)
     return {
         "registered": sorted(registered),
         "built": sorted(built),
         "build_seconds": dict(sorted(build_seconds.items())),
+        # Highest epoch wins; replicas behind it show up in
+        # version_drift — the signal a mutation broadcast missed one.
+        "versions": {name: max(seen) for name, seen in sorted(versions.items())},
+        "version_drift": sorted(
+            name for name, seen in versions.items() if len(seen) > 1
+        ),
     }
 
 

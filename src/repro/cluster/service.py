@@ -41,6 +41,16 @@ Supervisor-side events (deadline misses, malformed requests, crashes)
 are recorded in a local :class:`~repro.service.metrics.ServiceMetrics`;
 :meth:`metrics` merges it with every worker's export into one cluster
 view (:func:`~repro.cluster.metrics.merge_metrics`).
+
+Live updates (:mod:`repro.live`) propagate fleet-wide without process
+restarts: :meth:`ShardedQueryService.apply` broadcasts a mutation
+batch to every replica of the dataset's shard (one serialized stream,
+so replicas stay bit-identical), each worker commits a new epoch and
+bumps the version its result cache is keyed by, and
+:meth:`dataset_versions` / :meth:`health` expose per-replica versions
+so drift is observable.  :meth:`reload` hot-swaps a dataset from a
+re-written snapshot file, no-opping on replicas whose content digest
+already matches.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from typing import Mapping, Optional, Sequence, Union
 from repro.core.engine import parse_query
 from repro.core.params import SearchParams
 from repro.errors import (
+    ClusterError,
     DeadlineExceededError,
     PoolClosedError,
     SearchCancelledError,
@@ -155,6 +166,11 @@ class ShardedQueryService:
         self._local_metrics = ServiceMetrics(metrics_window)
         self._active_lock = threading.Lock()
         self._active: dict[str, int] = {}
+        # One mutation stream per fleet: broadcasts from concurrent
+        # callers must reach every replica's queue in the same order,
+        # or replicas would assign different node ids to the same
+        # AddNode and drift apart.
+        self._mutate_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # registry view
@@ -200,6 +216,180 @@ class ShardedQueryService:
             for name, seconds in payload.items():
                 timings[name] = max(timings.get(name, 0.0), seconds)
         return timings
+
+    # ------------------------------------------------------------------
+    # live mutations
+    # ------------------------------------------------------------------
+    def apply(
+        self, dataset: str, mutations: Sequence, *, timeout: float = 60.0
+    ) -> dict:
+        """Apply a mutation batch on **every replica** of ``dataset``.
+
+        The batch is validated once supervisor-side, then broadcast
+        (under a fleet-wide mutation lock, so concurrent callers reach
+        every replica in the same order) as ``mutate`` messages; each
+        replica's private ``QueryService`` commits a new epoch and
+        bumps its version-keyed cache.  No worker restarts: the commit
+        is an in-process overlay.  Exception semantics like
+        :meth:`warmup` — a replica that fails the batch raises here
+        (``MutationError`` for bad batches, ``WorkerCrashedError`` for
+        a crash; the survivors stay consistent because a bad batch
+        rolls back atomically on every replica).
+
+        Returns ``{"dataset", "version", "applied", "new_nodes",
+        "compacted", "workers": {worker_id: version}, "drift"}`` —
+        ``drift`` is True if replica versions disagree (observable via
+        :meth:`health` too), which after a crash-restart means the
+        replica reloaded its snapshot and missed earlier commits.
+
+        Caution on timeouts: worker queues are serial, so a replica
+        busy with a long search can push the collection past
+        ``timeout``.  That raises a structured
+        :class:`~repro.errors.ClusterError`, but the mutate message is
+        *already enqueued* and commits when the worker drains — a blind
+        retry would double-apply the batch.  Check
+        :meth:`dataset_versions` first.
+        """
+        from repro.live.mutations import coerce_mutations, mutation_to_dict
+
+        wire = [mutation_to_dict(m) for m in coerce_mutations(mutations)]
+        replicas = self.router.replicas_for(dataset)
+        results = self._broadcast(
+            replicas,
+            "mutate",
+            {"dataset": dataset, "mutations": wire},
+            timeout=timeout,
+            serialize=True,
+        )
+        versions = {
+            worker_id: result["version"] for worker_id, result in results.items()
+        }
+        first = results[replicas[0]]
+        return {
+            "dataset": dataset,
+            "version": max(versions.values()),
+            "applied": first["applied"],
+            "new_nodes": first["new_nodes"],
+            "compacted": any(result["compacted"] for result in results.values()),
+            "workers": {str(w): v for w, v in sorted(versions.items())},
+            "drift": len(set(versions.values())) > 1,
+        }
+
+    def reload(
+        self,
+        dataset: str,
+        snapshot_path,
+        *,
+        force: bool = False,
+        timeout: float = 300.0,
+    ) -> dict:
+        """Hot-reload ``dataset`` from a snapshot file on every replica.
+
+        Replicas already holding the file's content digest no-op
+        (satellite of the versioned-snapshot work); the rest re-register
+        and rebuild from disk — no process restart.  Returns
+        ``{"dataset", "reloaded": {worker_id: bool}, "version"}``.
+        """
+        replicas = self.router.replicas_for(dataset)
+        results = self._broadcast(
+            replicas,
+            "reload",
+            {"dataset": dataset, "path": str(snapshot_path), "force": force},
+            timeout=timeout,
+            serialize=True,
+        )
+        return {
+            "dataset": dataset,
+            "reloaded": {
+                str(worker_id): bool(payload["reloaded"])
+                for worker_id, payload in sorted(results.items())
+            },
+            "version": max(
+                (int(payload.get("version") or 0) for payload in results.values()),
+                default=0,
+            ),
+        }
+
+    def dataset_versions(self, *, timeout: float = 10.0) -> dict[str, dict[str, int]]:
+        """Per-dataset epoch versions as seen by each replica:
+        ``{dataset: {worker_id: version}}`` — the drift observability
+        ``/healthz`` and ``/metrics`` surface.  Workers that fail to
+        answer in time are omitted rather than blocking health checks.
+        """
+        results = self._broadcast(
+            self.pool.worker_ids(), "versions", None, timeout=timeout, strict=False
+        )
+        collected: dict[str, dict[str, int]] = {}
+        for worker_id, payload in results.items():
+            for name, version in payload.get("versions", {}).items():
+                collected.setdefault(name, {})[str(worker_id)] = int(version)
+        return collected
+
+    def _broadcast(
+        self,
+        worker_ids: Sequence[int],
+        kind: str,
+        payload: Optional[dict],
+        *,
+        timeout: float,
+        strict: bool = True,
+        serialize: bool = False,
+    ) -> dict[int, dict]:
+        """Submit one control message to each worker; collect payloads.
+
+        ``strict`` raises on any failure (submit error, timeout, or a
+        worker-side error payload, rebuilt via :func:`control_error`);
+        non-strict skips failed workers — the observability calls'
+        contract.  ``serialize`` routes the submissions through the
+        fleet mutation lock so concurrent mutators enqueue in the same
+        order on every replica.  A strict timeout raises a structured
+        :class:`~repro.errors.ClusterError` that says the message is
+        *still queued* — worker queues are serial, so it may yet be
+        processed; callers must check :meth:`dataset_versions` before
+        retrying a mutation or they risk double-applying it.
+        """
+        args = () if payload is None else (payload,)
+        if serialize:
+            with self._mutate_lock:
+                futures = {
+                    worker_id: self.pool.submit(worker_id, kind, *args)
+                    for worker_id in worker_ids
+                }
+        else:
+            futures = {}
+            for worker_id in worker_ids:
+                try:
+                    futures[worker_id] = self.pool.submit(worker_id, kind, *args)
+                except Exception:
+                    if strict:
+                        raise
+        deadline = time.monotonic() + timeout
+        results: dict[int, dict] = {}
+        for worker_id, future in futures.items():
+            try:
+                result = future.result(
+                    timeout=max(deadline - time.monotonic(), 0.0)
+                )
+            except FutureTimeoutError:
+                if strict:
+                    raise ClusterError(
+                        f"{kind} broadcast to worker {worker_id} timed out "
+                        f"after {timeout}s; the message is still queued and "
+                        f"may yet be processed — check dataset_versions() "
+                        f"before retrying"
+                    ) from None
+                continue
+            except Exception:
+                if strict:
+                    raise
+                continue
+            error = control_error(result)
+            if error is not None:
+                if strict:
+                    raise error
+                continue
+            results[worker_id] = result
+        return results
 
     # ------------------------------------------------------------------
     # querying
@@ -342,15 +532,48 @@ class ShardedQueryService:
     def reset_metrics(self) -> None:
         self._local_metrics.reset()
 
-    def health(self) -> dict:
-        """Fleet liveness summary for a health endpoint."""
+    def health(
+        self, *, include_versions: bool = True, versions_timeout: float = 2.0
+    ) -> dict:
+        """Fleet liveness summary for a health endpoint.
+
+        ``versions`` maps each dataset to its per-replica epoch
+        versions and ``version_drift`` names datasets whose replicas
+        disagree — the observable signal that a replica missed a
+        mutation broadcast (e.g. it crash-restarted from an older
+        snapshot) and needs a :meth:`reload`.  A replica too busy to
+        answer within ``versions_timeout`` (worker queues are serial,
+        so a long search delays control messages) reports ``None`` and
+        puts its datasets in ``version_unknown`` rather than silently
+        vanishing — a wedged replica must never make the fleet look
+        *more* consistent.  ``include_versions=False`` restores the
+        pure supervisor-local (never-blocking) probe.
+        """
         alive = self.pool.alive()
-        return {
+        payload = {
             "workers": self.router.num_workers,
             "alive": sum(alive.values()),
             "restarts": sum(self.pool.restarts().values()),
             "datasets": self.datasets(),
         }
+        if include_versions:
+            versions = self.dataset_versions(timeout=versions_timeout)
+            for name in self.datasets():
+                by_worker = versions.setdefault(name, {})
+                for worker_id in self.router.replicas_for(name):
+                    by_worker.setdefault(str(worker_id), None)
+            payload["versions"] = versions
+            payload["version_drift"] = sorted(
+                name
+                for name, by_worker in versions.items()
+                if len({v for v in by_worker.values() if v is not None}) > 1
+            )
+            payload["version_unknown"] = sorted(
+                name
+                for name, by_worker in versions.items()
+                if any(v is None for v in by_worker.values())
+            )
+        return payload
 
     def close(self, timeout: float = 10.0) -> None:
         """Drain and stop the worker fleet (idempotent)."""

@@ -38,6 +38,14 @@ when the request set ``allow_partial``.  The supervisor still watches
 the clock as a backstop (a request stuck in the queue behind a long
 search has no worker-side token yet).
 
+Live updates arrive as ``mutate`` messages (a dataset name plus wire
+mutation dicts): the private service applies and commits them, so the
+dataset's version advances and subsequent searches see the new epoch —
+all without restarting the process.  ``reload`` re-registers a dataset
+from a snapshot file, no-opping when the file's content digest matches
+what the worker already serves; ``versions`` reports per-dataset epoch
+versions so the supervisor can observe replica drift.
+
 The supervisor can also stop a request explicitly: it writes the job id
 into this worker's shared-memory **cancel ring**
 (:meth:`~repro.cluster.pool.WorkerPool.cancel`); the token's external
@@ -129,12 +137,31 @@ def _handle_message(
             "worker_id": worker_id,
             "pid": os.getpid(),
             "datasets": service.datasets(),
+            "versions": service.dataset_versions(),
         }
     if kind == "metrics":
         return service.metrics(include_samples=message[2])
     if kind == "warmup":
         names: Optional[list] = message[2]
         return service.warmup(names)
+    if kind == "mutate":
+        # Live-update propagation: the supervisor broadcasts one batch
+        # to every replica of the dataset's shard; the private
+        # QueryService applies and commits it (upgrading the dataset to
+        # mutable on first touch), bumping the version its result cache
+        # is keyed by — no process restart, no stale answers.
+        payload = message[2]
+        return service.apply(payload["dataset"], payload["mutations"]).to_dict()
+    if kind == "reload":
+        # Snapshot hot-reload: re-register from a (usually re-written)
+        # snapshot file; a digest match means this worker already holds
+        # the epoch and the reload no-ops.
+        payload = message[2]
+        return service.reload_snapshot(
+            payload["dataset"], payload["path"], force=payload.get("force", False)
+        )
+    if kind == "versions":
+        return {"versions": service.dataset_versions()}
     if kind == "sleep":
         # Debug/test hook: hold this worker busy for a while, the cheap
         # stand-in for a long search when exercising crash recovery and

@@ -25,6 +25,7 @@ __all__ = [
     "UnknownDatasetError",
     "DeadlineExceededError",
     "SnapshotError",
+    "MutationError",
     "ClusterError",
     "WorkerCrashedError",
     "PoolClosedError",
@@ -125,6 +126,16 @@ class DeadlineExceededError(ServiceError, TimeoutError):
 
 class SnapshotError(ServiceError):
     """Raised on malformed, incompatible or unwritable snapshot files."""
+
+
+class MutationError(ServiceError, ValueError):
+    """Raised on malformed or inapplicable live mutations.
+
+    ``ValueError`` as well: the HTTP front-end and the batch coercion
+    path already map ``ValueError`` to structured 400 responses, and a
+    bad mutation (unknown op, missing field, absent node or edge) is
+    exactly that kind of caller error.
+    """
 
 
 class ClusterError(ServiceError):

@@ -21,11 +21,23 @@ __all__ = ["InvertedIndex", "build_index"]
 
 
 class InvertedIndex:
-    """Maps normalized terms to the set of matching graph nodes."""
+    """Maps normalized terms to the set of matching graph nodes.
+
+    Lookups are memoized per term: :meth:`lookup` materializes a
+    frozenset from the mutable posting sets, and repeated queries for
+    the same term (the hot path — the engine resolves every keyword of
+    every query) must not pay that copy again.  The memo is kept
+    *coherent* with construction: ``add_text`` / ``add_term`` /
+    ``add_relation_node`` after a lookup invalidate exactly the terms
+    they touch, so interleaving reads and writes can never serve a
+    stale frozenset.  Only known terms are memoized — unknown query
+    terms must not grow the cache unboundedly.
+    """
 
     def __init__(self) -> None:
         self._postings: dict[str, set[int]] = {}
         self._relation_nodes: dict[str, set[int]] = {}
+        self._lookup_cache: dict[str, frozenset[int]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -34,16 +46,20 @@ class InvertedIndex:
         """Index every token of ``text`` for ``node``."""
         for term in tokenize(text):
             self._postings.setdefault(term, set()).add(node)
+            self._lookup_cache.pop(term, None)
 
     def add_term(self, node: int, term: str) -> None:
         """Index a single already-normalized term for ``node``."""
-        self._postings.setdefault(normalize_term(term), set()).add(node)
+        key = normalize_term(term)
+        self._postings.setdefault(key, set()).add(node)
+        self._lookup_cache.pop(key, None)
 
     def add_relation_node(self, relation: str, node: int) -> None:
         """Register ``node`` as a tuple of ``relation`` so that keywords
         matching the relation name match the node."""
         for term in tokenize(relation):
             self._relation_nodes.setdefault(term, set()).add(node)
+            self._lookup_cache.pop(term, None)
 
     @classmethod
     def _from_postings(
@@ -75,17 +91,28 @@ class InvertedIndex:
     # ------------------------------------------------------------------
     def lookup(self, term: str) -> frozenset[int]:
         """All nodes matching ``term``: text matches plus relation-name
-        matches.  Empty frozenset when the term is unknown."""
+        matches.  Empty frozenset when the term is unknown.
+
+        Memoized per term; any ``add_*`` touching the term invalidates
+        its entry (see the class docstring), so a lookup after an add
+        always reflects the add.
+        """
         key = normalize_term(term)
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
         text_nodes = self._postings.get(key)
         rel_nodes = self._relation_nodes.get(key)
         if text_nodes is None and rel_nodes is None:
             return frozenset()
         if rel_nodes is None:
-            return frozenset(text_nodes)
-        if text_nodes is None:
-            return frozenset(rel_nodes)
-        return frozenset(text_nodes | rel_nodes)
+            result = frozenset(text_nodes)
+        elif text_nodes is None:
+            result = frozenset(rel_nodes)
+        else:
+            result = frozenset(text_nodes | rel_nodes)
+        self._lookup_cache[key] = result
+        return result
 
     def frequency(self, term: str) -> int:
         """Origin-set size of ``term`` (paper: "#Keyword nodes")."""

@@ -1,0 +1,793 @@
+"""``MutableDataset``: versioned live mutations over a frozen engine.
+
+The paper's model assumes a static in-memory graph; a deployment's data
+changes under live traffic.  This module closes that gap with an
+MVCC-style epoch design:
+
+* **Staging** — :meth:`MutableDataset.add_node` / :meth:`add_edge` /
+  :meth:`remove_edge` / :meth:`update_text` apply structured mutations
+  to *working* copy-on-write state: touched nodes get private
+  adjacency lists, new nodes live in extension arrays, index changes
+  live in posting deltas.  Nothing a search can see changes yet.
+* **Commit** — :meth:`commit` freezes the working deltas into an
+  immutable :class:`~repro.live.overlay.OverlayGraph` +
+  :class:`~repro.live.overlay.OverlayIndex` pair, builds a fresh
+  :class:`~repro.core.engine.KeywordSearchEngine` over them, and bumps
+  the monotone ``version``.  In-flight searches keep the epoch they
+  started on; new requests see the new one.
+* **Compaction** — when the overlay grows past the configured policy
+  the deltas are folded back into flat
+  :class:`~repro.graph.SearchGraph` arrays (adjacency order preserved,
+  so scores stay bit-identical) and, when ``snapshot_path`` is set, a
+  fresh versioned ``.npz`` snapshot is written via
+  :mod:`repro.service.snapshot` — the EMBANKS reload story.
+
+Incremental maintenance is the subtle part: a forward edge into ``v``
+changes ``indegree(v)``, and with it the weight of *every* derived
+backward edge out of ``v`` (``w * log2(1 + indegree)``, paper
+Section 2.3).  :meth:`add_edge` / :meth:`remove_edge` therefore reweight
+``v``'s backward adjacency and each affected partner's in-list, and the
+``sum(1/w)`` activation normalizers of touched nodes are re-summed in
+adjacency order — which keeps every float bit-identical to a
+from-scratch rebuild of the final state (the equivalence property
+``tests/property/test_prop_live.py`` pins).
+
+Prestige policy: mutations do **not** rerun PageRank (the paper treats
+prestige as precomputed).  Existing nodes keep their prestige; new
+nodes get ``new_node_prestige`` (default: the base mean).  Pass
+``commit(recompute_prestige=True)`` to rerun the biased PageRank over
+the overlay when ranking drift matters more than commit latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.params import SearchParams
+from repro.errors import MutationError
+from repro.graph.searchgraph import Edge, SearchGraph
+from repro.graph.weights import DEFAULT_FORWARD_WEIGHT, backward_edge_weight
+from repro.index.inverted import InvertedIndex
+from repro.index.tokenizer import tokenize
+from repro.live.mutations import (
+    AddEdge,
+    AddNode,
+    Mutation,
+    RemoveEdge,
+    UpdateText,
+    coerce_mutations,
+)
+from repro.live.overlay import OverlayGraph, OverlayIndex
+
+__all__ = ["MutableDataset", "Epoch", "MutationOutcome"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One committed, immutable read view of a dataset.
+
+    Searches hold an epoch (usually via its ``engine``) for their whole
+    run; later commits produce new epochs and never touch old ones.
+    """
+
+    version: int
+    graph: Union[SearchGraph, OverlayGraph]
+    index: Union[InvertedIndex, OverlayIndex]
+    engine: KeywordSearchEngine
+    compacted: bool = False
+
+
+@dataclass(frozen=True)
+class MutationOutcome:
+    """What :meth:`MutableDataset.mutate` reports back: the new epoch
+    plus the real node ids assigned to the batch's ``AddNode``s."""
+
+    epoch: Epoch
+    applied: int
+    new_nodes: tuple[int, ...]
+
+
+class MutableDataset:
+    """Copy-on-write mutable view over a frozen graph + index pair.
+
+    Parameters
+    ----------
+    graph / index:
+        The flat base state (a :class:`SearchGraph` as produced by
+        ``freeze``/snapshot load, and its :class:`InvertedIndex`).
+    params:
+        Engine parameters for every epoch's engine.
+    new_node_prestige:
+        Prestige assigned to nodes added without a PageRank rerun;
+        defaults to the base vector's mean (new entities rank as
+        ordinary citizens, not as hubs or outcasts).
+    compact_ratio:
+        Fold the overlay back into flat arrays when the number of
+        mutations (of any kind) since the last compaction exceeds this
+        fraction of the base's forward edges (None disables).
+    compact_every:
+        Alternatively (or additionally), compact every N commits.
+    snapshot_path:
+        When set, every compaction writes a fresh versioned snapshot
+        here (:func:`repro.service.snapshot.save_snapshot`), so worker
+        restarts warm from recent state instead of the original build.
+    """
+
+    def __init__(
+        self,
+        graph: SearchGraph,
+        index: InvertedIndex,
+        *,
+        params: Optional[SearchParams] = None,
+        new_node_prestige: Optional[float] = None,
+        compact_ratio: Optional[float] = 0.25,
+        compact_every: Optional[int] = None,
+        snapshot_path=None,
+    ) -> None:
+        if isinstance(graph, OverlayGraph):
+            raise MutationError(
+                "MutableDataset needs a flat SearchGraph base; compact the "
+                "source dataset first"
+            )
+        if compact_ratio is not None and compact_ratio <= 0:
+            raise ValueError(f"compact_ratio must be > 0, got {compact_ratio!r}")
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every!r}")
+        self._params = params
+        self._compact_ratio = compact_ratio
+        self._compact_every = compact_every
+        self._snapshot_path = snapshot_path
+        self._lock = threading.RLock()
+        self._version = 0
+        self._commits = 0
+        self._muts_since_compact = 0
+        self._applied_total = 0
+        self._rebase(graph, index)
+        if new_node_prestige is None:
+            new_node_prestige = (
+                float(self._prestige_base.mean()) if graph.num_nodes else 1.0
+            )
+        if new_node_prestige < 0:
+            raise ValueError(
+                f"new_node_prestige must be >= 0, got {new_node_prestige!r}"
+            )
+        self._new_node_prestige = new_node_prestige
+        self._epoch = Epoch(
+            version=0,
+            graph=graph,
+            index=index,
+            engine=KeywordSearchEngine(graph, index, params=params),
+        )
+
+    def _rebase(self, graph: SearchGraph, index: InvertedIndex) -> None:
+        """Reset all delta state on top of a new flat base (construction
+        and compaction)."""
+        self._base_graph = graph
+        self._base_index = index
+        self._base_n = graph.num_nodes
+        base_post, _ = index._export_postings()
+        self._base_post = base_post
+        # Working (mutable) state — what staging edits.
+        self._out: dict[int, list[Edge]] = {}
+        self._in: dict[int, list[Edge]] = {}
+        self._labels_ext: list[str] = []
+        self._tables_ext: list[Optional[str]] = []
+        self._refs_ext: list[Optional[tuple[str, Hashable]]] = []
+        self._prestige_ext: list[float] = []
+        self._prestige_base = np.asarray(graph.prestige, dtype=np.float64)
+        self._fwd_count = graph.num_forward_edges
+        self._edge_count = graph.num_edges
+        self._added: dict[str, set[int]] = {}
+        self._removed: dict[str, set[int]] = {}
+        self._rel_added: dict[str, set[int]] = {}
+        self._node_terms: Optional[dict[int, set[str]]] = None
+        # Committed (frozen) overlay — what epochs are built from.
+        self._frozen_out: dict[int, tuple[Edge, ...]] = {}
+        self._frozen_in: dict[int, tuple[Edge, ...]] = {}
+        self._out_invw: dict[int, float] = {}
+        self._in_invw: dict[int, float] = {}
+        self._f_added: dict[str, frozenset[int]] = {}
+        self._f_removed: dict[str, frozenset[int]] = {}
+        self._f_rel_added: dict[str, frozenset[int]] = {}
+        # Staging bookkeeping (cleared on commit, restored on rollback).
+        self._dirty_nodes: set[int] = set()
+        self._dirty_terms: set[str] = set()
+        self._staged = 0
+        self._committed_ext = 0
+        self._committed_fwd = self._fwd_count
+        self._committed_edges = self._edge_count
+        self._committed_muts = self._muts_since_compact
+
+    # ------------------------------------------------------------------
+    # construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(cls, engine: KeywordSearchEngine, **knobs) -> "MutableDataset":
+        """Wrap an already-built engine's graph + index."""
+        knobs.setdefault("params", engine.params)
+        return cls(engine.graph, engine.index, **knobs)
+
+    @classmethod
+    def from_database(cls, db, **knobs) -> "MutableDataset":
+        """Build graph, prestige and index from ``db``, then wrap."""
+        return cls.from_engine(
+            KeywordSearchEngine.from_database(db), **knobs
+        )
+
+    @classmethod
+    def from_snapshot(cls, path, **knobs) -> "MutableDataset":
+        """Load a disk snapshot (:mod:`repro.service.snapshot`) and wrap."""
+        from repro.service.snapshot import load_snapshot
+
+        graph, index = load_snapshot(path)
+        return cls(graph, index, **knobs)
+
+    # ------------------------------------------------------------------
+    # epoch access (lock-free reads: epochs are immutable)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._epoch.version
+
+    @property
+    def epoch(self) -> Epoch:
+        return self._epoch
+
+    @property
+    def engine(self) -> KeywordSearchEngine:
+        return self._epoch.engine
+
+    @property
+    def graph(self):
+        return self._epoch.graph
+
+    @property
+    def index(self):
+        return self._epoch.index
+
+    def stats(self) -> dict:
+        """Overlay size counters (for metrics and compaction tuning)."""
+        with self._lock:
+            return {
+                "version": self._epoch.version,
+                "commits": self._commits,
+                "mutations_applied": self._applied_total,
+                "base_nodes": self._base_n,
+                "added_nodes": len(self._labels_ext),
+                "touched_nodes": len(self._frozen_out),
+                "forward_edges": self._fwd_count,
+                "staged": self._staged,
+                "mutations_since_compaction": self._muts_since_compact,
+            }
+
+    # ------------------------------------------------------------------
+    # staging
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        label: str = "",
+        *,
+        table: Optional[str] = None,
+        ref: Optional[tuple[str, Hashable]] = None,
+        text: Optional[str] = None,
+    ) -> int:
+        """Stage a new node; returns its (immediately final) id.
+
+        ``table`` registers the node under the relation name (paper
+        Section 2.2 semantics: a keyword matching a relation name
+        matches every tuple of it); ``text`` indexes the node's terms —
+        together they mirror what :func:`repro.index.build_index` does
+        for one inserted tuple.
+        """
+        with self._lock:
+            node = self._base_n + len(self._labels_ext)
+            self._labels_ext.append(label)
+            self._tables_ext.append(table)
+            self._refs_ext.append(ref if ref is None else tuple(ref))
+            self._prestige_ext.append(self._new_node_prestige)
+            self._out[node] = []
+            self._in[node] = []
+            self._dirty_nodes.add(node)
+            if table is not None:
+                for term in tokenize(table):
+                    self._rel_added.setdefault(term, set()).add(node)
+                    self._dirty_terms.add(term)
+            if text:
+                terms = set(tokenize(text))
+                for term in terms:
+                    self._post_add(term, node)
+                if self._node_terms is not None:
+                    self._node_terms[node] = terms
+            self._staged += 1
+            self._muts_since_compact += 1
+            return node
+
+    def add_edge(
+        self, u: int, v: int, weight: float = DEFAULT_FORWARD_WEIGHT
+    ) -> None:
+        """Stage a forward edge ``u -> v`` plus its derived backward
+        edge, reweighting ``v``'s other backward edges for the new
+        indegree."""
+        with self._lock:
+            self._check_node(u, "add_edge u")
+            self._check_node(v, "add_edge v")
+            if u == v:
+                raise MutationError(f"self loops are not allowed (node {u})")
+            weight = float(weight)
+            if weight <= 0.0:
+                raise MutationError(f"edge weight must be > 0, got {weight!r}")
+            self._wlist(self._out, u).append((v, weight, True))
+            self._wlist(self._in, v).append((u, weight, True))
+            indegree = self._fwd_indegree(v)
+            bw = backward_edge_weight(weight, indegree)
+            self._wlist(self._out, v).append((u, bw, False))
+            self._wlist(self._in, u).append((v, bw, False))
+            self._dirty_nodes.add(u)
+            self._dirty_nodes.add(v)
+            self._reweight_backward(v, indegree)
+            self._fwd_count += 1
+            self._edge_count += 2
+            self._staged += 1
+            self._muts_since_compact += 1
+
+    def remove_edge(
+        self, u: int, v: int, weight: Optional[float] = None
+    ) -> None:
+        """Stage removal of one forward edge ``u -> v`` (the
+        earliest-inserted match; ``weight`` narrows it among parallel
+        edges), dropping its backward twin and reweighting ``v``'s
+        remaining backward edges for the reduced indegree."""
+        with self._lock:
+            self._check_node(u, "remove_edge u")
+            self._check_node(v, "remove_edge v")
+            out_u = self._wlist(self._out, u)
+            found = None
+            for i, (target, w, forward) in enumerate(out_u):
+                if (
+                    forward
+                    and target == v
+                    and (weight is None or w == float(weight))
+                ):
+                    found = (i, w)
+                    break
+            if found is None:
+                described = f"{u} -> {v}" + (
+                    f" (weight {weight!r})" if weight is not None else ""
+                )
+                raise MutationError(f"no forward edge {described} to remove")
+            i, w = found
+            indegree_old = self._fwd_indegree(v)
+            bw_old = backward_edge_weight(w, indegree_old)
+            del out_u[i]
+            self._remove_first(self._wlist(self._in, v), (u, w, True))
+            self._remove_first(self._wlist(self._out, v), (u, bw_old, False))
+            self._remove_first(self._wlist(self._in, u), (v, bw_old, False))
+            self._dirty_nodes.add(u)
+            self._dirty_nodes.add(v)
+            indegree_new = indegree_old - 1
+            if indegree_new:
+                self._reweight_backward(v, indegree_new)
+            self._fwd_count -= 1
+            self._edge_count -= 2
+            self._staged += 1
+            self._muts_since_compact += 1
+
+    def update_text(self, node: int, text: str) -> None:
+        """Stage replacement of ``node``'s indexed text terms with the
+        tokens of ``text`` (relation-name postings stay)."""
+        with self._lock:
+            self._check_node(node, "update_text node")
+            node_terms = self._ensure_node_terms()
+            old = node_terms.get(node, set())
+            new = set(tokenize(text))
+            for term in old - new:
+                self._post_remove(term, node)
+            for term in new - old:
+                self._post_add(term, node)
+            node_terms[node] = new
+            self._staged += 1
+            self._muts_since_compact += 1
+
+    def mutate(self, mutations: Sequence) -> MutationOutcome:
+        """Apply a whole batch atomically, then commit.
+
+        ``mutations`` holds mutation objects or their wire dicts
+        (:mod:`repro.live.mutations`); negative node ids are batch
+        aliases (``-(k+1)`` names the k-th ``AddNode`` of this batch).
+        Any failure rolls back *all* uncommitted staging — a malformed
+        batch never leaves half its edges behind — and re-raises.
+        """
+        with self._lock:
+            batch = coerce_mutations(mutations)
+            new_nodes: list[int] = []
+            try:
+                for mutation in batch:
+                    self._apply_one(mutation, new_nodes)
+            except Exception:
+                self.rollback()
+                raise
+            epoch = self.commit()
+            return MutationOutcome(
+                epoch=epoch, applied=len(batch), new_nodes=tuple(new_nodes)
+            )
+
+    def _apply_one(self, mutation: Mutation, new_nodes: list[int]) -> None:
+        if isinstance(mutation, AddNode):
+            new_nodes.append(
+                self.add_node(
+                    mutation.label,
+                    table=mutation.table,
+                    ref=mutation.ref,
+                    text=mutation.text,
+                )
+            )
+        elif isinstance(mutation, AddEdge):
+            self.add_edge(
+                self._resolve_alias(mutation.u, new_nodes),
+                self._resolve_alias(mutation.v, new_nodes),
+                mutation.weight,
+            )
+        elif isinstance(mutation, RemoveEdge):
+            self.remove_edge(
+                self._resolve_alias(mutation.u, new_nodes),
+                self._resolve_alias(mutation.v, new_nodes),
+                mutation.weight,
+            )
+        else:
+            self.update_text(
+                self._resolve_alias(mutation.node, new_nodes), mutation.text
+            )
+
+    @staticmethod
+    def _resolve_alias(node: int, new_nodes: list[int]) -> int:
+        if node >= 0:
+            return node
+        k = -node - 1
+        if k >= len(new_nodes):
+            raise MutationError(
+                f"alias {node} refers to the {k + 1}th added node of this "
+                f"batch, but only {len(new_nodes)} were added so far"
+            )
+        return new_nodes[k]
+
+    def rollback(self) -> None:
+        """Discard every staged-but-uncommitted change."""
+        with self._lock:
+            for node in self._dirty_nodes:
+                if node >= self._base_n + self._committed_ext:
+                    self._out.pop(node, None)
+                    self._in.pop(node, None)
+                    continue
+                self._restore_list(self._out, self._frozen_out, node)
+                self._restore_list(self._in, self._frozen_in, node)
+            del self._labels_ext[self._committed_ext :]
+            del self._tables_ext[self._committed_ext :]
+            del self._refs_ext[self._committed_ext :]
+            del self._prestige_ext[self._committed_ext :]
+            for term in self._dirty_terms:
+                self._restore_postings(self._added, self._f_added, term)
+                self._restore_postings(self._removed, self._f_removed, term)
+                self._restore_postings(self._rel_added, self._f_rel_added, term)
+            self._fwd_count = self._committed_fwd
+            self._edge_count = self._committed_edges
+            self._muts_since_compact = self._committed_muts
+            self._node_terms = None  # rebuilt lazily from committed state
+            self._dirty_nodes.clear()
+            self._dirty_terms.clear()
+            self._staged = 0
+
+    # ------------------------------------------------------------------
+    # commit / compaction
+    # ------------------------------------------------------------------
+    def commit(self, *, recompute_prestige: bool = False) -> Epoch:
+        """Freeze staged changes into a new epoch (no-op when nothing
+        is staged, so idle commits never invalidate caches)."""
+        with self._lock:
+            if not self._staged and not recompute_prestige:
+                return self._epoch
+            for node in self._dirty_nodes:
+                out = self._current_list(self._out, node)
+                in_ = self._current_list(self._in, node)
+                self._frozen_out[node] = tuple(out)
+                self._frozen_in[node] = tuple(in_)
+                self._out_invw[node] = sum(1.0 / w for _, w, _ in out)
+                self._in_invw[node] = sum(1.0 / w for _, w, _ in in_)
+            for term in self._dirty_terms:
+                self._freeze_postings(self._added, self._f_added, term)
+                self._freeze_postings(self._removed, self._f_removed, term)
+                self._freeze_postings(self._rel_added, self._f_rel_added, term)
+            applied = self._staged
+            self._dirty_nodes.clear()
+            self._dirty_terms.clear()
+            self._staged = 0
+            self._committed_ext = len(self._labels_ext)
+            self._committed_fwd = self._fwd_count
+            self._committed_edges = self._edge_count
+            self._committed_muts = self._muts_since_compact
+            self._applied_total += applied
+            self._version += 1
+            self._commits += 1
+
+            graph = self._build_view()
+            if recompute_prestige:
+                from repro.graph.prestige import compute_prestige
+
+                vec = compute_prestige(graph)
+                self._prestige_base = np.asarray(
+                    vec[: self._base_n], dtype=np.float64
+                )
+                self._prestige_ext = [float(p) for p in vec[self._base_n :]]
+                graph = self._build_view()
+            index = OverlayIndex(
+                self._base_index,
+                added=self._f_added,
+                removed=self._f_removed,
+                rel_added=self._f_rel_added,
+            )
+            self._epoch = Epoch(
+                version=self._version,
+                graph=graph,
+                index=index,
+                engine=KeywordSearchEngine(graph, index, params=self._params),
+            )
+            if self._should_compact():
+                self.compact()
+            return self._epoch
+
+    def compact(self) -> Epoch:
+        """Fold the overlay into flat base arrays (committing any staged
+        changes first).  Answers and scores are unchanged — adjacency
+        order and every weight survive verbatim — so the version does
+        *not* bump and cached results stay valid.  With
+        ``snapshot_path`` set, the folded state is written as a fresh
+        versioned snapshot."""
+        with self._lock:
+            if self._staged:
+                self.commit()
+            graph = self._epoch.graph
+            if isinstance(graph, SearchGraph):
+                return self._epoch  # already flat: nothing to fold
+            n = graph.num_nodes
+            flat = SearchGraph._from_adjacency(
+                out=[graph.out_edges(u) for u in range(n)],
+                in_=[graph.in_edges(u) for u in range(n)],
+                labels=[graph.label(u) for u in range(n)],
+                tables=[graph.table(u) for u in range(n)],
+                refs=[graph.ref(u) for u in range(n)],
+                num_forward_edges=graph.num_forward_edges,
+                prestige=graph.prestige,
+                in_inv_weight_sum=[graph.in_inv_weight_sum(u) for u in range(n)],
+                out_inv_weight_sum=[graph.out_inv_weight_sum(u) for u in range(n)],
+            )
+            index = self._epoch.index
+            flat_index = (
+                index.materialize() if isinstance(index, OverlayIndex) else index
+            )
+            self._muts_since_compact = 0  # before _rebase checkpoints it
+            self._rebase(flat, flat_index)
+            self._epoch = Epoch(
+                version=self._version,
+                graph=flat,
+                index=flat_index,
+                engine=KeywordSearchEngine(flat, flat_index, params=self._params),
+                compacted=True,
+            )
+            if self._snapshot_path is not None:
+                from repro.service.snapshot import save_snapshot
+
+                save_snapshot(
+                    self._snapshot_path, flat, flat_index, version=self._version
+                )
+            return self._epoch
+
+    def _should_compact(self) -> bool:
+        if self._compact_every is not None and self._commits % self._compact_every == 0:
+            return self._muts_since_compact > 0
+        if self._compact_ratio is not None:
+            base_edges = max(self._base_graph.num_forward_edges, 1)
+            return self._muts_since_compact >= self._compact_ratio * base_edges
+        return False
+
+    # ------------------------------------------------------------------
+    # working-state internals (lock held by callers)
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int, what: str) -> None:
+        if not 0 <= node < self._base_n + len(self._labels_ext):
+            raise MutationError(f"{what}: node {node} does not exist")
+
+    def _wlist(self, side: dict[int, list[Edge]], node: int) -> list[Edge]:
+        """Copy-on-write working adjacency list for ``node``."""
+        lst = side.get(node)
+        if lst is None:
+            frozen = self._frozen_out if side is self._out else self._frozen_in
+            committed = frozen.get(node)
+            if committed is not None:
+                lst = list(committed)
+            elif node < self._base_n:
+                base = (
+                    self._base_graph.out_edges(node)
+                    if side is self._out
+                    else self._base_graph.in_edges(node)
+                )
+                lst = list(base)
+            else:  # pragma: no cover - ext nodes get lists at add_node
+                lst = []
+            side[node] = lst
+        return lst
+
+    def _current_list(self, side: dict[int, list[Edge]], node: int) -> Sequence[Edge]:
+        """Read-only view of ``node``'s current adjacency (no copy)."""
+        lst = side.get(node)
+        if lst is not None:
+            return lst
+        frozen = self._frozen_out if side is self._out else self._frozen_in
+        committed = frozen.get(node)
+        if committed is not None:
+            return committed
+        if node < self._base_n:
+            return (
+                self._base_graph.out_edges(node)
+                if side is self._out
+                else self._base_graph.in_edges(node)
+            )
+        return ()
+
+    def _restore_list(
+        self,
+        side: dict[int, list[Edge]],
+        frozen: dict[int, tuple[Edge, ...]],
+        node: int,
+    ) -> None:
+        committed = frozen.get(node)
+        if committed is not None:
+            side[node] = list(committed)
+        else:
+            side.pop(node, None)
+
+    def _fwd_indegree(self, v: int) -> int:
+        return sum(1 for _, _, forward in self._current_list(self._in, v) if forward)
+
+    @staticmethod
+    def _remove_first(lst: list[Edge], entry: Edge) -> None:
+        try:
+            lst.remove(entry)
+        except ValueError:  # pragma: no cover - internal invariant
+            raise MutationError(
+                f"internal adjacency inconsistency removing {entry!r}"
+            ) from None
+
+    def _reweight_backward(self, v: int, indegree: int) -> None:
+        """Re-derive every backward edge out of ``v`` for its new
+        forward ``indegree``, updating both ``v``'s out-list and each
+        source node's in-list (positional correspondence: the k-th
+        backward entry pairs with the k-th forward edge into ``v``,
+        both orders being global edge-insertion order)."""
+        forward_sources = [
+            (src, w) for src, w, forward in self._current_list(self._in, v) if forward
+        ]
+        out_v = self._wlist(self._out, v)
+        pairs = iter(forward_sources)
+        for i, (target, old_w, forward) in enumerate(out_v):
+            if forward:
+                continue
+            src, w = next(pairs)
+            if src != target:  # pragma: no cover - internal invariant
+                raise MutationError(
+                    f"backward adjacency of node {v} out of sync with its in-list"
+                )
+            new_w = backward_edge_weight(w, indegree)
+            if new_w != old_w:
+                out_v[i] = (target, new_w, False)
+        for src in {src for src, _ in forward_sources}:
+            weights = iter(
+                w
+                for target, w, forward in self._current_list(self._out, src)
+                if forward and target == v
+            )
+            in_src = self._wlist(self._in, src)
+            for i, (target, old_w, forward) in enumerate(in_src):
+                if forward or target != v:
+                    continue
+                new_w = backward_edge_weight(next(weights), indegree)
+                if new_w != old_w:
+                    in_src[i] = (target, new_w, False)
+            self._dirty_nodes.add(src)
+
+    # ------------------------------------------------------------------
+    # index-delta internals (lock held by callers)
+    # ------------------------------------------------------------------
+    def _post_add(self, term: str, node: int) -> None:
+        removed = self._removed.get(term)
+        if removed is not None and node in removed:
+            removed.discard(node)
+        else:
+            base = self._base_post.get(term)
+            if base is None or node not in base:
+                self._added.setdefault(term, set()).add(node)
+        self._dirty_terms.add(term)
+        if self._node_terms is not None:
+            self._node_terms.setdefault(node, set()).add(term)
+
+    def _post_remove(self, term: str, node: int) -> None:
+        added = self._added.get(term)
+        if added is not None and node in added:
+            added.discard(node)
+        else:
+            base = self._base_post.get(term)
+            if base is not None and node in base:
+                self._removed.setdefault(term, set()).add(node)
+        self._dirty_terms.add(term)
+        if self._node_terms is not None:
+            terms = self._node_terms.get(node)
+            if terms is not None:
+                terms.discard(term)
+
+    def _ensure_node_terms(self) -> dict[int, set[str]]:
+        """Reverse map node -> indexed text terms, built on first text
+        update from the current (base + delta) posting state."""
+        if self._node_terms is None:
+            node_terms: dict[int, set[str]] = {}
+            for term, nodes in self._base_post.items():
+                for node in nodes:
+                    node_terms.setdefault(node, set()).add(term)
+            for term, nodes in self._removed.items():
+                for node in nodes:
+                    terms = node_terms.get(node)
+                    if terms is not None:
+                        terms.discard(term)
+            for term, nodes in self._added.items():
+                for node in nodes:
+                    node_terms.setdefault(node, set()).add(term)
+            self._node_terms = node_terms
+        return self._node_terms
+
+    @staticmethod
+    def _freeze_postings(
+        working: dict[str, set], frozen: dict[str, frozenset], term: str
+    ) -> None:
+        nodes = working.get(term)
+        if nodes:
+            frozen[term] = frozenset(nodes)
+        else:
+            working.pop(term, None)
+            frozen.pop(term, None)
+
+    @staticmethod
+    def _restore_postings(working: dict, frozen: dict, term: str) -> None:
+        committed = frozen.get(term)
+        if committed is not None:
+            working[term] = set(committed)
+        else:
+            working.pop(term, None)
+
+    # ------------------------------------------------------------------
+    # view construction (lock held by callers)
+    # ------------------------------------------------------------------
+    def _build_view(self) -> OverlayGraph:
+        return OverlayGraph(
+            self._base_graph,
+            out_over=self._frozen_out,
+            in_over=self._frozen_in,
+            labels_ext=self._labels_ext,
+            tables_ext=self._tables_ext,
+            refs_ext=self._refs_ext,
+            prestige_base=self._prestige_base,
+            prestige_ext=self._prestige_ext,
+            num_forward_edges=self._fwd_count,
+            num_edges=self._edge_count,
+            out_invw_over=self._out_invw,
+            in_invw_over=self._in_invw,
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MutableDataset(version={self.version}, "
+            f"nodes={self._base_n + len(self._labels_ext)}, "
+            f"forward_edges={self._fwd_count})"
+        )

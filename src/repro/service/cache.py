@@ -40,6 +40,8 @@ def canonical_cache_key(
     query: Union[str, Sequence[str]],
     algorithm: str,
     params: SearchParams,
+    *,
+    version: int = 0,
 ) -> tuple:
     """Canonical, hashable identity of one logical query.
 
@@ -49,9 +51,15 @@ def canonical_cache_key(
     answer-path order in results, so reordered queries are distinct).
     ``params`` must already include any ``k`` override — the service
     applies ``with_(max_results=k)`` before keying.
+
+    ``version`` is the dataset's epoch at lookup time (see
+    :meth:`~repro.service.QueryService.dataset_version`): a live
+    mutation commit bumps it, so every entry cached against the prior
+    epoch becomes unreachable — commits invalidate stale results for
+    free, with no purge required for correctness.
     """
     keywords = parse_query(query)
-    return (dataset, keywords, algorithm, params)
+    return (dataset, keywords, algorithm, params, version)
 
 
 class ResultCache:

@@ -19,6 +19,14 @@ The layer the ROADMAP's production north star needs above
   contract an HTTP front-end can map onto status codes directly.
 * **Metrics** — :meth:`metrics` exports per-algorithm latency
   percentiles, cache hit rate and error counters as a plain dict.
+* **Live mutations** — :meth:`apply` commits a
+  :mod:`repro.live` mutation batch against a dataset (upgrading it to
+  a :class:`~repro.live.MutableDataset` on first touch): new requests
+  see the new epoch, in-flight searches finish on theirs, and the
+  result cache is keyed by :meth:`dataset_version` so a commit makes
+  stale entries unreachable atomically.  :meth:`reload_snapshot`
+  hot-swaps a dataset from a re-written snapshot file, no-opping when
+  the file's content digest matches what is already served.
 
 Threads, not processes: search holds the GIL, so a batch's *CPU* time is
 not divided across cores — what batching buys is overlap of cache hits
@@ -52,7 +60,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.core.answer import SearchResult
 from repro.core.cancellation import CancellationToken
@@ -65,6 +73,10 @@ from repro.errors import (
 )
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.dataset import MutableDataset
+    from repro.live.mutations import MutationResult
 
 __all__ = [
     "QueryRequest",
@@ -356,6 +368,10 @@ class QueryService:
         self._cancel_grace = cancel_grace
         self._engines: dict[str, KeywordSearchEngine] = {}
         self._factories: dict[str, Callable[[], KeywordSearchEngine]] = {}
+        self._mutable: dict[str, "MutableDataset"] = {}
+        self._versions: dict[str, int] = {}
+        self._snapshot_sources: dict[str, str] = {}
+        self._snapshot_digests: dict[str, Optional[str]] = {}
         self._build_seconds: dict[str, float] = {}
         self._registry_lock = threading.Lock()
         self._build_locks: dict[str, threading.Lock] = {}
@@ -371,14 +387,14 @@ class QueryService:
     def register_engine(self, name: str, engine: KeywordSearchEngine) -> None:
         """Register an already-built engine under ``name``.
 
-        Re-registering an existing name replaces its engine and purges
-        the dataset's cached results — the old engine's answers must not
+        Re-registering an existing name replaces its engine, bumps the
+        dataset's version (so version-keyed cache entries go stale) and
+        purges its cached results — the old engine's answers must not
         outlive it.
         """
         with self._registry_lock:
-            replacing = name in self._engines or name in self._factories
+            replacing = self._replace_registration_locked(name)
             self._engines[name] = engine
-            self._factories.pop(name, None)
             self._build_seconds.setdefault(name, 0.0)
         if replacing:
             self.cache.purge(lambda key: key[0] == name)
@@ -388,16 +404,72 @@ class QueryService:
     ) -> None:
         """Register a lazy engine builder; it runs (once) on first use.
 
-        Like :meth:`register_engine`, replacing an existing name purges
-        that dataset's cached results.
+        Like :meth:`register_engine`, replacing an existing name bumps
+        the dataset's version and purges its cached results.
         """
         with self._registry_lock:
-            replacing = name in self._engines or name in self._factories
+            replacing = self._replace_registration_locked(name)
             self._factories[name] = factory
-            self._engines.pop(name, None)
             self._build_locks.setdefault(name, threading.Lock())
         if replacing:
             self.cache.purge(lambda key: key[0] == name)
+
+    def register_mutable(self, name: str, dataset: "MutableDataset") -> None:
+        """Register a live :class:`~repro.live.MutableDataset`.
+
+        Queries run against the dataset's *current epoch* engine;
+        :meth:`apply` commits mutations and advances the version the
+        result cache is keyed by.
+        """
+        with self._registry_lock:
+            replacing = self._replace_registration_locked(name)
+            self._mutable[name] = dataset
+            self._build_seconds.setdefault(name, 0.0)
+        if replacing:
+            self.cache.purge(lambda key: key[0] == name)
+
+    def _replace_registration_locked(self, name: str) -> bool:
+        """Shared replacement sequence (registry lock held): bump the
+        version past the prior effective one, clear every registry
+        slot, and forget snapshot provenance.
+
+        Provenance must go on every path that is not itself a snapshot
+        registration — otherwise a later :meth:`reload_snapshot`
+        against the old file would see a matching digest and
+        incorrectly no-op while the service serves something else
+        (:meth:`register_snapshot` re-records the source right after
+        its inner :meth:`register_factory` cleared it).  Returns
+        whether an existing registration was replaced — the caller's
+        cue to purge the dataset's cached results outside the lock.
+        """
+        replacing = (
+            name in self._engines
+            or name in self._factories
+            or name in self._mutable
+        )
+        if replacing:
+            self._versions[name] = self._effective_version_locked(name) + 1
+        self._engines.pop(name, None)
+        self._factories.pop(name, None)
+        self._mutable.pop(name, None)
+        self._snapshot_sources.pop(name, None)
+        self._snapshot_digests.pop(name, None)
+        return replacing
+
+    def _effective_version_locked(self, name: str) -> int:
+        """The dataset version cache keys embed (registry lock held).
+
+        ``_versions[name]`` is a *base* generation counter: every
+        replacement (re-register, reload) jumps it past the prior
+        effective version, and a mutable dataset adds its own monotone
+        epoch on top.  The sum therefore strictly increases across
+        every event that can change answers — commits and
+        replacements — which is the invariant that makes version-keyed
+        cache entries impossible to serve stale.
+        """
+        base = self._versions.get(name, 0)
+        dataset = self._mutable.get(name)
+        return base + dataset.version if dataset is not None else base
 
     def register_database(
         self,
@@ -419,46 +491,210 @@ class QueryService:
         self, name: str, path, *, params: Optional[SearchParams] = None
     ) -> None:
         """Register a disk snapshot; loading replaces ``from_database``."""
-        from repro.service.snapshot import load_engine
+        from repro.errors import SnapshotError
+        from repro.service.snapshot import load_engine, snapshot_info
 
-        self.register_factory(name, lambda: load_engine(path, params=params))
+        def factory():
+            # Record the digest of the file actually loaded (the file
+            # may be rewritten later — reload_snapshot compares against
+            # what this service *serves*, not what is on disk now).  A
+            # concurrent swap between the two reads at worst records a
+            # stale digest, which degrades to an unnecessary reload.
+            try:
+                digest = snapshot_info(path).get("content_digest")
+            except SnapshotError:
+                digest = None
+            engine = load_engine(path, params=params)
+            with self._registry_lock:
+                # Stamp only while this path is still the registered
+                # source — a build that lost a re-registration race
+                # must not resurrect stale provenance.
+                if self._snapshot_sources.get(name) == str(path):
+                    self._snapshot_digests[name] = digest
+            return engine
+
+        self.register_factory(name, factory)
+        with self._registry_lock:
+            # Remembered (no I/O here — the file may not exist yet) so
+            # reload_snapshot can later compare content digests and
+            # no-op when this worker already holds the epoch.
+            self._snapshot_sources[name] = str(path)
+            self._snapshot_digests.pop(name, None)
+
+    def reload_snapshot(
+        self,
+        name: str,
+        path,
+        *,
+        params: Optional[SearchParams] = None,
+        force: bool = False,
+    ) -> dict:
+        """Re-register ``name`` from ``path`` without a process restart.
+
+        The fleet-wide purge/reload story: compares the new file's
+        content digest (:func:`repro.service.snapshot.snapshot_info`)
+        against what this service is already serving and **no-ops**
+        when they match — a broadcast reload is then free on replicas
+        that already hold the epoch.  A dataset with *committed* live
+        mutations never no-ops: reloading it deliberately resets to
+        the snapshot.  Returns ``{"dataset", "reloaded", "version",
+        "digest"}``.
+        """
+        from repro.service.snapshot import snapshot_info
+
+        info = snapshot_info(path)
+        digest = info.get("content_digest")
+        if not force and digest is not None:
+            current = self._current_snapshot_digest(name)
+            if current == digest:
+                return {
+                    "dataset": name,
+                    "reloaded": False,
+                    "version": self.dataset_version(name),
+                    "digest": digest,
+                }
+        self.register_snapshot(name, path, params=params)
+        with self._registry_lock:
+            self._snapshot_digests[name] = digest
+            # Convergence rule: every replica adopting this file lands
+            # on ``snapshot_version + 1`` — strictly above any replica
+            # the file could have been saved from (the saver stamps its
+            # own effective version), so cache keys stay monotone AND
+            # replicas with different histories stop reporting drift
+            # for identical content.  Reloading a snapshot *older* than
+            # this service's own state keeps the local ``prior + 1``
+            # (the max), which is the genuinely-ambiguous rollback case
+            # — drift stays visible until a fresh snapshot propagates.
+            self._versions[name] = max(
+                self._versions.get(name, 0),
+                int(info.get("dataset_version") or 0) + 1,
+            )
+            version = self._versions.get(name, 0)
+        return {
+            "dataset": name,
+            "reloaded": True,
+            "version": version,
+            "digest": digest,
+        }
+
+    def _current_snapshot_digest(self, name: str) -> Optional[str]:
+        """Digest of the snapshot this service serves for ``name``, or
+        None when unknown (never registered from a file, mutated since,
+        or the file predates digests)."""
+        from repro.errors import SnapshotError
+        from repro.service.snapshot import snapshot_info
+
+        with self._registry_lock:
+            dataset = self._mutable.get(name)
+            if dataset is not None and dataset.version > 0:
+                # A commit landed: the served state diverged from any
+                # file.  (A version-0 mutable — upgraded but never
+                # successfully mutated — still equals its snapshot.)
+                return None
+            digest = self._snapshot_digests.get(name)
+            if digest is not None:
+                return digest
+            if name in self._engines or dataset is not None:
+                # Built, but not from a digest-recorded snapshot load:
+                # we cannot prove equality, so never no-op.
+                return None
+            source = self._snapshot_sources.get(name)
+        if source is None:
+            return None
+        # Still lazy: the registered factory will read this same file
+        # when it first builds, so the file's current digest *is* what
+        # this service would serve.
+        try:
+            return snapshot_info(source).get("content_digest")
+        except SnapshotError:
+            return None
 
     def save_snapshot(self, name: str, path):
         """Write dataset ``name``'s built state to ``path`` (building it
-        first if still lazy); returns the path written."""
-        from repro.service.snapshot import save_engine
+        first if still lazy); returns the path written.  The snapshot
+        records the dataset's current version.  A mutable dataset is
+        compacted first — snapshots hold flat arrays, and compaction
+        changes no answer (or version)."""
+        from repro.service.snapshot import save_engine, save_snapshot
 
-        return save_engine(path, self.engine(name))
+        with self._registry_lock:
+            live = self._mutable.get(name)
+        if live is not None:
+            epoch = live.compact()
+            return save_snapshot(
+                path, epoch.graph, epoch.index, version=self.dataset_version(name)
+            )
+        return save_engine(
+            path, self.engine(name), version=self.dataset_version(name)
+        )
 
     def datasets(self) -> list[str]:
         """Registered dataset names (built or lazy), sorted."""
         with self._registry_lock:
-            return sorted(self._engines.keys() | self._factories.keys())
+            return sorted(
+                self._engines.keys()
+                | self._factories.keys()
+                | self._mutable.keys()
+            )
+
+    def dataset_version(self, name: str) -> int:
+        """The dataset's current effective version (0 until it changes).
+
+        This is what result-cache keys embed: every mutation commit and
+        every engine replacement advances it, so stale cached answers
+        become unreachable the instant the new state is visible (see
+        :meth:`_effective_version_locked` for the monotonicity
+        argument).
+        """
+        with self._registry_lock:
+            return self._effective_version_locked(name)
+
+    def dataset_versions(self) -> dict[str, int]:
+        """``{dataset: version}`` for every registered dataset."""
+        return {name: self.dataset_version(name) for name in self.datasets()}
 
     def engine(self, name: str) -> KeywordSearchEngine:
-        """The engine for ``name``, building/loading it on first use."""
-        with self._registry_lock:
-            engine = self._engines.get(name)
-            if engine is not None:
-                return engine
-            factory = self._factories.get(name)
-            if factory is None:
-                raise UnknownDatasetError(name)
-            build_lock = self._build_locks.setdefault(name, threading.Lock())
-        with build_lock:
-            # Double-checked: a concurrent builder may have finished.
+        """The engine for ``name``, building/loading it on first use.
+
+        A mutable dataset answers with its *current epoch's* engine —
+        requests that already hold an older epoch's engine keep
+        searching it unperturbed (MVCC by immutability).
+
+        Factory identity guards the slow build: if the dataset is
+        re-registered (or reloaded) while a lazy build is in flight,
+        the stale build's result is discarded and resolution restarts —
+        storing it would silently shadow the replacement under the
+        already-bumped cache version.
+        """
+        while True:
             with self._registry_lock:
+                dataset = self._mutable.get(name)
+                if dataset is not None:
+                    return dataset.engine
                 engine = self._engines.get(name)
                 if engine is not None:
                     return engine
-            start = time.perf_counter()
-            engine = factory()
-            elapsed = time.perf_counter() - start
-            with self._registry_lock:
-                self._engines[name] = engine
-                self._factories.pop(name, None)
-                self._build_seconds[name] = elapsed
-            return engine
+                factory = self._factories.get(name)
+                if factory is None:
+                    raise UnknownDatasetError(name)
+                build_lock = self._build_locks.setdefault(name, threading.Lock())
+            with build_lock:
+                # Double-checked: a concurrent builder may have
+                # finished (factory popped), or a re-registration may
+                # have swapped the factory — both restart resolution.
+                with self._registry_lock:
+                    if self._factories.get(name) is not factory:
+                        continue
+                start = time.perf_counter()
+                engine = factory()
+                elapsed = time.perf_counter() - start
+                with self._registry_lock:
+                    if self._factories.get(name) is not factory:
+                        continue  # replaced mid-build: discard stale engine
+                    self._engines[name] = engine
+                    self._factories.pop(name, None)
+                    self._build_seconds[name] = elapsed
+                return engine
 
     def warmup(self, names: Optional[Sequence[str]] = None) -> dict[str, float]:
         """Build/load the given datasets (default: all registered) now.
@@ -474,6 +710,76 @@ class QueryService:
             with self._registry_lock:
                 timings[name] = self._build_seconds.get(name, 0.0)
         return timings
+
+    # ------------------------------------------------------------------
+    # live mutations
+    # ------------------------------------------------------------------
+    def apply(self, dataset: str, mutations: Sequence) -> "MutationResult":
+        """Apply a mutation batch to ``dataset`` and commit a new epoch.
+
+        ``mutations`` holds :mod:`repro.live.mutations` objects or
+        their wire dicts (what ``POST /mutate`` ships).  A dataset not
+        yet registered mutable is upgraded in place on first apply: its
+        built engine is wrapped in a
+        :class:`~repro.live.MutableDataset` and every later query runs
+        against the dataset's current epoch.
+
+        Correctness contract: the commit bumps the dataset version the
+        result cache is keyed by, so a result computed against the old
+        epoch can never be served afterwards; in-flight searches keep
+        the epoch they started on and complete unperturbed.  The old
+        version's entries are also purged eagerly — pure capacity
+        hygiene, the version key already made them unreachable.
+        """
+        live = self._mutable_dataset(dataset)
+        outcome = live.mutate(mutations)
+        with self._registry_lock:
+            version = self._effective_version_locked(dataset)
+        purged = self.cache.purge(
+            lambda key: key[0] == dataset and key[-1] != version
+        )
+        from repro.live.mutations import MutationResult
+
+        return MutationResult(
+            dataset=dataset,
+            version=version,
+            applied=outcome.applied,
+            new_nodes=outcome.new_nodes,
+            compacted=outcome.epoch.compacted,
+            cache_purged=purged,
+        )
+
+    def _mutable_dataset(self, name: str) -> "MutableDataset":
+        """The live dataset for ``name``, upgrading a frozen engine on
+        first use (double-checked under the registry lock)."""
+        from repro.live.dataset import MutableDataset
+
+        while True:
+            with self._registry_lock:
+                dataset = self._mutable.get(name)
+                if dataset is not None:
+                    return dataset
+            engine = self.engine(name)  # may build lazily; raises UnknownDataset
+            with self._registry_lock:
+                dataset = self._mutable.get(name)
+                if dataset is not None:
+                    return dataset
+                if self._engines.get(name) is not engine:
+                    # Re-registered between the build and this lock:
+                    # wrapping the stale engine would silently discard
+                    # the replacement.  Resolve again.
+                    continue
+                dataset = MutableDataset.from_engine(engine)
+                self._mutable[name] = dataset
+                self._engines.pop(name, None)
+                self._factories.pop(name, None)
+                # Snapshot provenance survives the upgrade: at version
+                # 0 the served content still equals the file, so a
+                # reload no-op stays possible — important because a
+                # *failed* (rolled-back) batch also lands here.  The
+                # digest check goes dead the moment a commit lands
+                # (_current_snapshot_digest keys off dataset.version).
+                return dataset
 
     # ------------------------------------------------------------------
     # querying
@@ -587,10 +893,20 @@ class QueryService:
         exported = self._metrics.export(include_samples=include_samples)
         exported["cache"] = self.cache.stats()
         with self._registry_lock:
+            registered = sorted(
+                self._engines.keys()
+                | self._factories.keys()
+                | self._mutable.keys()
+            )
+            built = sorted(self._engines.keys() | self._mutable.keys())
+            versions = {
+                name: self._effective_version_locked(name) for name in registered
+            }
             exported["datasets"] = {
-                "registered": sorted(self._engines.keys() | self._factories.keys()),
-                "built": sorted(self._engines),
+                "registered": registered,
+                "built": built,
                 "build_seconds": dict(sorted(self._build_seconds.items())),
+                "versions": versions,
             }
         return exported
 
@@ -660,6 +976,10 @@ class QueryService:
             # worker thread in _execute.
             with self._registry_lock:
                 engine = self._engines.get(request.dataset)
+                if engine is None:
+                    live = self._mutable.get(request.dataset)
+                    if live is not None:
+                        engine = live.engine
             interval = (
                 engine.params.cancel_check_interval
                 if engine is not None
@@ -801,12 +1121,22 @@ class QueryService:
     ) -> QueryResponse:
         start = time.perf_counter()
         try:
+            # Version before engine: if a commit lands between the two
+            # reads, a result computed on the *new* epoch gets cached
+            # under the old (already unreachable) key — wasted space,
+            # never a stale answer.  The opposite order could cache an
+            # old epoch's answers under the new version.
+            version = self.dataset_version(request.dataset)
             engine = self.engine(request.dataset)
             run_params = request.params if request.params is not None else engine.params
             if request.k is not None:
                 run_params = run_params.with_(max_results=request.k)
             key = canonical_cache_key(
-                request.dataset, request.query, request.algorithm, run_params
+                request.dataset,
+                request.query,
+                request.algorithm,
+                run_params,
+                version=version,
             )
         except Exception as exc:
             return self._error_response(request, exc, start, record)

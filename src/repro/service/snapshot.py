@@ -35,6 +35,7 @@ capture frozen state: they are written once and never invalidated
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
@@ -116,16 +117,45 @@ def _encode_refs(graph: SearchGraph) -> list:
     return refs
 
 
+def _content_digest(meta: dict, arrays: dict) -> str:
+    """Deterministic sha256 over the snapshot's logical content.
+
+    Computed from the packed arrays and text metadata, **not** the file
+    bytes (the zip container embeds timestamps), so two snapshots of
+    the same dataset state digest identically across machines and runs
+    — what lets a worker reload no-op when it already holds the epoch.
+    The ``dataset_version`` field is deliberately excluded: version is
+    provenance, digest is content.
+    """
+    hasher = hashlib.sha256()
+    for field in ("num_nodes", "num_forward_edges", "labels", "tables", "refs",
+                  "post_terms", "rel_terms"):
+        hasher.update(field.encode("utf-8"))
+        hasher.update(json.dumps(meta[field], ensure_ascii=False).encode("utf-8"))
+    for name in sorted(arrays):
+        hasher.update(name.encode("utf-8"))
+        hasher.update(arrays[name].tobytes())
+    return hasher.hexdigest()
+
+
 def save_snapshot(
     path: Union[str, os.PathLike],
     graph: SearchGraph,
     index: InvertedIndex,
+    *,
+    version: int = 0,
 ) -> Path:
     """Serialize ``graph`` + ``index`` (+ prestige) to ``path``.
 
     The write goes through a temporary sibling file and an atomic rename,
     so a crash mid-save never leaves a truncated snapshot behind.
     Returns the path written.
+
+    ``version`` records the dataset's epoch (``dataset_version`` in the
+    header), and a ``content_digest`` over the packed arrays is stored
+    alongside it — together they let a worker reload decide it already
+    holds the current state and no-op (:func:`snapshot_info` surfaces
+    both without decompressing the graph).
     """
     path = Path(path)
     out_indptr, out_dst, out_weight, out_fwd = _pack_adjacency(graph._out)
@@ -144,7 +174,28 @@ def save_snapshot(
         "refs": _encode_refs(graph),
         "post_terms": post_terms,
         "rel_terms": rel_terms,
+        "dataset_version": int(version),
     }
+    meta["content_digest"] = _content_digest(
+        meta,
+        {
+            "out_indptr": out_indptr,
+            "out_dst": out_dst,
+            "out_weight": out_weight,
+            "out_fwd": out_fwd,
+            "in_indptr": in_indptr,
+            "in_src": in_src,
+            "in_weight": in_weight,
+            "in_fwd": in_fwd,
+            "prestige": np.asarray(graph.prestige, dtype=np.float64),
+            "in_invw": np.asarray(graph._in_inv_weight_sum, dtype=np.float64),
+            "out_invw": np.asarray(graph._out_inv_weight_sum, dtype=np.float64),
+            "post_indptr": post_indptr,
+            "post_nodes": post_nodes,
+            "rel_indptr": rel_indptr,
+            "rel_nodes": rel_nodes,
+        },
+    )
     meta_bytes = np.frombuffer(
         json.dumps(meta, ensure_ascii=False).encode("utf-8"), dtype=np.uint8
     )
@@ -247,11 +298,18 @@ def _read_archive(
 
 
 def snapshot_info(path: Union[str, os.PathLike]) -> dict:
-    """Cheap header inspection: version and size counters as a dict."""
+    """Cheap header inspection: versions, digest and size counters.
+
+    ``dataset_version`` and ``content_digest`` are None for snapshots
+    written before they existed (the format is otherwise unchanged —
+    old files load fine).
+    """
     meta, _ = _read_archive(path, only_meta=True)
     return {
         "format": meta["format"],
         "version": meta["version"],
+        "dataset_version": meta.get("dataset_version"),
+        "content_digest": meta.get("content_digest"),
         "num_nodes": meta["num_nodes"],
         "num_forward_edges": meta["num_forward_edges"],
         "index_terms": len(meta["post_terms"]),
@@ -339,13 +397,14 @@ def load_snapshot(
 # ----------------------------------------------------------------------
 # engine conveniences
 # ----------------------------------------------------------------------
-def save_engine(path: Union[str, os.PathLike], engine) -> Path:
+def save_engine(path: Union[str, os.PathLike], engine, *, version: int = 0) -> Path:
     """Snapshot a :class:`~repro.core.engine.KeywordSearchEngine`'s state.
 
     Search parameters are *not* stored — they are run-time configuration,
     not dataset state — so :func:`load_engine` accepts them explicitly.
+    ``version`` stamps the dataset epoch into the header.
     """
-    return save_snapshot(path, engine.graph, engine.index)
+    return save_snapshot(path, engine.graph, engine.index, version=version)
 
 
 def load_engine(path: Union[str, os.PathLike], *, params=None):

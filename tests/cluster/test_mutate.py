@@ -1,0 +1,293 @@
+"""Cluster-wide live mutations: broadcast, per-replica visibility, drift.
+
+The acceptance scenario for the live subsystem: a mutation committed
+against a running :class:`~repro.cluster.ShardedQueryService` becomes
+visible to subsequent queries on **every replica** without any process
+restart, while stale cached results are never served afterwards.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ShardedQueryService
+from repro.cluster.http import make_server
+from repro.errors import MutationError
+from repro.service.service import QueryRequest
+from repro.service.wire import request_to_dict, response_from_dict
+
+
+@pytest.fixture(scope="module")
+def fleet(toy_snapshot):
+    """Two workers, the dataset replicated on both — every broadcast
+    must reach two distinct processes."""
+    service = ShardedQueryService(
+        {"toy": toy_snapshot},
+        num_workers=2,
+        default_replicas=2,
+        health_interval=0.2,
+    )
+    service.warmup()
+    yield service
+    service.close()
+
+
+def replica_answers(fleet, worker_id: int, query: str):
+    """Ask one specific replica directly (bypassing routing)."""
+    payload = fleet.pool.request(
+        worker_id, request_to_dict(QueryRequest(dataset="toy", query=query))
+    ).result(timeout=60)
+    return response_from_dict(payload)
+
+
+class TestBroadcast:
+    def test_mutation_visible_on_every_replica_without_restart(self, fleet):
+        pids_before = fleet.pool.pids()
+
+        # Unknown term everywhere first.
+        for worker_id in (0, 1):
+            response = replica_answers(fleet, worker_id, "zyzzqx")
+            assert response.error_type == "KeywordNotFoundError"
+
+        outcome = fleet.apply(
+            "toy",
+            [
+                {
+                    "op": "add_node",
+                    "label": "Zyzzqx Systems",
+                    "table": "paper",
+                    "text": "Zyzzqx Systems",
+                },
+                {"op": "add_edge", "u": -1, "v": 3},
+            ],
+        )
+        assert outcome["drift"] is False
+        assert outcome["workers"] == {"0": outcome["version"], "1": outcome["version"]}
+
+        # Visible on both replicas...
+        new_node = outcome["new_nodes"][0]
+        for worker_id in (0, 1):
+            response = replica_answers(fleet, worker_id, "zyzzqx")
+            assert response.ok, response.error
+            roots = {answer.tree.root for answer in response.result.answers}
+            assert new_node in roots
+        # ...with no process restart.
+        assert fleet.pool.pids() == pids_before
+        assert all(count == 0 for count in fleet.pool.restarts().values())
+
+    def test_stale_cache_never_served_after_broadcast(self, fleet):
+        # Prime both replicas' private caches with the same query.
+        for worker_id in (0, 1):
+            assert replica_answers(fleet, worker_id, "transaction").ok
+        cached = replica_answers(fleet, 0, "transaction")
+        assert cached.cached  # second hit on worker 0 came from cache
+
+        outcome = fleet.apply(
+            "toy",
+            [
+                {
+                    "op": "add_node",
+                    "label": "Calvin Transaction Scheduling",
+                    "table": "paper",
+                    "text": "Calvin Transaction Scheduling",
+                },
+            ],
+        )
+        new_node = outcome["new_nodes"][0]
+        for worker_id in (0, 1):
+            response = replica_answers(fleet, worker_id, "transaction")
+            assert response.ok
+            assert not response.cached
+            roots = {answer.tree.root for answer in response.result.answers}
+            assert new_node in roots
+
+    def test_versions_observable_everywhere(self, fleet):
+        version = fleet.apply("toy", [{"op": "add_node", "label": "v"}])["version"]
+        by_worker = fleet.dataset_versions()["toy"]
+        assert by_worker == {"0": version, "1": version}
+        health = fleet.health()
+        assert health["versions"]["toy"] == by_worker
+        assert health["version_drift"] == []
+        merged = fleet.metrics()
+        assert merged["datasets"]["versions"]["toy"] == version
+        assert merged["datasets"]["version_drift"] == []
+
+    def test_busy_replica_reports_unknown_not_consistent(self, fleet):
+        """A replica too wedged to answer the versions probe must show
+        up as unknown — never silently vanish from the drift check."""
+        holds = [
+            fleet.pool.submit(worker_id, "sleep", 1.0)
+            for worker_id in (0, 1)
+        ]
+        health = fleet.health(versions_timeout=0.2)
+        for future in holds:
+            future.result(timeout=30)
+        assert health["version_unknown"] == ["toy"]
+        assert health["versions"]["toy"] == {"0": None, "1": None}
+        assert health["version_drift"] == []
+        # and a later unhurried probe recovers
+        health = fleet.health()
+        assert health["version_unknown"] == []
+
+    def test_bad_batch_raises_and_leaves_replicas_consistent(self, fleet):
+        before = fleet.dataset_versions()["toy"]
+        with pytest.raises(MutationError):
+            fleet.apply(
+                "toy",
+                [
+                    {"op": "add_node", "label": "ghost", "text": "ghostword"},
+                    {"op": "add_edge", "u": -1, "v": 10_000},
+                ],
+            )
+        assert fleet.dataset_versions()["toy"] == before
+        for worker_id in (0, 1):
+            response = replica_answers(fleet, worker_id, "ghostword")
+            assert response.error_type == "KeywordNotFoundError"
+
+    def test_apply_timeout_is_structured_and_batch_still_lands(self, fleet):
+        """A supervisor-side timeout must surface as a structured
+        ClusterError (never a raw concurrent.futures.TimeoutError), and
+        — because the message is already queued — the batch commits
+        once the busy worker drains, which the error text warns about."""
+        import time
+
+        from repro.errors import ClusterError
+
+        before = fleet.dataset_versions()["toy"]
+        holds = [fleet.pool.submit(worker_id, "sleep", 1.0) for worker_id in (0, 1)]
+        with pytest.raises(ClusterError, match="may yet be processed"):
+            fleet.apply(
+                "toy",
+                [{"op": "add_node", "label": "late", "text": "lateword"}],
+                timeout=0.2,
+            )
+        for future in holds:
+            future.result(timeout=30)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            versions = set(fleet.dataset_versions(timeout=5.0)["toy"].values())
+            if versions == {max(before.values()) + 1}:
+                break
+            time.sleep(0.1)
+        assert versions == {max(before.values()) + 1}
+        response = replica_answers(fleet, 0, "lateword")
+        assert response.ok
+
+    def test_malformed_batch_rejected_supervisor_side(self, fleet):
+        with pytest.raises(MutationError, match="unknown mutation op"):
+            fleet.apply("toy", [{"op": "truncate"}])
+
+    def test_unknown_dataset(self, fleet):
+        from repro.errors import UnknownDatasetError
+
+        with pytest.raises(UnknownDatasetError):
+            fleet.apply("nope", [{"op": "add_node", "label": "x"}])
+
+
+class TestReloadBroadcast:
+    def test_reload_noop_when_digest_matches(self, toy_snapshot):
+        with ShardedQueryService(
+            {"toy": toy_snapshot}, num_workers=2, default_replicas=2
+        ) as service:
+            service.warmup()
+            outcome = service.reload("toy", toy_snapshot)
+            assert outcome["reloaded"] == {"0": False, "1": False}
+
+    def test_reload_resets_mutated_replicas(self, toy_snapshot):
+        with ShardedQueryService(
+            {"toy": toy_snapshot}, num_workers=2, default_replicas=2
+        ) as service:
+            service.warmup()
+            service.apply("toy", [{"op": "add_node", "label": "m", "text": "mutword"}])
+            outcome = service.reload("toy", toy_snapshot)
+            assert outcome["reloaded"] == {"0": True, "1": True}
+            response = replica_answers(service, 0, "mutword")
+            assert response.error_type == "KeywordNotFoundError"
+
+
+class TestHttpMutate:
+    @pytest.fixture()
+    def http_fleet(self, fleet):
+        server = make_server(fleet)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, url: str, payload: dict):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_post_mutate_and_healthz_versions(self, http_fleet, fleet):
+        status, body = self._post(
+            f"{http_fleet}/mutate",
+            {
+                "dataset": "toy",
+                "mutations": [
+                    {"op": "add_node", "label": "HTTP Paper", "text": "httpword"}
+                ],
+            },
+        )
+        assert status == 200
+        assert body["applied"] == 1
+        assert body["drift"] is False
+        response = fleet.search("toy", "httpword")
+        assert response.ok
+
+        with urllib.request.urlopen(f"{http_fleet}/healthz") as raw:
+            health = json.loads(raw.read())
+        assert health["versions"]["toy"] == body["workers"]
+
+    def test_post_mutate_bad_batch_is_400(self, http_fleet):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(
+                f"{http_fleet}/mutate",
+                {"dataset": "toy", "mutations": [{"op": "bogus"}]},
+            )
+        assert excinfo.value.code == 400
+
+    def test_post_mutate_unknown_dataset_is_404(self, http_fleet):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(
+                f"{http_fleet}/mutate",
+                {"dataset": "nope", "mutations": [{"op": "add_node"}]},
+            )
+        assert excinfo.value.code == 404
+
+    def test_post_mutate_missing_fields_is_400(self, http_fleet):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http_fleet}/mutate", {"mutations": []})
+        assert excinfo.value.code == 400
+
+    def test_post_mutate_unsupported_service_is_501(self, toy_engine_session):
+        class Frozen:
+            def datasets(self):
+                return ["toy"]
+
+            def search(self, request):  # pragma: no cover - unused
+                raise NotImplementedError
+
+        server = make_server(Frozen())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(
+                    f"http://{host}:{port}/mutate",
+                    {"dataset": "toy", "mutations": []},
+                )
+            assert excinfo.value.code == 501
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -38,6 +38,81 @@ class TestInvertedIndex:
         idx.add_relation_node("conference", 2)
         assert idx.frequency("conference") == 2
 
+
+class TestLookupMemoStaysCoherent:
+    """Regression: the memoized lookup frozensets must be invalidated
+    (or versioned) by adds — interleaving lookups and adds previously
+    risked serving a stale snapshot of the postings."""
+
+    def test_add_text_after_lookup_is_visible(self):
+        idx = InvertedIndex()
+        idx.add_text(1, "transaction recovery")
+        assert idx.lookup("transaction") == {1}  # memoizes
+        idx.add_text(2, "transaction processing")
+        assert idx.lookup("transaction") == {1, 2}
+        assert idx.frequency("transaction") == 2
+
+    def test_add_term_after_lookup_is_visible(self):
+        idx = InvertedIndex()
+        idx.add_term(1, "gray")
+        assert idx.lookup("gray") == {1}
+        idx.add_term(9, "  GRAY ")  # normalization hits the same memo slot
+        assert idx.lookup("gray") == {1, 9}
+
+    def test_add_relation_node_after_lookup_is_visible(self):
+        idx = InvertedIndex()
+        idx.add_text(3, "a paper about graphs")
+        assert idx.lookup("paper") == {3}
+        idx.add_relation_node("paper", 7)
+        assert idx.lookup("paper") == {3, 7}
+
+    def test_interleaved_adds_and_lookups_match_reference(self):
+        idx = InvertedIndex()
+        reference: dict[str, set[int]] = {}
+        script = [
+            ("text", 1, "stream clustering"),
+            ("lookup", "stream"),
+            ("text", 2, "stream joins"),
+            ("lookup", "stream"),
+            ("term", 3, "stream"),
+            ("lookup", "stream"),
+            ("relation", "stream", 4),
+            ("lookup", "stream"),
+            ("text", 5, "clustering methods"),
+            ("lookup", "clustering"),
+        ]
+        for step in script:
+            if step[0] == "text":
+                _, node, text = step
+                idx.add_text(node, text)
+                for term in text.split():
+                    reference.setdefault(term, set()).add(node)
+            elif step[0] == "term":
+                _, node, term = step
+                idx.add_term(node, term)
+                reference.setdefault(term, set()).add(node)
+            elif step[0] == "relation":
+                _, relation, node = step
+                idx.add_relation_node(relation, node)
+                reference.setdefault(relation, set()).add(node)
+            else:
+                term = step[1]
+                assert idx.lookup(term) == reference.get(term, set())
+
+    def test_repeated_lookup_returns_same_object(self):
+        # The point of the memo: no re-materialization per call.
+        idx = InvertedIndex()
+        idx.add_text(1, "alpha beta")
+        first = idx.lookup("alpha")
+        assert idx.lookup("alpha") is first
+
+    def test_unknown_terms_are_not_memoized(self):
+        idx = InvertedIndex()
+        assert idx.lookup("nothing") == frozenset()
+        assert idx._lookup_cache == {}
+        idx.add_term(1, "nothing")
+        assert idx.lookup("nothing") == {1}
+
     def test_terms_by_frequency_sorted(self):
         idx = InvertedIndex()
         for node in range(5):

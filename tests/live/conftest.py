@@ -1,0 +1,180 @@
+"""Live-subsystem fixtures and the replay/rebuild reference harness.
+
+The equivalence contract under test everywhere here: applying a
+mutation sequence to a :class:`~repro.live.MutableDataset` must yield
+the *same final state* as replaying the sequence on a plain edge list
+and building a fresh graph + index from scratch — bit-identical
+adjacency (order and floats), identical index answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.graph.builder import build_data_graph
+from repro.graph.digraph import DataGraph
+from repro.index.inverted import InvertedIndex
+from repro.live.mutations import AddEdge, AddNode, RemoveEdge, UpdateText
+
+from tests.conftest import make_toy_db
+
+
+@dataclass
+class ReplayModel:
+    """The from-scratch reference: nodes, an ordered edge list and
+    per-node text, mutated by naive replay."""
+
+    labels: list = field(default_factory=list)
+    tables: list = field(default_factory=list)
+    refs: list = field(default_factory=list)
+    edges: list = field(default_factory=list)  # ordered (u, v, w)
+    texts: dict = field(default_factory=dict)  # node -> text terms source
+    relation_nodes: list = field(default_factory=list)  # (relation, node)
+
+    @classmethod
+    def from_database(cls, db) -> "ReplayModel":
+        graph = build_data_graph(db)
+        model = cls(
+            labels=[graph.label(u) for u in range(graph.num_nodes)],
+            tables=[graph.table(u) for u in range(graph.num_nodes)],
+            refs=[graph.ref(u) for u in range(graph.num_nodes)],
+            edges=list(graph.forward_edges()),
+        )
+        # Mirror build_index: texts and relation membership per row.
+        for table in db.schema.tables:
+            for row in db.rows(table.name):
+                node = model.refs.index((table.name, row[table.pk]))
+                model.relation_nodes.append((table.name, node))
+                text = " ".join(
+                    str(row[column])
+                    for column in table.text_columns
+                    if row[column]
+                )
+                if text:
+                    model.texts[node] = text
+        return model
+
+    def apply(self, mutation, new_nodes: list) -> None:
+        if isinstance(mutation, AddNode):
+            node = len(self.labels)
+            new_nodes.append(node)
+            self.labels.append(mutation.label)
+            self.tables.append(mutation.table)
+            self.refs.append(mutation.ref)
+            if mutation.table is not None:
+                self.relation_nodes.append((mutation.table, node))
+            if mutation.text:
+                self.texts[node] = mutation.text
+        elif isinstance(mutation, AddEdge):
+            self.edges.append(
+                (_alias(mutation.u, new_nodes), _alias(mutation.v, new_nodes),
+                 mutation.weight)
+            )
+        elif isinstance(mutation, RemoveEdge):
+            u = _alias(mutation.u, new_nodes)
+            v = _alias(mutation.v, new_nodes)
+            for i, (eu, ev, w) in enumerate(self.edges):
+                if eu == u and ev == v and (
+                    mutation.weight is None or w == mutation.weight
+                ):
+                    del self.edges[i]
+                    break
+            else:  # pragma: no cover - test-harness misuse
+                raise AssertionError(f"no edge {u} -> {v} to remove in replay model")
+        elif isinstance(mutation, UpdateText):
+            self.texts[_alias(mutation.node, new_nodes)] = mutation.text
+        else:  # pragma: no cover - test-harness misuse
+            raise AssertionError(f"unknown mutation {mutation!r}")
+
+    def build(self, prestige) -> KeywordSearchEngine:
+        """Freeze the final state from scratch (prestige is an input —
+        mutations do not rerun PageRank, so the reference takes the
+        dataset's vector)."""
+        graph = DataGraph()
+        for label, table, ref in zip(self.labels, self.tables, self.refs):
+            graph.add_node(label, table=table, ref=ref)
+        for u, v, w in self.edges:
+            graph.add_edge(u, v, w)
+        frozen = graph.freeze(prestige=prestige)
+        index = InvertedIndex()
+        for relation, node in self.relation_nodes:
+            index.add_relation_node(relation, node)
+        for node, text in self.texts.items():
+            index.add_text(node, text)
+        return KeywordSearchEngine(frozen, index)
+
+
+def _alias(node: int, new_nodes: list) -> int:
+    return node if node >= 0 else new_nodes[-node - 1]
+
+
+def replay(model: ReplayModel, mutations) -> list:
+    """Apply ``mutations`` to the replay model; returns assigned ids."""
+    new_nodes: list = []
+    for mutation in mutations:
+        model.apply(mutation, new_nodes)
+    return new_nodes
+
+
+def assert_same_graph(actual, expected) -> None:
+    """Bit-identical structural equality (order, weights, normalizers)."""
+    assert actual.num_nodes == expected.num_nodes
+    assert actual.num_forward_edges == expected.num_forward_edges
+    assert actual.num_edges == expected.num_edges
+    for node in range(expected.num_nodes):
+        assert tuple(actual.out_edges(node)) == tuple(expected.out_edges(node)), (
+            f"out adjacency of node {node} diverged"
+        )
+        assert tuple(actual.in_edges(node)) == tuple(expected.in_edges(node)), (
+            f"in adjacency of node {node} diverged"
+        )
+        assert actual.label(node) == expected.label(node)
+        assert actual.table(node) == expected.table(node)
+        assert actual.ref(node) == expected.ref(node)
+        assert actual.in_inv_weight_sum(node) == expected.in_inv_weight_sum(node)
+        assert actual.out_inv_weight_sum(node) == expected.out_inv_weight_sum(node)
+        assert actual.node_prestige(node) == expected.node_prestige(node)
+
+
+def assert_same_index(actual, expected, extra_terms=()) -> None:
+    """Identical answers for every term either side knows."""
+    terms = set(expected.terms()) | set(actual.terms()) | set(extra_terms)
+    for term in terms:
+        assert actual.lookup(term) == expected.lookup(term), (
+            f"lookup({term!r}) diverged"
+        )
+        assert actual.frequency(term) == expected.frequency(term)
+
+
+def canonical_answers(result) -> list:
+    """Order-insensitive exact canonical form of a search result.
+
+    Emission *order* may legitimately differ between two structurally
+    identical graphs whose keyword frozensets iterate differently; the
+    answers and their exact scores may not.
+    """
+    return sorted(
+        (
+            answer.tree.score,
+            answer.tree.edge_score,
+            answer.tree.node_score,
+            answer.tree.root,
+            tuple(sorted(answer.tree.paths)),
+        )
+        for answer in result.answers
+    )
+
+
+@pytest.fixture
+def toy_model() -> ReplayModel:
+    return ReplayModel.from_database(make_toy_db())
+
+
+@pytest.fixture
+def toy_dataset(toy_engine):
+    from repro.live import MutableDataset
+
+    return MutableDataset.from_engine(toy_engine, compact_ratio=None)

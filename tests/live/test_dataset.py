@@ -1,0 +1,223 @@
+"""MutableDataset lifecycle: epochs, MVCC isolation, compaction, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.live import MutableDataset
+from repro.live.mutations import AddEdge, AddNode, UpdateText
+from repro.service.snapshot import load_snapshot, snapshot_info
+
+from tests.conftest import make_toy_db
+from tests.live.conftest import assert_same_graph, assert_same_index, canonical_answers
+
+
+class TestEpochs:
+    def test_versions_are_monotone(self, toy_dataset):
+        assert toy_dataset.version == 0
+        v1 = toy_dataset.mutate([AddNode(label="a")]).epoch.version
+        v2 = toy_dataset.mutate([AddNode(label="b")]).epoch.version
+        assert (v1, v2) == (1, 2)
+
+    def test_empty_batch_does_not_bump(self, toy_dataset):
+        assert toy_dataset.mutate([]).epoch.version == 0
+        assert toy_dataset.commit().version == 0
+
+    def test_staged_changes_invisible_until_commit(self, toy_dataset):
+        node = toy_dataset.add_node("staged", text="stagedterm")
+        assert toy_dataset.index.lookup("stagedterm") == frozenset()
+        assert toy_dataset.graph.num_nodes == node  # not yet visible
+        epoch = toy_dataset.commit()
+        assert epoch.index.lookup("stagedterm") == {node}
+        assert epoch.graph.num_nodes == node + 1
+
+    def test_old_epoch_is_immutable(self, toy_dataset):
+        """MVCC: a search holding the old epoch sees no commits."""
+        old = toy_dataset.epoch
+        baseline = canonical_answers(old.engine.search("transaction"))
+        old_nodes = old.graph.num_nodes
+        toy_dataset.mutate(
+            [
+                AddNode(label="Tx Paper", table="paper", text="transaction blast"),
+                AddEdge(u=-1, v=3),
+            ]
+        )
+        assert old.graph.num_nodes == old_nodes
+        assert old.index.lookup("blast") == frozenset()
+        assert canonical_answers(old.engine.search("transaction")) == baseline
+        # while the new epoch sees the change
+        assert toy_dataset.index.lookup("blast") != frozenset()
+
+    def test_concurrent_searches_on_prior_epoch_unperturbed(self, toy_dataset):
+        """Readers hammer one epoch while the writer commits 20 more."""
+        old = toy_dataset.epoch
+        baseline = canonical_answers(old.engine.search("transaction gray"))
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                answers = canonical_answers(old.engine.search("transaction gray"))
+                if answers != baseline:
+                    failures.append(answers)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(20):
+                toy_dataset.mutate(
+                    [
+                        AddNode(
+                            label=f"P{i}",
+                            table="paper",
+                            text=f"transaction gray volume{i}",
+                        ),
+                        AddEdge(u=-1, v=3),
+                    ]
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        assert toy_dataset.version == 20
+
+
+class TestCompaction:
+    def test_compact_preserves_answers_and_version(self, toy_dataset):
+        toy_dataset.mutate(
+            [
+                AddNode(label="Q Paper", table="paper", text="quorum consensus"),
+                AddEdge(u=-1, v=3),
+                UpdateText(node=7, text="redesigned storage"),
+            ]
+        )
+        before_graph = toy_dataset.graph
+        before_index = toy_dataset.index
+        before = canonical_answers(toy_dataset.engine.search("quorum"))
+        epoch = toy_dataset.compact()
+        assert epoch.compacted
+        assert epoch.version == 1  # identical answers: version must not bump
+        assert_same_graph(epoch.graph, before_graph)
+        assert_same_index(
+            epoch.index, before_index, extra_terms=["quorum", "redesigned"]
+        )
+        assert canonical_answers(epoch.engine.search("quorum")) == before
+        # idempotent
+        assert toy_dataset.compact() is toy_dataset.epoch
+
+    def test_auto_compaction_by_ratio(self, toy_engine):
+        dataset = MutableDataset.from_engine(toy_engine, compact_ratio=0.01)
+        outcome = dataset.mutate(
+            [AddNode(label="x"), AddEdge(u=-1, v=3), AddEdge(u=-1, v=4)]
+        )
+        assert outcome.epoch.compacted
+        assert dataset.stats()["mutations_since_compaction"] == 0
+
+    def test_node_and_text_mutations_trigger_compaction_too(self, toy_engine):
+        """Regression: a node-/text-only ingest stream must still hit
+        the compaction policy — only counting edge ops let the overlay
+        grow without bound."""
+        dataset = MutableDataset.from_engine(
+            toy_engine, compact_ratio=None, compact_every=1
+        )
+        assert dataset.mutate([AddNode(label="n", text="justtext")]).epoch.compacted
+        assert dataset.mutate([UpdateText(node=7, text="renamed")]).epoch.compacted
+        assert dataset.stats()["added_nodes"] == 0  # folded into the base
+
+    def test_rolled_back_batch_does_not_count_toward_compaction(self, toy_engine):
+        from repro.errors import MutationError
+
+        dataset = MutableDataset.from_engine(toy_engine, compact_ratio=None)
+        with pytest.raises(MutationError):
+            dataset.mutate([AddNode(label="x"), AddEdge(u=-1, v=99_999)])
+        assert dataset.stats()["mutations_since_compaction"] == 0
+
+    def test_auto_compaction_every_commits(self, toy_engine):
+        dataset = MutableDataset.from_engine(
+            toy_engine, compact_ratio=None, compact_every=2
+        )
+        first = dataset.mutate([AddNode(label="x"), AddEdge(u=-1, v=3)])
+        assert not first.epoch.compacted
+        second = dataset.mutate([AddEdge(u=-1 + dataset.graph.num_nodes, v=4)])
+        assert second.epoch.compacted
+
+    def test_compaction_writes_versioned_snapshot(self, toy_engine, tmp_path):
+        path = tmp_path / "live.snap"
+        dataset = MutableDataset.from_engine(
+            toy_engine, compact_ratio=0.01, snapshot_path=path
+        )
+        dataset.mutate(
+            [AddNode(label="snap", text="snapshotterm"), AddEdge(u=-1, v=3)]
+        )
+        info = snapshot_info(path)
+        assert info["dataset_version"] == dataset.version
+        assert info["content_digest"]
+        graph, index = load_snapshot(path)
+        assert_same_graph(graph, dataset.graph)
+        assert index.lookup("snapshotterm") == dataset.index.lookup("snapshotterm")
+
+
+class TestConstruction:
+    def test_from_snapshot_round_trip(self, toy_engine, tmp_path):
+        from repro.service.snapshot import save_engine
+
+        path = save_engine(tmp_path / "toy.snap", toy_engine)
+        dataset = MutableDataset.from_snapshot(path)
+        outcome = dataset.mutate([AddNode(label="x", text="fromsnapshot")])
+        assert dataset.index.lookup("fromsnapshot") == {outcome.new_nodes[0]}
+
+    def test_rejects_overlay_base(self, toy_dataset):
+        from repro.errors import MutationError
+
+        toy_dataset.mutate([AddNode(label="x")])
+        with pytest.raises(MutationError, match="flat SearchGraph"):
+            MutableDataset(toy_dataset.graph, toy_dataset.index)
+
+    def test_bad_knobs(self, toy_engine):
+        with pytest.raises(ValueError):
+            MutableDataset.from_engine(toy_engine, compact_ratio=0)
+        with pytest.raises(ValueError):
+            MutableDataset.from_engine(toy_engine, compact_every=0)
+        with pytest.raises(ValueError):
+            MutableDataset.from_engine(toy_engine, new_node_prestige=-1.0)
+
+    def test_new_node_prestige_default_is_base_mean(self, toy_engine):
+        dataset = MutableDataset.from_engine(toy_engine)
+        node = dataset.mutate([AddNode(label="x")]).new_nodes[0]
+        expected = float(toy_engine.graph.prestige.mean())
+        assert dataset.graph.node_prestige(node) == expected
+
+    def test_recompute_prestige_on_commit(self, toy_engine):
+        dataset = MutableDataset.from_engine(toy_engine, compact_ratio=None)
+        dataset.add_node("hub", text="hub")
+        hub = dataset.graph.num_nodes  # id after commit
+        for paper in (5, 6, 7, 8):
+            dataset.add_edge(paper, hub)
+        epoch = dataset.commit(recompute_prestige=True)
+        # A node every paper points at should out-rank the default.
+        assert epoch.graph.node_prestige(hub) > 0
+        total = float(epoch.graph.prestige.sum())
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_stats_shape(self, toy_dataset):
+        toy_dataset.mutate([AddNode(label="x"), AddEdge(u=-1, v=3)])
+        stats = toy_dataset.stats()
+        assert stats["added_nodes"] == 1
+        assert stats["version"] == 1
+        assert stats["staged"] == 0
+        assert stats["mutations_applied"] == 2
+
+
+def test_update_text_via_fresh_database():
+    """update_text on a node whose terms come only from the base index."""
+    engine_db = make_toy_db()
+    dataset = MutableDataset.from_database(engine_db)
+    node = dataset.graph.node_by_ref("paper", 3)  # "The Design of Postgres"
+    dataset.mutate([UpdateText(node=node, text="vector databases now")])
+    assert node not in dataset.index.lookup("postgres")
+    assert node in dataset.index.lookup("vector")
+    # relation-name postings survive a text update
+    assert node in dataset.index.lookup("paper")

@@ -116,6 +116,89 @@ class TestRoundTrip:
 # ----------------------------------------------------------------------
 # file format
 # ----------------------------------------------------------------------
+class TestVersionAndDigest:
+    """The live-update fields: epoch version + deterministic digest."""
+
+    def test_default_version_and_digest_present(self, toy_snapshot):
+        info = snapshot_info(toy_snapshot)
+        assert info["dataset_version"] == 0
+        assert isinstance(info["content_digest"], str)
+        assert len(info["content_digest"]) == 64  # sha256 hex
+
+    def test_explicit_version_round_trips(self, toy_engine, tmp_path):
+        path = save_engine(tmp_path / "v7.snap", toy_engine, version=7)
+        assert snapshot_info(path)["dataset_version"] == 7
+
+    def test_digest_is_content_not_file_identity(self, toy_engine, tmp_path):
+        """Two saves of the same state digest identically (the reload
+        no-op depends on it), even across files and version stamps."""
+        a = save_engine(tmp_path / "a.snap", toy_engine, version=1)
+        b = save_engine(tmp_path / "b.snap", toy_engine, version=2)
+        assert (
+            snapshot_info(a)["content_digest"]
+            == snapshot_info(b)["content_digest"]
+        )
+
+    def test_digest_changes_with_content(self, toy_engine, tmp_path):
+        from repro.live import MutableDataset
+        from repro.live.mutations import AddNode
+
+        a = save_engine(tmp_path / "a.snap", toy_engine)
+        dataset = MutableDataset.from_engine(toy_engine)
+        dataset.mutate([AddNode(label="x", text="different now")])
+        epoch = dataset.compact()
+        b = save_snapshot(tmp_path / "b.snap", epoch.graph, epoch.index)
+        assert (
+            snapshot_info(a)["content_digest"]
+            != snapshot_info(b)["content_digest"]
+        )
+
+    def test_pre_digest_snapshot_loads_and_reports_none(
+        self, toy_snapshot, tmp_path
+    ):
+        """Files written before these fields existed stay readable."""
+        import io
+        import zipfile
+
+        raw = toy_snapshot.read_bytes()
+        stripped = tmp_path / "old.snap"
+        with zipfile.ZipFile(io.BytesIO(raw)) as archive:
+            meta = json.loads(
+                np.load(io.BytesIO(archive.read("meta.npy"))).tobytes().decode()
+            )
+            meta.pop("dataset_version")
+            meta.pop("content_digest")
+            buffer = io.BytesIO()
+            with zipfile.ZipFile(buffer, "w") as out:
+                for name in archive.namelist():
+                    if name == "meta.npy":
+                        meta_buffer = io.BytesIO()
+                        np.save(
+                            meta_buffer,
+                            np.frombuffer(
+                                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                            ),
+                        )
+                        out.writestr(name, meta_buffer.getvalue())
+                    else:
+                        out.writestr(name, archive.read(name))
+        stripped.write_bytes(buffer.getvalue())
+        info = snapshot_info(stripped)
+        assert info["dataset_version"] is None
+        assert info["content_digest"] is None
+        graph, _ = load_snapshot(stripped)
+        assert graph.num_nodes > 0
+
+    def test_cli_info_prints_version_and_digest(self, toy_engine, tmp_path, capsys):
+        from repro.service.snapshot import main
+
+        path = save_engine(tmp_path / "cli.snap", toy_engine, version=3)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset_version = 3" in out
+        assert "content_digest = " in out
+
+
 class TestFormat:
     def test_info(self, toy_engine, toy_snapshot):
         info = snapshot_info(toy_snapshot)
