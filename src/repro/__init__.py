@@ -40,6 +40,13 @@ Public API highlights
     epochs — in-flight searches keep their epoch, the service tiers
     key result caches by version, and ``ShardedQueryService.apply``
     broadcasts commits to every replica without a process restart.
+:mod:`repro.wal`
+    Durability: a per-dataset append-only mutation log
+    (:class:`~repro.wal.MutationLog`) journaling every commit
+    write-ahead, with crash-recovery replay — a kill-9'd process or
+    replica recovers to exactly the last durable epoch
+    (``QueryService.attach_wal``, ``ShardedQueryService(wal_dir=...)``,
+    :meth:`~repro.live.MutableDataset.replay`).
 :mod:`repro.experiments`
     Harness regenerating every table and figure of Section 5
     (``python -m repro.experiments --list``).
@@ -75,6 +82,7 @@ from repro.errors import (
     ServiceError,
     SnapshotError,
     UnknownDatasetError,
+    WalError,
     WorkerCrashedError,
 )
 from repro.graph import (
@@ -134,6 +142,7 @@ __all__ = [
     "ShardedQueryService",
     "SnapshotError",
     "UnknownDatasetError",
+    "WalError",
     "WorkerCrashedError",
     "DataGraph",
     "SearchGraph",

@@ -60,6 +60,7 @@ import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.core.engine import parse_query
@@ -67,6 +68,7 @@ from repro.core.params import SearchParams
 from repro.errors import (
     ClusterError,
     DeadlineExceededError,
+    MutationError,
     PoolClosedError,
     SearchCancelledError,
     WorkerCrashedError,
@@ -79,6 +81,7 @@ from repro.service.service import (
     normalize_search_args,
 )
 from repro.service.wire import request_to_dict, response_from_dict
+from repro.wal.log import MutationLog
 from repro.cluster.metrics import merge_metrics
 from repro.cluster.pool import WorkerPool, control_error
 from repro.cluster.router import ShardRouter
@@ -117,6 +120,20 @@ class ShardedQueryService:
         How long a deadline-missed ``allow_partial`` request waits for
         the cancelled search's partial response before settling for a
         bare deadline error.
+    wal_dir:
+        Directory for per-dataset durable mutation logs
+        (:mod:`repro.wal`; ``<wal_dir>/<dataset>.wal``).  When set, the
+        supervisor appends every :meth:`apply` batch to the dataset's
+        log *before* broadcasting it, and every worker — including the
+        replacement a restart-on-crash spawns — **replays the log at
+        startup**, so a ``kill -9``'d replica recovers to exactly the
+        last durable epoch instead of silently serving its snapshot.
+        None (the default) keeps the PR-4 in-memory behaviour.
+    wal_sync:
+        Per-append durability policy for those logs: ``"commit"``
+        fsyncs every batch, the ``"batched"`` default flushes every
+        batch (a supervisor ``kill -9`` loses nothing) and fsyncs
+        periodically, ``"off"`` defers flushing to rotation/close.
     """
 
     def __init__(
@@ -134,6 +151,8 @@ class ShardedQueryService:
         restart: bool = True,
         cooperative_cancellation: bool = True,
         cancel_grace: float = 1.0,
+        wal_dir: Optional[os.PathLike] = None,
+        wal_sync: str = "batched",
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -146,6 +165,31 @@ class ShardedQueryService:
             replicas=replicas,
         )
         paths = {name: str(path) for name, path in snapshots.items()}
+        self._wals: dict[str, MutationLog] = {}
+        wal_paths: dict[str, str] = {}
+        if wal_dir is not None:
+            from repro.errors import SnapshotError
+            from repro.service.snapshot import snapshot_info
+
+            for name, snapshot_path in paths.items():
+                wal_path = Path(wal_dir) / f"{name}.wal"
+                try:
+                    start = int(
+                        snapshot_info(snapshot_path).get("dataset_version") or 0
+                    )
+                except SnapshotError:
+                    start = 0
+                log = MutationLog(wal_path, sync=wal_sync, start_seq=start)
+                if log.last_seq < start:
+                    # The snapshot was re-provisioned past this log's
+                    # lineage (its records are superseded history);
+                    # keeping them would leave every new append's
+                    # sequence number trailing replica versions, which
+                    # the idempotent-skip guard reads as "already
+                    # applied".  Restart the log at the snapshot.
+                    log.reset(start_seq=start)
+                self._wals[name] = log
+                wal_paths[name] = str(wal_path)
         specs = {
             worker_id: {name: paths[name] for name in names}
             for worker_id, names in self.router.assignments().items()
@@ -156,6 +200,7 @@ class ShardedQueryService:
                 "cache_capacity": cache_capacity,
                 "cache_ttl": cache_ttl,
                 "cooperative_cancellation": cooperative_cancellation,
+                "wals": wal_paths,
             },
             start_method=start_method,
             health_interval=health_interval,
@@ -166,11 +211,15 @@ class ShardedQueryService:
         self._local_metrics = ServiceMetrics(metrics_window)
         self._active_lock = threading.Lock()
         self._active: dict[str, int] = {}
-        # One mutation stream per fleet: broadcasts from concurrent
+        # One mutation stream per *dataset*: broadcasts from concurrent
         # callers must reach every replica's queue in the same order,
         # or replicas would assign different node ids to the same
-        # AddNode and drift apart.
-        self._mutate_lock = threading.Lock()
+        # AddNode and drift apart.  Per-dataset (not fleet-wide) so a
+        # slow replica of one dataset never serializes applies — or a
+        # WAL append's hold-through-collection — against another's.
+        self._mutate_locks: dict[str, threading.Lock] = {
+            name: threading.Lock() for name in paths
+        }
 
     # ------------------------------------------------------------------
     # registry view
@@ -249,23 +298,77 @@ class ShardedQueryService:
         *already enqueued* and commits when the worker drains — a blind
         retry would double-apply the batch.  Check
         :meth:`dataset_versions` first.
+
+        With ``wal_dir`` set, the batch is appended to the dataset's
+        durable log **before** the broadcast (write-ahead: the log is
+        the recovery truth, so a crash mid-broadcast leaves replicas
+        *behind* the log — recoverable by restart replay — never ahead
+        of it), and the record's sequence number rides on the message
+        so a replica whose startup replay already covered it
+        acknowledges idempotently.  A batch every replica rejects rolls
+        the record back; a timeout or crash keeps it, since the batch
+        is still in flight.
         """
         from repro.live.mutations import coerce_mutations, mutation_to_dict
 
+        from contextlib import ExitStack
+
         wire = [mutation_to_dict(m) for m in coerce_mutations(mutations)]
         replicas = self.router.replicas_for(dataset)
-        results = self._broadcast(
-            replicas,
-            "mutate",
-            {"dataset": dataset, "mutations": wire},
-            timeout=timeout,
-            serialize=True,
-        )
+        log = self._wals.get(dataset)
+        with ExitStack() as stack:
+            stack.enter_context(self._mutate_locks[dataset])
+            payload = {"dataset": dataset, "mutations": wire}
+            seq: Optional[int] = None
+            if log is not None and wire:
+                # Empty batches are version no-ops on every replica
+                # (commit() early-returns); journaling one would leave
+                # a record that bumps nothing and desynchronize WAL
+                # sequences from replica versions forever.
+                seq = log.append(wire)
+                payload["seq"] = seq
+            futures = {
+                worker_id: self.pool.submit(worker_id, "mutate", payload)
+                for worker_id in replicas
+            }
+            if log is None:
+                # PR-4 semantics: the lock only orders enqueueing; the
+                # round-trip itself runs unserialized.
+                stack.close()
+                results = self._collect(
+                    futures, "mutate", timeout=timeout, strict=True
+                )
+            else:
+                # With a WAL the lock is held through collection too:
+                # rolling a rejected record back is only sound while it
+                # is still the log's tail.
+                try:
+                    results = self._collect(
+                        futures, "mutate", timeout=timeout, strict=True
+                    )
+                except MutationError:
+                    # A rejected batch rolls back atomically on every
+                    # replica *of the same state*, so the record should
+                    # not survive to be replayed at the next restart —
+                    # but a drifted replica (e.g. one whose non-strict
+                    # startup replay stopped early) can reject a batch
+                    # its healthy siblings committed.  Reusing the
+                    # sequence number would then make the siblings skip
+                    # the *next* batch as a duplicate, so roll back
+                    # only when no replica is known to have committed.
+                    if self._no_replica_committed(
+                        futures, timeout=min(timeout, 10.0)
+                    ):
+                        log.rollback_last()
+                    raise
         versions = {
             worker_id: result["version"] for worker_id, result in results.items()
         }
-        first = results[replicas[0]]
-        return {
+        first = next(
+            (r for r in results.values() if not r.get("skipped")),
+            results[replicas[0]],
+        )
+        outcome = {
             "dataset": dataset,
             "version": max(versions.values()),
             "applied": first["applied"],
@@ -274,6 +377,30 @@ class ShardedQueryService:
             "workers": {str(w): v for w, v in sorted(versions.items())},
             "drift": len(set(versions.values())) > 1,
         }
+        if seq is not None:
+            outcome["wal_seq"] = seq
+        return outcome
+
+    def _no_replica_committed(
+        self, futures: Mapping[int, Future], *, timeout: float
+    ) -> bool:
+        """True iff every replica's mutate outcome resolved to an error
+        payload — the precondition for rolling a WAL record back.  An
+        outcome that cannot be confirmed (timeout, crash) counts as a
+        possible commit: keeping a rejected record merely degrades to a
+        warned stop at the next replay, while rolling back a committed
+        one would silently desynchronize sequence numbers."""
+        deadline = time.monotonic() + timeout
+        for future in futures.values():
+            try:
+                result = future.result(
+                    timeout=max(deadline - time.monotonic(), 0.0)
+                )
+            except Exception:
+                return False
+            if not isinstance(result, dict) or control_error(result) is None:
+                return False
+        return True
 
     def reload(
         self,
@@ -289,25 +416,51 @@ class ShardedQueryService:
         (satellite of the versioned-snapshot work); the rest re-register
         and rebuild from disk — no process restart.  Returns
         ``{"dataset", "reloaded": {worker_id: bool}, "version"}``.
+
+        With ``wal_dir`` set, the supervisor's log is **reset** to the
+        replicas' post-reload version: the old records applied on top
+        of the old lineage and replaying them onto the new file would
+        rebuild the wrong state — and without the realignment the next
+        ``apply``'s sequence number would trail the bumped replica
+        versions, making every replica skip it as already-replayed.
+        (A replica that crash-restarts *after* a reload still warms
+        from its original spec snapshot and cannot replay the reset
+        log past the reload point — the same observable-drift-then-
+        reload story as before; restart the fleet on the new snapshot
+        to make reloads crash-durable.)
         """
         replicas = self.router.replicas_for(dataset)
-        results = self._broadcast(
-            replicas,
-            "reload",
-            {"dataset": dataset, "path": str(snapshot_path), "force": force},
-            timeout=timeout,
-            serialize=True,
-        )
+        payload = {"dataset": dataset, "path": str(snapshot_path), "force": force}
+        # The dataset's mutation lock is held for the whole reload:
+        # an apply interleaving between the replica swap and the log
+        # reset would journal an old-lineage batch into the new log.
+        with self._mutate_locks[dataset]:
+            futures = {
+                worker_id: self.pool.submit(worker_id, "reload", payload)
+                for worker_id in replicas
+            }
+            results = self._collect(
+                futures, "reload", timeout=timeout, strict=True
+            )
+            version = max(
+                (int(result.get("version") or 0) for result in results.values()),
+                default=0,
+            )
+            log = self._wals.get(dataset)
+            if log is not None and any(
+                result["reloaded"] for result in results.values()
+            ):
+                # A fleet-wide digest no-op changed nothing — the log
+                # stays replayable.  Any actual reload starts a new
+                # lineage.
+                log.reset(start_seq=version)
         return {
             "dataset": dataset,
             "reloaded": {
-                str(worker_id): bool(payload["reloaded"])
-                for worker_id, payload in sorted(results.items())
+                str(worker_id): bool(result["reloaded"])
+                for worker_id, result in sorted(results.items())
             },
-            "version": max(
-                (int(payload.get("version") or 0) for payload in results.values()),
-                default=0,
-            ),
+            "version": version,
         }
 
     def dataset_versions(self, *, timeout: float = 10.0) -> dict[str, dict[str, int]]:
@@ -333,36 +486,40 @@ class ShardedQueryService:
         *,
         timeout: float,
         strict: bool = True,
-        serialize: bool = False,
     ) -> dict[int, dict]:
         """Submit one control message to each worker; collect payloads.
 
         ``strict`` raises on any failure (submit error, timeout, or a
         worker-side error payload, rebuilt via :func:`control_error`);
         non-strict skips failed workers — the observability calls'
-        contract.  ``serialize`` routes the submissions through the
-        fleet mutation lock so concurrent mutators enqueue in the same
-        order on every replica.  A strict timeout raises a structured
+        contract.  A strict timeout raises a structured
         :class:`~repro.errors.ClusterError` that says the message is
         *still queued* — worker queues are serial, so it may yet be
         processed; callers must check :meth:`dataset_versions` before
         retrying a mutation or they risk double-applying it.
+        (Mutation-ordering calls — :meth:`apply`, :meth:`reload` —
+        submit under their dataset's mutation lock themselves.)
         """
         args = () if payload is None else (payload,)
-        if serialize:
-            with self._mutate_lock:
-                futures = {
-                    worker_id: self.pool.submit(worker_id, kind, *args)
-                    for worker_id in worker_ids
-                }
-        else:
-            futures = {}
-            for worker_id in worker_ids:
-                try:
-                    futures[worker_id] = self.pool.submit(worker_id, kind, *args)
-                except Exception:
-                    if strict:
-                        raise
+        futures = {}
+        for worker_id in worker_ids:
+            try:
+                futures[worker_id] = self.pool.submit(worker_id, kind, *args)
+            except Exception:
+                if strict:
+                    raise
+        return self._collect(futures, kind, timeout=timeout, strict=strict)
+
+    def _collect(
+        self,
+        futures: Mapping[int, Future],
+        kind: str,
+        *,
+        timeout: float,
+        strict: bool,
+    ) -> dict[int, dict]:
+        """Await a broadcast's futures; see :meth:`_broadcast` for the
+        strict/non-strict and timeout semantics."""
         deadline = time.monotonic() + timeout
         results: dict[int, dict] = {}
         for worker_id, future in futures.items():
@@ -508,6 +665,10 @@ class ShardedQueryService:
                 for w, metrics in sorted(per_worker.items())
             },
         }
+        if self._wals:
+            merged["cluster"]["wal_seq"] = {
+                name: log.last_seq for name, log in sorted(self._wals.items())
+            }
         return merged
 
     def cancel(self, request_id: str) -> bool:
@@ -556,6 +717,13 @@ class ShardedQueryService:
             "restarts": sum(self.pool.restarts().values()),
             "datasets": self.datasets(),
         }
+        if self._wals:
+            # The durable tip per dataset: a replica whose version
+            # matches is fully recovered; one behind it (and behind its
+            # siblings) shows up in version_drift below.
+            payload["wal_seq"] = {
+                name: log.last_seq for name, log in sorted(self._wals.items())
+            }
         if include_versions:
             versions = self.dataset_versions(timeout=versions_timeout)
             for name in self.datasets():
@@ -575,9 +743,17 @@ class ShardedQueryService:
             )
         return payload
 
+    def wal_seqs(self) -> dict[str, int]:
+        """``{dataset: last durable WAL sequence}`` (empty without
+        ``wal_dir``)."""
+        return {name: log.last_seq for name, log in sorted(self._wals.items())}
+
     def close(self, timeout: float = 10.0) -> None:
-        """Drain and stop the worker fleet (idempotent)."""
+        """Drain and stop the worker fleet (idempotent); durable logs
+        are synced and closed last."""
         self.pool.close(timeout)
+        for log in self._wals.values():
+            log.close()
 
     def __enter__(self) -> "ShardedQueryService":
         return self

@@ -46,6 +46,16 @@ from a snapshot file, no-opping when the file's content digest matches
 what the worker already serves; ``versions`` reports per-dataset epoch
 versions so the supervisor can observe replica drift.
 
+Durability: when ``settings["wals"]`` maps datasets to mutation-log
+directories (:mod:`repro.wal`, written by the supervisor *before* each
+broadcast), the worker **replays the log at startup** — including the
+startup after a restart-on-crash — so a ``kill -9``'d replica comes
+back at exactly the last durable epoch instead of silently serving its
+snapshot.  Workers open the log read-only (only the supervisor
+appends), and a ``mutate`` message carrying the record's ``seq`` is
+acknowledged idempotently when the startup replay already covered it —
+the guard against double-applying a batch that raced a restart.
+
 The supervisor can also stop a request explicitly: it writes the job id
 into this worker's shared-memory **cancel ring**
 (:meth:`~repro.cluster.pool.WorkerPool.cancel`); the token's external
@@ -59,6 +69,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import sys
 import time
 from typing import Optional
 
@@ -151,7 +162,26 @@ def _handle_message(
         # mutable on first touch), bumping the version its result cache
         # is keyed by — no process restart, no stale answers.
         payload = message[2]
-        return service.apply(payload["dataset"], payload["mutations"]).to_dict()
+        name = payload["dataset"]
+        seq = payload.get("seq")
+        if seq is not None and service.dataset_version(name) >= seq:
+            # This replica's startup WAL replay already covered the
+            # record (a broadcast raced a restart): acknowledge
+            # idempotently rather than double-applying the batch.
+            # Comparing against the effective version assumes replica
+            # versions and WAL sequences share one lineage — the
+            # supervisor maintains that by resetting the log whenever
+            # a reload bumps replica versions past it.
+            return {
+                "dataset": name,
+                "version": service.dataset_version(name),
+                "applied": 0,
+                "new_nodes": [],
+                "compacted": False,
+                "cache_purged": 0,
+                "skipped": True,
+            }
+        return service.apply(name, payload["mutations"]).to_dict()
     if kind == "reload":
         # Snapshot hot-reload: re-register from a (usually re-written)
         # snapshot file; a digest match means this worker already holds
@@ -209,6 +239,22 @@ def worker_main(
     )
     for name, path in snapshots.items():
         service.register_snapshot(name, path)
+    for name, wal_path in (settings.get("wals") or {}).items():
+        if name not in snapshots:
+            continue
+        # Crash recovery: replay the supervisor-written WAL (read-only;
+        # non-strict — a replica that cannot replay to the tip keeps
+        # serving what it recovered, visible as version drift, instead
+        # of crash-looping the whole shard).
+        try:
+            service.attach_wal(name, wal_path, writable=False, strict=False)
+        except Exception as exc:
+            print(
+                f"repro worker {worker_id}: WAL replay for {name!r} "
+                f"failed ({type(exc).__name__}: {exc}); serving the "
+                f"snapshot state",
+                file=sys.stderr,
+            )
 
     try:
         while True:

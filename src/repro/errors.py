@@ -26,6 +26,7 @@ __all__ = [
     "DeadlineExceededError",
     "SnapshotError",
     "MutationError",
+    "WalError",
     "ClusterError",
     "WorkerCrashedError",
     "PoolClosedError",
@@ -135,6 +136,19 @@ class MutationError(ServiceError, ValueError):
     path already map ``ValueError`` to structured 400 responses, and a
     bad mutation (unknown op, missing field, absent node or edge) is
     exactly that kind of caller error.
+    """
+
+
+class WalError(ServiceError):
+    """Raised on mutation-log (WAL) misuse or unrecoverable state.
+
+    Covers epoch misalignment (an append whose sequence number does not
+    continue the log — the guard that fails a commit instead of
+    recording unreplayable history), replay gaps (the log no longer
+    reaches back to the snapshot it must apply on top of), and writes
+    to read-only or closed logs.  *Corruption* is deliberately not an
+    error: damaged tails degrade to a clean stop at the last valid
+    record with a :class:`repro.wal.WalCorruptionWarning`.
     """
 
 

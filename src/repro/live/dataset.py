@@ -116,6 +116,14 @@ class MutableDataset:
         When set, every compaction writes a fresh versioned snapshot
         here (:func:`repro.service.snapshot.save_snapshot`), so worker
         restarts warm from recent state instead of the original build.
+    journal:
+        Optional durability sink (:class:`repro.wal.MutationLog`, or
+        anything with its ``append(mutations, *, seq=None,
+        recompute_prestige=False)`` shape).  Every commit appends its
+        wire-mutation batch *before* the new epoch becomes visible
+        (write-ahead: a journal failure fails the commit, never the
+        other way around), with aliases already resolved to real node
+        ids so :meth:`replay` reconstructs identical state.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class MutableDataset:
         compact_ratio: Optional[float] = 0.25,
         compact_every: Optional[int] = None,
         snapshot_path=None,
+        journal=None,
     ) -> None:
         if isinstance(graph, OverlayGraph):
             raise MutationError(
@@ -142,6 +151,7 @@ class MutableDataset:
         self._compact_ratio = compact_ratio
         self._compact_every = compact_every
         self._snapshot_path = snapshot_path
+        self._journal = journal
         self._lock = threading.RLock()
         self._version = 0
         self._commits = 0
@@ -198,6 +208,9 @@ class MutableDataset:
         self._dirty_nodes: set[int] = set()
         self._dirty_terms: set[str] = set()
         self._staged = 0
+        # Wire-dict mirror of the staged mutations, aliases resolved —
+        # what the journal records at commit so replay is exact.
+        self._staged_wire: list[dict] = []
         self._committed_ext = 0
         self._committed_fwd = self._fwd_count
         self._committed_edges = self._edge_count
@@ -226,6 +239,154 @@ class MutableDataset:
 
         graph, index = load_snapshot(path)
         return cls(graph, index, **knobs)
+
+    @classmethod
+    def replay(
+        cls,
+        log,
+        *,
+        snapshot=None,
+        graph: Optional[SearchGraph] = None,
+        index: Optional[InvertedIndex] = None,
+        start_seq: Optional[int] = None,
+        strict: bool = True,
+        **knobs,
+    ) -> "MutableDataset":
+        """Reconstruct a live dataset by replaying a mutation log onto
+        its base state — the crash-recovery path.
+
+        ``log`` is a :class:`repro.wal.MutationLog` (or a path to one,
+        opened read-only).  The base is either a ``snapshot`` file
+        (``start_seq`` defaults to its header's ``dataset_version``) or
+        an explicit ``graph`` + ``index`` pair (``start_seq`` defaults
+        to the log's oldest retained base).  Records with
+        ``seq <= start_seq`` are already baked into the base and are
+        skipped; the rest must be contiguous from ``start_seq + 1`` —
+        a gap means the log was truncated past this snapshot and exact
+        recovery is impossible, which raises
+        :class:`~repro.errors.WalError` rather than silently rebuilding
+        a different state.  With ``strict=False`` a record that fails
+        to apply stops the replay at the previous epoch (with a
+        warning) instead of raising — the degraded-but-serving choice a
+        restarting replica makes.
+
+        The replayed dataset's ``version`` equals the number of records
+        applied, so ``start_seq + dataset.version`` lands exactly on
+        the log's last replayed sequence number.
+        """
+        from repro.wal.log import MutationLog
+
+        if "journal" in knobs:
+            raise ValueError(
+                "replay() does not accept journal=; attach the journal "
+                "after replaying (re-journaling replayed records would "
+                "duplicate them)"
+            )
+        if not hasattr(log, "records"):
+            log = MutationLog(log, readonly=True)
+        if snapshot is not None:
+            if graph is not None or index is not None:
+                raise ValueError("pass snapshot= or graph=+index=, not both")
+            from repro.service.snapshot import load_snapshot, snapshot_info
+
+            if start_seq is None:
+                start_seq = int(snapshot_info(snapshot).get("dataset_version") or 0)
+            graph, index = load_snapshot(snapshot)
+        elif graph is None or index is None:
+            raise ValueError("replay() needs snapshot= or graph=+index=")
+        elif start_seq is None:
+            start_seq = log.first_base
+        dataset = cls(graph, index, **knobs)
+        dataset.replay_records(
+            log.records(start_after=start_seq),
+            expected=start_seq + 1,
+            strict=strict,
+        )
+        return dataset
+
+    def replay_records(
+        self, records, *, expected: int, strict: bool = True
+    ) -> int:
+        """Apply an iterable of :class:`~repro.wal.WalRecord` in order.
+
+        ``expected`` names the sequence number the first record must
+        carry; a gap raises :class:`~repro.errors.WalError` (exact
+        recovery is impossible), as does a record that fails to apply —
+        unless ``strict=False``, which stops at the previous epoch with
+        a warning instead (the degraded-but-serving replica choice).
+        Returns the number of records applied.  Shared by
+        :meth:`replay` and ``QueryService.attach_wal`` so the two
+        recovery paths cannot drift.
+        """
+        import warnings
+
+        from repro.errors import WalError
+
+        applied = 0
+        for record in records:
+            if record.seq != expected:
+                raise WalError(
+                    f"replay gap: log record seq {record.seq} does not "
+                    f"continue {expected - 1} (the log no longer reaches "
+                    f"back to this snapshot; recover from a newer one)"
+                )
+            try:
+                self._replay_record(record)
+            except Exception as exc:
+                if strict:
+                    raise WalError(
+                        f"WAL record seq {record.seq} failed to apply: {exc}"
+                    ) from exc
+                warnings.warn(
+                    f"WAL replay stopped before seq {record.seq} "
+                    f"(record failed to apply: {exc}); serving the last "
+                    f"recovered epoch {expected - 1}",
+                    stacklevel=2,
+                )
+                break
+            applied += 1
+            expected += 1
+        return applied
+
+    def _replay_record(self, record) -> Epoch:
+        """Apply one :class:`~repro.wal.WalRecord` as a single commit,
+        with journaling suspended (the record *is* the journal)."""
+        with self._lock:
+            journal, self._journal = self._journal, None
+            try:
+                batch = coerce_mutations(record.mutations)
+                new_nodes: list[int] = []
+                try:
+                    for mutation in batch:
+                        self._apply_one(mutation, new_nodes)
+                except Exception:
+                    self.rollback()
+                    raise
+                return self.commit(
+                    recompute_prestige=record.recompute_prestige
+                )
+            finally:
+                self._journal = journal
+
+    # ------------------------------------------------------------------
+    # journal (durability sink)
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """The attached durability sink, or None."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Attach (or replace) the commit journal.
+
+        Attach only when the sink's last sequence matches the state the
+        dataset currently serves — commits append with auto-assigned
+        sequence numbers, and :class:`repro.wal.MutationLog` rejects a
+        discontinuous append, failing the commit loudly rather than
+        recording unreplayable history.
+        """
+        with self._lock:
+            self._journal = journal
 
     # ------------------------------------------------------------------
     # epoch access (lock-free reads: epochs are immutable)
@@ -275,6 +436,7 @@ class MutableDataset:
         table: Optional[str] = None,
         ref: Optional[tuple[str, Hashable]] = None,
         text: Optional[str] = None,
+        prestige: Optional[float] = None,
     ) -> int:
         """Stage a new node; returns its (immediately final) id.
 
@@ -282,14 +444,25 @@ class MutableDataset:
         Section 2.2 semantics: a keyword matching a relation name
         matches every tuple of it); ``text`` indexes the node's terms —
         together they mirror what :func:`repro.index.build_index` does
-        for one inserted tuple.
+        for one inserted tuple.  ``prestige`` overrides the dataset's
+        ``new_node_prestige`` default; the journal always records the
+        resolved value, so replay assigns it bit-identically regardless
+        of which snapshot lineage it starts from.
         """
         with self._lock:
+            if prestige is None:
+                prestige = self._new_node_prestige
+            else:
+                prestige = float(prestige)
+                if prestige < 0:
+                    raise MutationError(
+                        f"prestige must be >= 0, got {prestige!r}"
+                    )
             node = self._base_n + len(self._labels_ext)
             self._labels_ext.append(label)
             self._tables_ext.append(table)
             self._refs_ext.append(ref if ref is None else tuple(ref))
-            self._prestige_ext.append(self._new_node_prestige)
+            self._prestige_ext.append(prestige)
             self._out[node] = []
             self._in[node] = []
             self._dirty_nodes.add(node)
@@ -303,6 +476,16 @@ class MutableDataset:
                     self._post_add(term, node)
                 if self._node_terms is not None:
                     self._node_terms[node] = terms
+            self._staged_wire.append(
+                {
+                    "op": "add_node",
+                    "label": label,
+                    "table": table,
+                    "ref": list(ref) if ref is not None else None,
+                    "text": text,
+                    "prestige": prestige,
+                }
+            )
             self._staged += 1
             self._muts_since_compact += 1
             return node
@@ -332,6 +515,9 @@ class MutableDataset:
             self._reweight_backward(v, indegree)
             self._fwd_count += 1
             self._edge_count += 2
+            self._staged_wire.append(
+                {"op": "add_edge", "u": u, "v": v, "weight": weight}
+            )
             self._staged += 1
             self._muts_since_compact += 1
 
@@ -374,6 +560,9 @@ class MutableDataset:
                 self._reweight_backward(v, indegree_new)
             self._fwd_count -= 1
             self._edge_count -= 2
+            self._staged_wire.append(
+                {"op": "remove_edge", "u": u, "v": v, "weight": w}
+            )
             self._staged += 1
             self._muts_since_compact += 1
 
@@ -390,6 +579,9 @@ class MutableDataset:
             for term in new - old:
                 self._post_add(term, node)
             node_terms[node] = new
+            self._staged_wire.append(
+                {"op": "update_text", "node": node, "text": text}
+            )
             self._staged += 1
             self._muts_since_compact += 1
 
@@ -408,10 +600,17 @@ class MutableDataset:
             try:
                 for mutation in batch:
                     self._apply_one(mutation, new_nodes)
+                # Commit inside the same rollback scope: a journal
+                # failure (disk full, misaligned log) must discard the
+                # staging too, or the "failed" batch would silently
+                # ride along with the next commit.  A failure *after*
+                # the epoch is installed (e.g. a compaction snapshot
+                # write) leaves nothing staged, so the rollback below
+                # degrades to a no-op and the commit stands.
+                epoch = self.commit()
             except Exception:
                 self.rollback()
                 raise
-            epoch = self.commit()
             return MutationOutcome(
                 epoch=epoch, applied=len(batch), new_nodes=tuple(new_nodes)
             )
@@ -424,6 +623,7 @@ class MutableDataset:
                     table=mutation.table,
                     ref=mutation.ref,
                     text=mutation.text,
+                    prestige=mutation.prestige,
                 )
             )
         elif isinstance(mutation, AddEdge):
@@ -480,16 +680,29 @@ class MutableDataset:
             self._dirty_nodes.clear()
             self._dirty_terms.clear()
             self._staged = 0
+            self._staged_wire.clear()
 
     # ------------------------------------------------------------------
     # commit / compaction
     # ------------------------------------------------------------------
     def commit(self, *, recompute_prestige: bool = False) -> Epoch:
         """Freeze staged changes into a new epoch (no-op when nothing
-        is staged, so idle commits never invalidate caches)."""
+        is staged, so idle commits never invalidate caches).
+
+        With a ``journal`` attached, the staged batch's wire form is
+        appended *first* (write-ahead): a journal failure — disk full,
+        sequence misalignment — raises here with the staged state
+        intact (roll back or retry), and an epoch is never visible that
+        the log does not contain.
+        """
         with self._lock:
             if not self._staged and not recompute_prestige:
                 return self._epoch
+            if self._journal is not None:
+                self._journal.append(
+                    list(self._staged_wire),
+                    recompute_prestige=recompute_prestige,
+                )
             for node in self._dirty_nodes:
                 out = self._current_list(self._out, node)
                 in_ = self._current_list(self._in, node)
@@ -505,6 +718,7 @@ class MutableDataset:
             self._dirty_nodes.clear()
             self._dirty_terms.clear()
             self._staged = 0
+            self._staged_wire.clear()
             self._committed_ext = len(self._labels_ext)
             self._committed_fwd = self._fwd_count
             self._committed_edges = self._edge_count

@@ -45,14 +45,34 @@ __all__ = [
 class AddNode:
     """Add a node, optionally indexed under ``text`` and its relation
     name (``table``), mirroring what :func:`repro.index.build_index`
-    does for a freshly inserted tuple."""
+    does for a freshly inserted tuple.
+
+    ``prestige`` pins the node's prestige explicitly; None (the
+    default) takes the dataset's ``new_node_prestige``.  The WAL
+    journals the *resolved* value, so a replayed node scores
+    bit-identically no matter which snapshot lineage the replay started
+    from.
+    """
 
     label: str = ""
     table: Optional[str] = None
     ref: Optional[tuple[str, Union[int, str]]] = None
     text: Optional[str] = None
+    prestige: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.prestige is not None:
+            if not isinstance(self.prestige, (int, float)) or isinstance(
+                self.prestige, bool
+            ):
+                raise MutationError(
+                    f"add_node prestige must be a number, got {self.prestige!r}"
+                )
+            if self.prestige < 0:
+                raise MutationError(
+                    f"add_node prestige must be >= 0, got {self.prestige!r}"
+                )
+            object.__setattr__(self, "prestige", float(self.prestige))
         if self.ref is not None:
             ref = tuple(self.ref)
             if len(ref) != 2 or not isinstance(ref[0], str):
@@ -135,7 +155,7 @@ _OPS = {
 }
 _OP_OF = {cls: op for op, cls in _OPS.items()}
 _FIELDS = {
-    "add_node": frozenset({"label", "table", "ref", "text"}),
+    "add_node": frozenset({"label", "table", "ref", "text", "prestige"}),
     "add_edge": frozenset({"u", "v", "weight"}),
     "remove_edge": frozenset({"u", "v", "weight"}),
     "update_text": frozenset({"node", "text"}),
@@ -193,6 +213,7 @@ def mutation_to_dict(mutation: Mutation) -> dict:
             "table": mutation.table,
             "ref": list(mutation.ref) if mutation.ref is not None else None,
             "text": mutation.text,
+            "prestige": mutation.prestige,
         }
     if isinstance(mutation, UpdateText):
         return {"op": op, "node": mutation.node, "text": mutation.text}

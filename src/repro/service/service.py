@@ -27,6 +27,11 @@ The layer the ROADMAP's production north star needs above
   stale entries unreachable atomically.  :meth:`reload_snapshot`
   hot-swaps a dataset from a re-written snapshot file, no-opping when
   the file's content digest matches what is already served.
+* **Durability** — :meth:`attach_wal` opens the dataset's
+  :mod:`repro.wal` mutation log: records the served state is missing
+  are replayed (crash recovery to exactly the last durable epoch) and
+  every later commit is journaled write-ahead; :meth:`save_snapshot`
+  truncates segments the new snapshot covers.
 
 Threads, not processes: search holds the GIL, so a batch's *CPU* time is
 not divided across cores — what batching buys is overlap of cache hits
@@ -57,6 +62,7 @@ import functools
 import inspect
 import threading
 import time
+from pathlib import Path
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
@@ -77,6 +83,7 @@ from repro.service.metrics import ServiceMetrics
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.live.dataset import MutableDataset
     from repro.live.mutations import MutationResult
+    from repro.wal.log import MutationLog
 
 __all__ = [
     "QueryRequest",
@@ -111,6 +118,35 @@ def _accepts_token(search_fn) -> bool:
         parameter.kind is inspect.Parameter.VAR_KEYWORD
         for parameter in parameters.values()
     )
+
+
+class _DatasetJournal:
+    """Commit journal adapter pinning WAL sequence numbers to the
+    service's *effective* dataset version.
+
+    ``MutableDataset`` only knows its own epoch counter; the cache keys
+    (and replica drift checks) run on the effective version — base
+    generation plus epoch.  Appending with the explicit expected
+    sequence makes :class:`repro.wal.MutationLog` reject any
+    misalignment (e.g. a re-registration that bumped the base under an
+    attached log), failing the commit loudly instead of recording an
+    unreplayable history.
+    """
+
+    __slots__ = ("_log", "_service", "_name")
+
+    def __init__(self, log: "MutationLog", service: "QueryService", name: str):
+        self._log = log
+        self._service = service
+        self._name = name
+
+    def append(self, mutations, *, seq=None, recompute_prestige=False) -> int:
+        del seq  # the service's effective version is authoritative
+        return self._log.append(
+            mutations,
+            seq=self._service.dataset_version(self._name) + 1,
+            recompute_prestige=recompute_prestige,
+        )
 
 
 class _Once:
@@ -369,6 +405,8 @@ class QueryService:
         self._engines: dict[str, KeywordSearchEngine] = {}
         self._factories: dict[str, Callable[[], KeywordSearchEngine]] = {}
         self._mutable: dict[str, "MutableDataset"] = {}
+        self._wals: dict[str, "MutationLog"] = {}
+        self._detached_wals: list["MutationLog"] = []
         self._versions: dict[str, int] = {}
         self._snapshot_sources: dict[str, str] = {}
         self._snapshot_digests: dict[str, Optional[str]] = {}
@@ -396,6 +434,7 @@ class QueryService:
             replacing = self._replace_registration_locked(name)
             self._engines[name] = engine
             self._build_seconds.setdefault(name, 0.0)
+        self._close_detached_wals()
         if replacing:
             self.cache.purge(lambda key: key[0] == name)
 
@@ -411,36 +450,58 @@ class QueryService:
             replacing = self._replace_registration_locked(name)
             self._factories[name] = factory
             self._build_locks.setdefault(name, threading.Lock())
+        self._close_detached_wals()
         if replacing:
             self.cache.purge(lambda key: key[0] == name)
 
-    def register_mutable(self, name: str, dataset: "MutableDataset") -> None:
+    def register_mutable(
+        self,
+        name: str,
+        dataset: "MutableDataset",
+        *,
+        wal_path=None,
+        wal_sync: str = "batched",
+    ) -> None:
         """Register a live :class:`~repro.live.MutableDataset`.
 
         Queries run against the dataset's *current epoch* engine;
         :meth:`apply` commits mutations and advances the version the
-        result cache is keyed by.
+        result cache is keyed by.  ``wal_path`` opens (or resumes) a
+        durable mutation log there and journals every commit into it —
+        shorthand for a follow-up :meth:`attach_wal` call; ``wal_sync``
+        picks the :mod:`repro.wal` sync policy (``"commit"`` fsyncs
+        every commit, the ``"batched"`` default flushes each commit and
+        fsyncs periodically, ``"off"`` leaves flushing to rotation).
         """
         with self._registry_lock:
             replacing = self._replace_registration_locked(name)
             self._mutable[name] = dataset
             self._build_seconds.setdefault(name, 0.0)
+        self._close_detached_wals()
         if replacing:
             self.cache.purge(lambda key: key[0] == name)
+        if wal_path is not None:
+            self.attach_wal(name, wal_path, sync=wal_sync)
 
     def _replace_registration_locked(self, name: str) -> bool:
         """Shared replacement sequence (registry lock held): bump the
         version past the prior effective one, clear every registry
-        slot, and forget snapshot provenance.
+        slot, forget snapshot provenance, and detach any attached WAL.
 
         Provenance must go on every path that is not itself a snapshot
         registration — otherwise a later :meth:`reload_snapshot`
         against the old file would see a matching digest and
         incorrectly no-op while the service serves something else
         (:meth:`register_snapshot` re-records the source right after
-        its inner :meth:`register_factory` cleared it).  Returns
-        whether an existing registration was replaced — the caller's
-        cue to purge the dataset's cached results outside the lock.
+        its inner :meth:`register_factory` cleared it).  The WAL must
+        go too: its sequence lineage belongs to the replaced content,
+        and leaving it attached would wedge every later commit on an
+        out-of-order append (re-attach explicitly — or via
+        :meth:`reload_snapshot`, which starts a fresh log itself).
+        Returns whether an existing registration was replaced — the
+        caller's cue to purge the dataset's cached results (and close
+        the detached log, stashed in ``_detached_wals``) outside the
+        lock.
         """
         replacing = (
             name in self._engines
@@ -454,7 +515,22 @@ class QueryService:
         self._mutable.pop(name, None)
         self._snapshot_sources.pop(name, None)
         self._snapshot_digests.pop(name, None)
+        stale_wal = self._wals.pop(name, None)
+        if stale_wal is not None:
+            self._detached_wals.append(stale_wal)
         return replacing
+
+    def _close_detached_wals(self) -> None:
+        """Close logs detached by a re-registration, outside the
+        registry lock (closing fsyncs).  A stale dataset still holding
+        one through its journal then fails its next commit loudly
+        instead of appending to a lineage no longer served."""
+        while True:
+            with self._registry_lock:
+                if not self._detached_wals:
+                    return
+                log = self._detached_wals.pop()
+            log.close()
 
     def _effective_version_locked(self, name: str) -> int:
         """The dataset version cache keys embed (registry lock held).
@@ -553,7 +629,20 @@ class QueryService:
                     "version": self.dataset_version(name),
                     "digest": digest,
                 }
+        with self._registry_lock:
+            prior_log = self._wals.get(name)
+        prior_wal = (
+            (prior_log.path, prior_log.sync_policy)
+            if prior_log is not None
+            else None
+        )
+        # Registration detaches and closes the old log: its records
+        # applied on top of the *old* base, so against the reloaded
+        # file they are unreplayable history, and a stale dataset's
+        # in-flight commit must fail loudly against a closed log —
+        # never land an old-lineage batch in the new one.
         self.register_snapshot(name, path, params=params)
+        self._close_detached_wals()
         with self._registry_lock:
             self._snapshot_digests[name] = digest
             # Convergence rule: every replica adopting this file lands
@@ -570,6 +659,14 @@ class QueryService:
                 int(info.get("dataset_version") or 0) + 1,
             )
             version = self._versions.get(name, 0)
+        if prior_wal is not None:
+            from repro.wal.log import MutationLog
+
+            fresh = MutationLog.fresh(
+                prior_wal[0], sync=prior_wal[1], start_seq=version
+            )
+            with self._registry_lock:
+                self._wals[name] = fresh
         return {
             "dataset": name,
             "reloaded": True,
@@ -609,24 +706,198 @@ class QueryService:
         except SnapshotError:
             return None
 
+    def attach_wal(
+        self,
+        name: str,
+        path=None,
+        *,
+        sync: str = "batched",
+        replay: bool = True,
+        writable: bool = True,
+        strict: bool = True,
+        **log_knobs,
+    ) -> dict:
+        """Open dataset ``name``'s durable mutation log: replay what the
+        served state is missing, then journal every later commit.
+
+        This is the crash-recovery entry point (call it right after
+        registering the dataset): records newer than the served state —
+        the snapshot's ``dataset_version`` for snapshot-registered
+        datasets, the current effective version otherwise — are applied
+        in sequence, landing the dataset on exactly the log's last
+        durable epoch.  ``path`` defaults to the registered snapshot's
+        sibling ``<snapshot>.wal`` (:func:`repro.wal.default_wal_path`).
+
+        ``sync`` is the durability knob per commit (see
+        :mod:`repro.wal`): ``"commit"`` fsyncs each append, the default
+        ``"batched"`` flushes each append (commits survive a process
+        ``kill -9``) and fsyncs every few, ``"off"`` defers flushing
+        entirely.  ``writable=False`` replays without taking ownership
+        of the log — what a cluster replica does, since only the
+        supervisor appends.  ``strict=False`` lets replay stop at a
+        record that fails to apply (warning) instead of raising.
+
+        Raises :class:`~repro.errors.WalError` when exact recovery is
+        impossible: a replay gap (log truncated past the snapshot) or,
+        for writable logs, a log *behind* the served state (commits
+        happened unjournaled — save a snapshot and reset instead).
+        Returns ``{"dataset", "path", "replayed", "wal_seq",
+        "version"}``.
+        """
+        from repro.errors import SnapshotError, WalError
+        from repro.wal.log import MutationLog, default_wal_path
+
+        with self._registry_lock:
+            registered = (
+                name in self._engines
+                or name in self._factories
+                or name in self._mutable
+            )
+            if not registered:
+                raise UnknownDatasetError(name)
+            source = self._snapshot_sources.get(name)
+        if path is None:
+            if source is None:
+                raise ValueError(
+                    f"dataset {name!r} was not registered from a snapshot; "
+                    f"pass an explicit WAL path"
+                )
+            path = default_wal_path(source)
+        snap_version = 0
+        if source is not None:
+            from repro.service.snapshot import snapshot_info
+
+            try:
+                snap_version = int(
+                    snapshot_info(source).get("dataset_version") or 0
+                )
+            except SnapshotError:
+                snap_version = 0
+        with self._registry_lock:
+            dataset = self._mutable.get(name)
+            live_version = dataset.version if dataset is not None else 0
+            if live_version == 0 and self._versions.get(name, 0) < snap_version:
+                # Adopt the snapshot's version baseline: WAL sequence
+                # numbers continue the snapshot's history instead of
+                # restarting at zero on every process start.  Only for
+                # a dataset with no live commits — absorbing committed
+                # (necessarily unjournaled) epochs into the baseline
+                # would let old log records replay on top of a
+                # diverged state instead of failing loudly below.
+                self._versions[name] = snap_version
+        effective = self.dataset_version(name)
+        if writable:
+            log = MutationLog(path, sync=sync, start_seq=effective, **log_knobs)
+        else:
+            try:
+                log = MutationLog(path, readonly=True, **log_knobs)
+            except WalError:
+                # No log on disk yet: nothing to recover, nothing to own.
+                return {
+                    "dataset": name,
+                    "path": str(path),
+                    "replayed": 0,
+                    "wal_seq": effective,
+                    "version": effective,
+                }
+        try:
+            replayed = 0
+            if replay and log.last_seq > effective:
+                dataset = self._mutable_dataset(name)
+                replayed = dataset.replay_records(
+                    log.records(start_after=effective),
+                    expected=effective + 1,
+                    strict=strict,
+                )
+                if replayed:
+                    self.cache.purge(lambda key: key[0] == name)
+                if strict and log.last_seq > self.dataset_version(name):
+                    raise WalError(
+                        f"replay gap for {name!r}: the log ends at seq "
+                        f"{log.last_seq} but its retained records only "
+                        f"reach version {self.dataset_version(name)} "
+                        f"(older segments were truncated past this "
+                        f"snapshot; recover from a newer one)"
+                    )
+            effective = self.dataset_version(name)
+            if writable and log.last_seq < effective:
+                raise WalError(
+                    f"WAL for {name!r} ends at seq {log.last_seq} but the "
+                    f"served state is already at version {effective}: "
+                    f"commits happened without a journal.  save_snapshot() "
+                    f"and attach a fresh log instead"
+                )
+        except BaseException:
+            log.close()
+            raise
+        if writable:
+            with self._registry_lock:
+                stale = self._wals.get(name)
+                self._wals[name] = log
+                dataset = self._mutable.get(name)
+            if stale is not None and stale is not log:
+                stale.close()
+            if dataset is not None:
+                dataset.attach_journal(_DatasetJournal(log, self, name))
+        else:
+            log.close()
+        return {
+            "dataset": name,
+            "path": str(path),
+            "replayed": replayed,
+            "wal_seq": log.last_seq,
+            "version": effective,
+        }
+
+    def wal_seqs(self) -> dict[str, int]:
+        """``{dataset: last durable WAL sequence}`` for every dataset
+        with an attached (writable) log."""
+        with self._registry_lock:
+            logs = dict(self._wals)
+        return {name: log.last_seq for name, log in sorted(logs.items())}
+
     def save_snapshot(self, name: str, path):
         """Write dataset ``name``'s built state to ``path`` (building it
         first if still lazy); returns the path written.  The snapshot
         records the dataset's current version.  A mutable dataset is
         compacted first — snapshots hold flat arrays, and compaction
-        changes no answer (or version)."""
+        changes no answer (or version).  With a WAL attached **and**
+        ``path`` being the dataset's registered snapshot source,
+        segments the new snapshot makes redundant (every record at or
+        below its ``dataset_version``) are deleted afterwards — the
+        log only ever needs to reach back to the newest snapshot.
+        Saving to any *other* path (a backup, a new provision file)
+        leaves the log alone: crash recovery still registers the
+        original source and must be able to replay up from it."""
         from repro.service.snapshot import save_engine, save_snapshot
 
         with self._registry_lock:
             live = self._mutable.get(name)
         if live is not None:
             epoch = live.compact()
-            return save_snapshot(
-                path, epoch.graph, epoch.index, version=self.dataset_version(name)
+            # The version must come from the epoch actually being
+            # written, not a later dataset_version() read — a commit
+            # racing this save would otherwise stamp (and truncate the
+            # WAL past) a version the file does not contain.
+            with self._registry_lock:
+                version = self._versions.get(name, 0) + epoch.version
+            written = save_snapshot(
+                path, epoch.graph, epoch.index, version=version
             )
-        return save_engine(
-            path, self.engine(name), version=self.dataset_version(name)
-        )
+        else:
+            engine = self.engine(name)
+            version = self.dataset_version(name)
+            written = save_engine(path, engine, version=version)
+        with self._registry_lock:
+            log = self._wals.get(name)
+            source = self._snapshot_sources.get(name)
+        if (
+            log is not None
+            and source is not None
+            and Path(source).resolve() == written.resolve()
+        ):
+            log.truncate(version)
+        return written
 
     def datasets(self) -> list[str]:
         """Registered dataset names (built or lazy), sorted."""
@@ -770,6 +1041,12 @@ class QueryService:
                     # the replacement.  Resolve again.
                     continue
                 dataset = MutableDataset.from_engine(engine)
+                log = self._wals.get(name)
+                if log is not None:
+                    # A WAL attached while the dataset was still frozen
+                    # starts journaling at the first commit that can
+                    # exist — this upgrade.
+                    dataset.attach_journal(_DatasetJournal(log, self, name))
                 self._mutable[name] = dataset
                 self._engines.pop(name, None)
                 self._factories.pop(name, None)
@@ -908,6 +1185,11 @@ class QueryService:
                 "build_seconds": dict(sorted(self._build_seconds.items())),
                 "versions": versions,
             }
+            logs = dict(self._wals)
+        if logs:
+            exported["datasets"]["wal_seq"] = {
+                name: log.last_seq for name, log in sorted(logs.items())
+            }
         return exported
 
     def reset_metrics(self) -> None:
@@ -926,6 +1208,11 @@ class QueryService:
             if self._executor is not None:
                 self._executor.shutdown(wait=wait)
                 self._executor = None
+        with self._registry_lock:
+            logs = list(self._wals.values()) + self._detached_wals
+            self._detached_wals = []
+        for log in logs:
+            log.close()
 
     def __enter__(self) -> "QueryService":
         return self

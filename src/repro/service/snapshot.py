@@ -447,10 +447,14 @@ def main(argv=None) -> int:
     """``python -m repro.service.snapshot`` — inspect and create snapshots.
 
     ``info <path>`` prints the versioned header fields from
-    :func:`snapshot_info`; ``save <dataset> <path>`` builds a synthetic
-    dataset (``dblp`` / ``imdb`` / ``patents``, optionally ``--scale``d)
-    and writes its engine snapshot, so a shard fleet can be provisioned
-    entirely from the shell.
+    :func:`snapshot_info` plus, when a sibling ``<path>.wal`` mutation
+    log exists, its last durable sequence number and the count of
+    commits the log holds beyond this snapshot's ``dataset_version`` —
+    the at-a-glance "does the WAL carry unsnapshotted state" check.
+    ``save <dataset> <path>`` builds a synthetic dataset (``dblp`` /
+    ``imdb`` / ``patents``, optionally ``--scale``d) and writes its
+    engine snapshot, so a shard fleet can be provisioned entirely from
+    the shell.
     """
     import argparse
 
@@ -486,6 +490,19 @@ def main(argv=None) -> int:
             return 1
         for key, value in info.items():
             print(f"{key} = {value}")
+        # A sibling WAL (the <snapshot>.wal convention) may hold commits
+        # newer than this file: surface both positions so an operator
+        # sees at a glance whether the log carries unsnapshotted state.
+        from repro.wal.log import MutationLog, default_wal_path
+
+        wal_path = default_wal_path(args.path)
+        wal = MutationLog.peek(wal_path)
+        if wal is not None:
+            print(f"wal_path = {wal_path}")
+            print(f"wal_seq = {wal['last_seq']}")
+            print(f"wal_segments = {wal['segments']}")
+            unsnapshotted = wal["last_seq"] - int(info["dataset_version"] or 0)
+            print(f"wal_unsnapshotted_commits = {max(unsnapshotted, 0)}")
         return 0
 
     # save

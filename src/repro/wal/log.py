@@ -1,0 +1,718 @@
+"""Durable append-only mutation log (write-ahead log, WAL).
+
+``repro.live`` made datasets mutable under traffic, but commits were
+purely in-memory: a replica that crash-restarted warmed from its
+snapshot and silently missed every commit since.  This module is the
+durability half of that story — EMBANKS' "survive beyond RAM" argument
+applied to the mutation stream: every committed wire-mutation batch is
+appended to a per-dataset on-disk log, and replaying the log onto the
+base snapshot reconstructs the live dataset exactly (bit-identical
+graph and index; ``tests/property/test_prop_wal.py`` pins it).
+
+Layout
+------
+A log is a **directory** of segment files named
+``wal-<base_seq:016d>.seg``.  ``base_seq`` is the sequence number of
+the last record *before* the segment, so a segment's first record is
+``base_seq + 1`` — the name alone tells truncation and replay where a
+segment sits without opening it.
+
+Each segment starts with a framed header record (JSON: format magic,
+format version, ``base_seq``) followed by framed data records.  A frame
+is::
+
+    <u32 little-endian payload length> <u32 crc32(payload)> <payload>
+
+and a data record's payload is UTF-8 JSON::
+
+    {"seq": <int>, "mutations": [<wire mutation dicts>],
+     "recompute_prestige": <bool, omitted when false>}
+
+Sequence numbers are strictly contiguous (``seq == previous + 1``)
+within and across segments; they align one-to-one with dataset epoch
+versions: the record with ``seq == N`` is the commit that produced
+dataset version ``N``.
+
+Torn writes and corruption
+--------------------------
+Reads stop **cleanly at the last valid record**: a truncated frame,
+checksum mismatch, undecodable payload or sequence gap ends iteration
+with a structured :class:`WalCorruptionWarning` naming the file, the
+offset and the last valid sequence — never an exception, and never a
+silent skip of valid records (everything before the damage is always
+yielded).  Opening a log for *append* additionally repairs it: the torn
+tail is truncated (and any unreachable later segments deleted) so new
+records land after the last valid one instead of hiding behind garbage.
+Read-only opens (:class:`MutationLog` with ``readonly=True``, or
+:meth:`MutationLog.peek`) never modify the files — a replica replaying
+a log the supervisor is still appending to must not "repair" an
+append in flight.
+
+Sync policy (the durability/throughput knob)
+--------------------------------------------
+``sync=`` picks how hard :meth:`MutationLog.append` pushes each record
+toward the platter:
+
+``"commit"``
+    ``flush()`` + ``fsync()`` on every append.  Survives OS/power
+    failure at the cost of one disk sync per commit.
+``"batched"`` (default)
+    ``flush()`` on every append (the record reaches the OS page cache,
+    so it survives a ``kill -9`` of this process), ``fsync()`` every
+    ``batch_every`` appends.  At most ``batch_every - 1`` commits are
+    exposed to a whole-machine crash; a process crash loses nothing.
+``"off"``
+    Library-buffered writes only; flushed on rotate/close.  For bulk
+    loads and tests where durability is somebody else's problem.
+
+All policies ``fsync`` on rotation, truncation and close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import WalError
+
+__all__ = [
+    "SYNC_POLICIES",
+    "WAL_FORMAT",
+    "WAL_VERSION",
+    "MutationLog",
+    "WalCorruptionWarning",
+    "WalRecord",
+    "default_wal_path",
+]
+
+WAL_FORMAT = "repro-wal"
+WAL_VERSION = 1
+SYNC_POLICIES = ("commit", "batched", "off")
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+def default_wal_path(snapshot_path: Union[str, os.PathLike]) -> Path:
+    """The conventional sibling WAL directory for a snapshot file.
+
+    ``dblp.snap`` -> ``dblp.snap.wal`` — what the snapshot CLI's
+    ``info`` command checks for unsnapshotted commits, and what
+    :meth:`QueryService.attach_wal` defaults to for snapshot-registered
+    datasets.
+    """
+    return Path(str(snapshot_path) + ".wal")
+
+
+class WalCorruptionWarning(UserWarning):
+    """A log read stopped early at damaged data.
+
+    Carries the structured fields operators need (``path``, ``offset``,
+    ``reason``, ``last_valid_seq``) in addition to the message, so
+    handlers can triage without parsing text.
+    """
+
+    def __init__(
+        self, path, offset: int, reason: str, last_valid_seq: int
+    ) -> None:
+        super().__init__(
+            f"WAL {path} is damaged at byte {offset} ({reason}); "
+            f"recovery stops at the last valid record (seq {last_valid_seq})"
+        )
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+        self.last_valid_seq = last_valid_seq
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed mutation batch: the wire dicts plus its sequence
+    number (== the dataset epoch version the commit produced)."""
+
+    seq: int
+    mutations: tuple
+    recompute_prestige: bool = False
+
+
+@dataclass
+class _Segment:
+    """One scanned segment file."""
+
+    path: Path
+    base_seq: int
+    last_seq: int  # == base_seq when the segment holds no data records
+    end_offset: int  # byte offset just past the last valid record
+    records: int = 0
+    damaged: Optional[WalCorruptionWarning] = field(default=None, repr=False)
+
+
+def _segment_name(base_seq: int) -> str:
+    return f"wal-{base_seq:016d}.seg"
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _read_frame(handle, path, offset: int) -> Union[bytes, WalCorruptionWarning, None]:
+    """One frame's payload; None at clean EOF; a warning on damage."""
+    header = handle.read(_FRAME.size)
+    if not header:
+        return None
+    if len(header) < _FRAME.size:
+        return WalCorruptionWarning(path, offset, "truncated frame header", -1)
+    length, crc = _FRAME.unpack(header)
+    payload = handle.read(length)
+    if len(payload) < length:
+        return WalCorruptionWarning(path, offset, "truncated record payload", -1)
+    if zlib.crc32(payload) != crc:
+        return WalCorruptionWarning(path, offset, "checksum mismatch", -1)
+    return payload
+
+
+def _walk_segment(path: Path, expected_base: Optional[int]):
+    """The one validating pass over a segment, as an event stream.
+
+    Yields ``("base", base_seq, end_offset)`` for a valid header, then
+    ``("record", WalRecord, end_offset)`` per valid record, stopping
+    after ``("damage", WalCorruptionWarning, last_valid_offset)`` at
+    the first torn frame, checksum mismatch, undecodable payload or
+    sequence gap.  Both recovery scanning (:func:`_scan_segment`) and
+    replay reading (:meth:`MutationLog.records`) consume this stream,
+    so the two can never disagree about where a log's valid prefix
+    ends.
+    """
+    last = expected_base if expected_base is not None else -1
+    with open(path, "rb") as handle:
+        payload = _read_frame(handle, path, 0)
+        if payload is None or isinstance(payload, WalCorruptionWarning):
+            yield ("damage", WalCorruptionWarning(
+                path, 0, "unreadable segment header", last), 0)
+            return
+        base = _decode_header(payload)
+        if base is None:
+            yield ("damage", WalCorruptionWarning(
+                path, 0, "not a repro-wal v1 segment header", last), 0)
+            return
+        if expected_base is not None and base != expected_base:
+            yield ("damage", WalCorruptionWarning(
+                path,
+                0,
+                f"segment base {base} does not continue seq {expected_base}",
+                expected_base,
+            ), 0)
+            return
+        last = base
+        valid_end = handle.tell()
+        yield ("base", base, valid_end)
+        while True:
+            offset = valid_end
+            payload = _read_frame(handle, path, offset)
+            if payload is None:
+                return
+            if isinstance(payload, WalCorruptionWarning):
+                yield ("damage", WalCorruptionWarning(
+                    path, offset, payload.reason, last), valid_end)
+                return
+            record = _decode_record(payload)
+            if record is None:
+                yield ("damage", WalCorruptionWarning(
+                    path, offset, "malformed record payload", last), valid_end)
+                return
+            if record.seq != last + 1:
+                yield ("damage", WalCorruptionWarning(
+                    path,
+                    offset,
+                    f"sequence gap (got {record.seq}, expected {last + 1})",
+                    last,
+                ), valid_end)
+                return
+            last = record.seq
+            valid_end = handle.tell()
+            yield ("record", record, valid_end)
+
+
+def _scan_segment(path: Path, expected_base: Optional[int]) -> _Segment:
+    """Validate one segment file, stopping at the first damage."""
+    base = expected_base if expected_base is not None else -1
+    last = base
+    valid_end = 0
+    count = 0
+    damaged: Optional[WalCorruptionWarning] = None
+    for event, value, offset in _walk_segment(path, expected_base):
+        if event == "base":
+            base = last = value
+            valid_end = offset
+        elif event == "record":
+            last = value.seq
+            count += 1
+            valid_end = offset
+        else:  # damage
+            damaged = value
+    return _Segment(
+        path=path,
+        base_seq=base,
+        last_seq=last,
+        end_offset=valid_end,
+        records=count,
+        damaged=damaged,
+    )
+
+
+def _decode_record(payload: bytes) -> Optional[WalRecord]:
+    """Parse and shape-check one data record; None on anything off."""
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(data, dict)
+        or not isinstance(data.get("seq"), int)
+        or not isinstance(data.get("mutations"), list)
+    ):
+        return None
+    return WalRecord(
+        seq=data["seq"],
+        mutations=tuple(data["mutations"]),
+        recompute_prestige=bool(data.get("recompute_prestige", False)),
+    )
+
+
+def _decode_header(payload: bytes) -> Optional[int]:
+    """The segment header's ``base_seq``; None when not a valid header."""
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != WAL_FORMAT
+        or header.get("version") != WAL_VERSION
+        or not isinstance(header.get("base_seq"), int)
+    ):
+        return None
+    return header["base_seq"]
+
+
+class MutationLog:
+    """A per-dataset segmented append-only mutation log.
+
+    Parameters
+    ----------
+    path:
+        Log directory (created unless ``readonly``).
+    sync:
+        Durability policy per append — ``"commit"`` / ``"batched"`` /
+        ``"off"``; see the module docstring for exactly what each
+        guarantees and costs.
+    batch_every:
+        Under ``"batched"``, how many appends may pass between
+        ``fsync`` calls (durability exposure to an *OS* crash; a
+        process crash never loses a flushed append).
+    segment_max_records / segment_max_bytes:
+        Rotation thresholds; a full segment is sealed and a new one
+        started, which is what gives truncation its unit of deletion.
+    start_seq:
+        The sequence number the log starts *after* when created empty —
+        i.e. the ``dataset_version`` of the snapshot this log's records
+        apply on top of.  Ignored when segments already exist on disk.
+    readonly:
+        Open without creating or repairing anything (replica replay,
+        CLI inspection).  Append, truncate, rotate and reset raise.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        sync: str = "batched",
+        batch_every: int = 16,
+        segment_max_records: int = 1024,
+        segment_max_bytes: int = 4 << 20,
+        start_seq: int = 0,
+        readonly: bool = False,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise ValueError(
+                f"unknown sync policy {sync!r}; expected one of {SYNC_POLICIES}"
+            )
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1, got {batch_every!r}")
+        if segment_max_records < 1 or segment_max_bytes < 1:
+            raise ValueError("segment rotation thresholds must be >= 1")
+        if start_seq < 0:
+            raise ValueError(f"start_seq must be >= 0, got {start_seq!r}")
+        self.path = Path(path)
+        self.sync_policy = sync
+        self._batch_every = batch_every
+        self._segment_max_records = segment_max_records
+        self._segment_max_bytes = segment_max_bytes
+        self._readonly = readonly
+        self._lock = threading.RLock()
+        self._handle = None
+        self._unsynced = 0
+        self._last_append_offset: Optional[int] = None
+        self._closed = False
+        if readonly:
+            if not self.path.is_dir():
+                raise WalError(f"WAL directory {self.path} does not exist")
+        else:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._segments = self._recover(start_seq)
+
+    # ------------------------------------------------------------------
+    # recovery / scanning
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.path.glob(_SEGMENT_GLOB))
+
+    def _recover(self, start_seq: int) -> list[_Segment]:
+        """Scan segments in order; repair the tail unless readonly."""
+        paths = self._segment_paths()
+        segments: list[_Segment] = []
+        expected: Optional[int] = None
+        dropped: list[Path] = []
+        for i, path in enumerate(paths):
+            segment = _scan_segment(path, expected)
+            segments.append(segment)
+            if segment.damaged is not None:
+                warnings.warn(segment.damaged, stacklevel=3)
+                dropped = paths[i + 1 :]
+                if dropped:
+                    warnings.warn(
+                        WalCorruptionWarning(
+                            self.path,
+                            segment.damaged.offset,
+                            f"{len(dropped)} later segment(s) are unreachable "
+                            f"past the damage and are ignored",
+                            segment.last_seq,
+                        ),
+                        stacklevel=3,
+                    )
+                break
+            expected = segment.last_seq
+        if not self._readonly:
+            tail = segments[-1] if segments else None
+            if tail is not None and tail.damaged is not None:
+                # Repair: truncate the torn tail so appends continue
+                # after the last valid record, and delete segments the
+                # damage cut off (their bases no longer line up).
+                if tail.end_offset > 0:
+                    with open(tail.path, "r+b") as handle:
+                        handle.truncate(tail.end_offset)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    tail = _scan_segment(tail.path, None)
+                    segments[-1] = tail
+                else:
+                    tail.path.unlink()
+                    segments.pop()
+                for path in dropped:
+                    path.unlink()
+            if not segments:
+                segments = [self._create_segment(start_seq)]
+        return segments
+
+    def _create_segment(self, base_seq: int) -> _Segment:
+        path = self.path / _segment_name(base_seq)
+        header = json.dumps(
+            {"format": WAL_FORMAT, "version": WAL_VERSION, "base_seq": base_seq}
+        ).encode("utf-8")
+        data = _frame(header)
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return _Segment(
+            path=path, base_seq=base_seq, last_seq=base_seq, end_offset=len(data)
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record (== the base
+        when the log holds none)."""
+        with self._lock:
+            return self._segments[-1].last_seq if self._segments else 0
+
+    @property
+    def first_base(self) -> int:
+        """Sequence the oldest retained segment starts after — replay
+        can reconstruct any state from ``first_base`` forward."""
+        with self._lock:
+            return self._segments[0].base_seq if self._segments else 0
+
+    def stats(self) -> dict:
+        """Size and position counters for metrics/health export."""
+        with self._lock:
+            return {
+                "last_seq": self.last_seq,
+                "first_base": self.first_base,
+                "segments": len(self._segments),
+                "records": sum(s.records for s in self._segments),
+                "bytes": sum(s.end_offset for s in self._segments),
+                "sync": self.sync_policy,
+            }
+
+    @classmethod
+    def fresh(
+        cls, path: Union[str, os.PathLike], *, start_seq: int, **knobs
+    ) -> "MutationLog":
+        """Open a log at ``path`` after discarding any existing
+        segments *without scanning them* — the reload path: prior
+        records are superseded history, not worth validating, repairing
+        or warning about before deletion."""
+        root = Path(path)
+        if root.is_dir():
+            for segment in sorted(root.glob(_SEGMENT_GLOB)):
+                segment.unlink()
+        return cls(path, start_seq=start_seq, **knobs)
+
+    @classmethod
+    def peek(cls, path: Union[str, os.PathLike]) -> Optional[dict]:
+        """Cheap read-only inspection: :meth:`stats` for an existing log
+        directory, or None when there is no log at ``path``.  Never
+        creates or repairs anything (corruption still warns)."""
+        if not Path(path).is_dir():
+            return None
+        return cls(path, readonly=True).stats()
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        mutations,
+        *,
+        seq: Optional[int] = None,
+        recompute_prestige: bool = False,
+    ) -> int:
+        """Append one committed batch of wire mutation dicts.
+
+        ``seq`` defaults to ``last_seq + 1``; passing it explicitly
+        asserts the caller's epoch arithmetic — a mismatch raises
+        :class:`~repro.errors.WalError` *before* anything is written,
+        which is how a misaligned journal fails the commit instead of
+        silently recording an unreplayable history.
+        """
+        with self._lock:
+            self._check_writable()
+            expected = self.last_seq + 1
+            if seq is None:
+                seq = expected
+            elif seq != expected:
+                raise WalError(
+                    f"out-of-order append: seq {seq} does not continue the "
+                    f"log's last sequence {self.last_seq}"
+                )
+            record: dict = {"seq": seq, "mutations": list(mutations), "ts": time.time()}
+            if recompute_prestige:
+                record["recompute_prestige"] = True
+            data = _frame(json.dumps(record).encode("utf-8"))
+            active = self._segments[-1]
+            if (
+                active.records >= self._segment_max_records
+                or active.end_offset + len(data) > self._segment_max_bytes
+            ) and active.records > 0:
+                self._rotate_locked()
+                active = self._segments[-1]
+            handle = self._writer(active)
+            self._last_append_offset = active.end_offset
+            handle.write(data)
+            active.end_offset += len(data)
+            active.records += 1
+            active.last_seq = seq
+            if self.sync_policy == "commit":
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._unsynced = 0
+            elif self.sync_policy == "batched":
+                handle.flush()
+                self._unsynced += 1
+                if self._unsynced >= self._batch_every:
+                    os.fsync(handle.fileno())
+                    self._unsynced = 0
+            return seq
+
+    def rollback_last(self) -> int:
+        """Remove the record appended by the immediately preceding
+        :meth:`append` on this instance (the supervisor's bad-batch
+        compensation path).  Returns the new ``last_seq``."""
+        with self._lock:
+            self._check_writable()
+            if self._last_append_offset is None:
+                raise WalError(
+                    "no append to roll back (rollback_last undoes only the "
+                    "record this process appended last, exactly once)"
+                )
+            active = self._segments[-1]
+            handle = self._writer(active)
+            handle.flush()
+            handle.truncate(self._last_append_offset)
+            handle.seek(self._last_append_offset)
+            os.fsync(handle.fileno())
+            active.end_offset = self._last_append_offset
+            active.records -= 1
+            active.last_seq -= 1
+            self._last_append_offset = None
+            self._unsynced = 0
+            return active.last_seq
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` any buffered appends now."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
+
+    def _writer(self, active: _Segment):
+        if self._handle is None:
+            self._handle = open(active.path, "ab")
+        return self._handle
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise WalError(f"WAL {self.path} is closed")
+        if self._readonly:
+            raise WalError(f"WAL {self.path} was opened read-only")
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+    def rotate(self) -> Path:
+        """Seal the active segment and start a new one."""
+        with self._lock:
+            self._check_writable()
+            return self._rotate_locked().path
+
+    def _rotate_locked(self) -> _Segment:
+        self._close_writer()
+        segment = self._create_segment(self._segments[-1].last_seq)
+        self._segments.append(segment)
+        self._last_append_offset = None
+        return segment
+
+    def truncate(self, upto_seq: int) -> int:
+        """Delete segments wholly covered by a snapshot at ``upto_seq``.
+
+        A segment is deletable when every record in it has
+        ``seq <= upto_seq`` *and* a later segment exists to carry the
+        log forward; the active segment is first rotated away when it
+        is itself fully covered, so a snapshot taken at the current tip
+        leaves exactly one empty segment based at ``upto_seq``.
+        Returns the number of segment files deleted.
+        """
+        with self._lock:
+            self._check_writable()
+            if self._segments[-1].last_seq <= upto_seq and (
+                self._segments[-1].records > 0 or len(self._segments) > 1
+            ):
+                self._rotate_locked()
+            deleted = 0
+            while len(self._segments) > 1 and self._segments[0].last_seq <= upto_seq:
+                self._segments.pop(0).path.unlink()
+                deleted += 1
+            return deleted
+
+    def reset(self, start_seq: int) -> None:
+        """Discard every segment and start a fresh log after
+        ``start_seq`` — the reload path: a dataset hot-swapped to an
+        unrelated snapshot makes the old records unreplayable, so the
+        log restarts at the new baseline."""
+        with self._lock:
+            self._check_writable()
+            self._close_writer()
+            for segment in self._segments:
+                segment.path.unlink()
+            self._segments = [self._create_segment(start_seq)]
+            self._last_append_offset = None
+            self._unsynced = 0
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self, *, start_after: Optional[int] = None) -> Iterator[WalRecord]:
+        """Yield valid records in order, newest last.
+
+        ``start_after`` skips records with ``seq <= start_after``
+        (replay onto a snapshot at that version).  Iteration stops at
+        the first damaged byte with a :class:`WalCorruptionWarning`
+        (see the module docstring); everything valid before the damage
+        is always yielded.  One validating pass per segment — records
+        are yielded as they are checked, so replaying a large log reads
+        each byte once.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+            paths = [segment.path for segment in self._segments]
+        last: Optional[int] = None
+        for i, path in enumerate(paths):
+            damage: Optional[WalCorruptionWarning] = None
+            for event, value, _offset in _walk_segment(path, last):
+                if event == "record":
+                    last = value.seq
+                    if start_after is None or value.seq > start_after:
+                        yield value
+                elif event == "base":
+                    last = value
+                else:  # damage
+                    damage = value
+            if damage is not None:
+                warnings.warn(damage, stacklevel=2)
+                remaining = len(paths) - i - 1
+                if remaining:
+                    warnings.warn(
+                        WalCorruptionWarning(
+                            self.path,
+                            damage.offset,
+                            f"{remaining} later segment(s) are unreachable "
+                            f"past the damage and are ignored",
+                            damage.last_valid_seq,
+                        ),
+                        stacklevel=2,
+                    )
+                return
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _close_writer(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+            self._unsynced = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if not self._readonly:
+                self._close_writer()
+            self._closed = True
+
+    def __enter__(self) -> "MutationLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MutationLog({str(self.path)!r}, last_seq={self.last_seq}, "
+            f"segments={len(self._segments)}, sync={self.sync_policy!r})"
+        )

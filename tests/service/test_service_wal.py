@@ -1,0 +1,290 @@
+"""QueryService + WAL: attach, journal, recover, truncate, reset."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.service import QueryService
+from repro.service.snapshot import save_engine, snapshot_info
+from repro.wal import MutationLog, default_wal_path
+
+
+@pytest.fixture()
+def toy_snapshot(tmp_path, toy_engine):
+    return save_engine(tmp_path / "toy.snap", toy_engine)
+
+
+def wal_service(snapshot, **attach_knobs):
+    service = QueryService()
+    service.register_snapshot("toy", snapshot)
+    info = service.attach_wal("toy", **attach_knobs)
+    return service, info
+
+
+def add_word(service, word: str):
+    return service.apply(
+        "toy",
+        [
+            {"op": "add_node", "label": word, "table": "paper", "text": word},
+            {"op": "add_edge", "u": -1, "v": 3},
+        ],
+    )
+
+
+class TestAttachAndJournal:
+    def test_default_path_is_snapshot_sibling(self, toy_snapshot):
+        service, info = wal_service(toy_snapshot)
+        try:
+            assert info["path"] == str(default_wal_path(toy_snapshot))
+            assert info == {
+                "dataset": "toy",
+                "path": str(default_wal_path(toy_snapshot)),
+                "replayed": 0,
+                "wal_seq": 0,
+                "version": 0,
+            }
+        finally:
+            service.close()
+
+    def test_commits_are_journaled_with_version_aligned_seqs(self, toy_snapshot):
+        service, _ = wal_service(toy_snapshot)
+        try:
+            for i in range(3):
+                result = add_word(service, f"walword{i}")
+                assert service.wal_seqs()["toy"] == result.version == i + 1
+            metrics = service.metrics()
+            assert metrics["datasets"]["wal_seq"] == {"toy": 3}
+            with MutationLog(
+                default_wal_path(toy_snapshot), readonly=True
+            ) as log:
+                assert [r.seq for r in log.records()] == [1, 2, 3]
+        finally:
+            service.close()
+
+    def test_failed_journal_append_discards_the_batch(self, toy_snapshot):
+        """A commit whose write-ahead append fails must roll the batch
+        back entirely — otherwise the 'failed' mutations would silently
+        ride along with the next unrelated commit."""
+        service, info = wal_service(toy_snapshot)
+        try:
+            add_word(service, "first")
+            service._wals["toy"].close()  # simulate the disk going away
+            with pytest.raises(WalError):
+                add_word(service, "ghostword")
+            # the rejected batch is gone: reattach and keep committing
+            service.attach_wal("toy", info["path"])
+            assert add_word(service, "second").version == 2
+            assert not service.search("toy", "ghostword").ok
+            assert service.search("toy", "second").ok
+        finally:
+            service.close()
+
+    def test_reregistration_detaches_the_wal(self, toy_snapshot, toy_engine):
+        """Replacing a dataset's registration must detach (and close)
+        its log — the lineage belongs to the replaced content, and a
+        still-attached log would wedge every later commit on an
+        out-of-order append."""
+        service, info = wal_service(toy_snapshot)
+        try:
+            add_word(service, "before")
+            service.register_engine("toy", toy_engine)
+            assert service.wal_seqs() == {}
+            result = add_word(service, "afterreplace")  # unjournaled, not wedged
+            assert result.applied == 2
+            assert service.search("toy", "afterreplace").ok
+            # the old log survives untouched on disk for the old snapshot
+            assert MutationLog.peek(info["path"])["last_seq"] == 1
+        finally:
+            service.close()
+
+    def test_attach_requires_registered_dataset(self, tmp_path):
+        from repro.errors import UnknownDatasetError
+
+        with QueryService() as service:
+            with pytest.raises(UnknownDatasetError):
+                service.attach_wal("nope", tmp_path / "x.wal")
+
+    def test_attach_without_snapshot_needs_explicit_path(self, toy_engine):
+        with QueryService() as service:
+            service.register_engine("toy", toy_engine)
+            with pytest.raises(ValueError, match="explicit WAL path"):
+                service.attach_wal("toy")
+
+    def test_register_mutable_wal_path_shorthand(self, tmp_path, toy_engine):
+        from repro.live import MutableDataset
+
+        with QueryService() as service:
+            service.register_mutable(
+                "toy",
+                MutableDataset.from_engine(toy_engine, compact_ratio=None),
+                wal_path=tmp_path / "live.wal",
+            )
+            result = add_word(service, "shorthandword")
+            assert service.wal_seqs()["toy"] == result.version == 1
+
+
+class TestRecovery:
+    def test_fresh_service_replays_to_last_durable_epoch(self, toy_snapshot):
+        writer, _ = wal_service(toy_snapshot)
+        for i in range(4):
+            add_word(writer, f"crashword{i}")
+        writer.close()  # an abrupt exit: batched sync already flushed
+
+        reader, info = wal_service(toy_snapshot)
+        try:
+            assert info["replayed"] == 4
+            assert info["version"] == info["wal_seq"] == 4
+            assert reader.dataset_version("toy") == 4
+            response = reader.search("toy", "crashword3")
+            assert response.ok, response.error
+            # and the recovered service keeps journaling seamlessly
+            assert add_word(reader, "postcrash").version == 5
+            assert reader.wal_seqs()["toy"] == 5
+        finally:
+            reader.close()
+
+    def test_replay_purges_stale_cache_entries(self, toy_snapshot):
+        writer, _ = wal_service(toy_snapshot)
+        add_word(writer, "cacheword")
+        writer.close()
+
+        reader = QueryService()
+        reader.register_snapshot("toy", toy_snapshot)
+        assert reader.search("toy", "transaction").ok  # warm the cache
+        info = reader.attach_wal("toy")
+        try:
+            assert info["replayed"] == 1
+            response = reader.search("toy", "transaction")
+            assert not response.cached  # version moved; old entry dead
+        finally:
+            reader.close()
+
+    def test_unjournaled_commits_before_attach_never_absorb_the_log(
+        self, tmp_path, toy_engine
+    ):
+        """Commits applied before attach diverge the state from the
+        snapshot the log's records assume; attach must fail loudly (a
+        replay gap), not absorb the commits into the snapshot baseline
+        and replay old records on top of the wrong graph."""
+        snap = save_engine(tmp_path / "v2.snap", toy_engine, version=2)
+        with MutationLog(tmp_path / "v2.snap.wal", start_seq=2) as log:
+            log.append([{"op": "add_node", "label": "logged"}])  # seq 3
+        service = QueryService()
+        service.register_snapshot("toy", snap)
+        add_word(service, "unjournaled")  # effective version 1, no WAL
+        with pytest.raises(WalError, match="replay gap"):
+            service.attach_wal("toy")
+        service.close()
+
+    def test_writable_log_behind_served_state_raises(self, tmp_path, toy_snapshot):
+        service, _ = wal_service(toy_snapshot)
+        add_word(service, "aheadword")
+        service.close()
+        # A second service mutates WITHOUT the journal, then attaches.
+        service = QueryService()
+        service.register_snapshot("toy", toy_snapshot)
+        service.attach_wal("toy")  # replays to 1
+        add_word(service, "unjournaled")  # journaled: 2
+        # Detach by re-registering (bumps the base generation)...
+        service.register_snapshot("toy", toy_snapshot)
+        # ...now served version (3 = bumped base) is ahead of the log.
+        with pytest.raises(WalError, match="behind|ends at"):
+            service.attach_wal("toy")
+        service.close()
+
+
+class TestSnapshotIntegration:
+    def test_save_over_source_truncates_covered_segments(
+        self, tmp_path, toy_snapshot
+    ):
+        service, info = wal_service(
+            toy_snapshot, segment_max_records=1
+        )
+        try:
+            for i in range(3):
+                add_word(service, f"truncword{i}")
+            # Rotating the *serving* snapshot in place makes the log's
+            # covered segments redundant.
+            service.save_snapshot("toy", toy_snapshot)
+            assert snapshot_info(toy_snapshot)["dataset_version"] == 3
+            stats = MutationLog.peek(info["path"])
+            assert stats["records"] == 0  # all covered by the snapshot
+            assert stats["last_seq"] == 3  # position is preserved
+            # later commits continue the same lineage
+            assert add_word(service, "afterword").version == 4
+        finally:
+            service.close()
+
+    def test_save_to_other_path_keeps_the_log(self, tmp_path, toy_snapshot):
+        """A backup save must not eat the records crash recovery from
+        the *registered* snapshot still needs."""
+        service, info = wal_service(toy_snapshot, segment_max_records=1)
+        try:
+            add_word(service, "keepword")
+            service.save_snapshot("toy", tmp_path / "backup.snap")
+            stats = MutationLog.peek(info["path"])
+            assert stats["records"] == 1
+        finally:
+            service.close()
+        recovered = QueryService()
+        recovered.register_snapshot("toy", toy_snapshot)
+        outcome = recovered.attach_wal("toy")
+        try:
+            assert outcome["replayed"] == 1
+            assert recovered.search("toy", "keepword").ok
+        finally:
+            recovered.close()
+
+    def test_recover_from_newer_snapshot_and_log_tail(
+        self, tmp_path, toy_snapshot
+    ):
+        service, info = wal_service(toy_snapshot)
+        add_word(service, "early")
+        mid_snap = tmp_path / "mid.snap"
+        service.save_snapshot("toy", mid_snap)
+        add_word(service, "tailword")
+        service.close()
+
+        recovered = QueryService()
+        recovered.register_snapshot("toy", mid_snap)
+        outcome = recovered.attach_wal("toy", info["path"])
+        try:
+            assert outcome["replayed"] == 1  # just the tail record
+            assert outcome["version"] == 2
+            assert recovered.search("toy", "tailword").ok
+            assert recovered.search("toy", "early").ok
+        finally:
+            recovered.close()
+
+    def test_old_snapshot_with_truncated_log_is_a_replay_gap(
+        self, tmp_path, toy_snapshot
+    ):
+        import shutil
+
+        old_copy = tmp_path / "old-copy.snap"
+        shutil.copy(toy_snapshot, old_copy)
+        service, info = wal_service(toy_snapshot, segment_max_records=1)
+        for i in range(3):
+            add_word(service, f"gapword{i}")
+        service.save_snapshot("toy", toy_snapshot)  # rotates + truncates
+        add_word(service, "lost")
+        service.close()
+
+        stale = QueryService()
+        stale.register_snapshot("toy", old_copy)  # the OLD base
+        with pytest.raises(WalError, match="replay gap"):
+            stale.attach_wal("toy", info["path"])
+        stale.close()
+
+    def test_reload_snapshot_resets_the_log(self, tmp_path, toy_snapshot):
+        service, info = wal_service(toy_snapshot)
+        try:
+            add_word(service, "preload")
+            outcome = service.reload_snapshot("toy", toy_snapshot, force=True)
+            stats = MutationLog.peek(info["path"])
+            assert stats["records"] == 0
+            assert stats["last_seq"] == outcome["version"]
+            result = add_word(service, "postreloadword")
+            assert result.version == outcome["version"] + 1
+            assert service.wal_seqs()["toy"] == result.version
+        finally:
+            service.close()

@@ -24,6 +24,27 @@ def test_info_prints_header_fields(toy_snapshot_path, capsys):
     assert "version = 1" in out
 
 
+def test_info_without_sibling_wal_stays_quiet(toy_snapshot_path, capsys):
+    assert main(["info", str(toy_snapshot_path)]) == 0
+    assert "wal_" not in capsys.readouterr().out
+
+
+def test_info_reports_sibling_wal_position(toy_snapshot_path, capsys):
+    """Operators must see at a glance whether a sibling WAL holds
+    commits the snapshot does not."""
+    from repro.wal import MutationLog, default_wal_path
+
+    with MutationLog(default_wal_path(toy_snapshot_path)) as log:
+        for i in range(3):
+            log.append([{"op": "add_node", "label": f"n{i}"}])
+    assert main(["info", str(toy_snapshot_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"wal_path = {default_wal_path(toy_snapshot_path)}" in out
+    assert "wal_seq = 3" in out
+    # snapshot is at dataset_version 0: all three commits unsnapshotted
+    assert "wal_unsnapshotted_commits = 3" in out
+
+
 def test_info_missing_file_fails_cleanly(tmp_path, capsys):
     assert main(["info", str(tmp_path / "missing.snap")]) == 1
     assert "error:" in capsys.readouterr().out
