@@ -1,0 +1,161 @@
+"""Tracing overhead: QPS with the tracer on vs off.
+
+The observability bar: end-to-end tracing at the default sampling
+(``trace_every_n_pops=0`` — span per stage, no per-pop trajectory
+sampling) must cost the serving path **less than 5% QPS**.  Spans are a
+handful of dict writes around a graph search that costs milliseconds;
+if this budget ever fails, a span crept into a per-pop loop.
+
+The workload: ``NUM_QUERIES`` uncached single-shot searches against a
+thread-tier ``QueryService`` over synthetic DBLP, a pool of
+mid-frequency multi-keyword queries sampled the same way as
+``bench_search_micro``.  Both arms run the identical query stream;
+arms alternate rounds and each arm scores its best round, so a noisy
+neighbour slows both or neither.
+
+A sample span tree from the traced arm is written to
+``TELEMETRY_SPAN_OUT`` (JSON) when set — CI uploads it as an artifact,
+so every PR carries a real trace to eyeball.
+
+Env knobs: ``REPRO_SCALE`` scales the dataset; ``BENCH_JSON_OUT``
+appends JSON rows; ``TELEMETRY_SPAN_OUT`` writes the sample span tree.
+
+Run directly (``python benchmarks/bench_telemetry_overhead.py``) or
+under pytest-benchmark.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.common import Report, build_bench, fmt, workload_rng
+from repro.service import QueryRequest, QueryService
+
+from conftest import as_float, cell, emit_json, run_report
+
+NUM_QUERIES = 120
+ROUNDS = 3
+QUERY_POOL = 8
+#: The acceptance bar: tracing may cost at most this QPS fraction.
+MAX_OVERHEAD = 0.05
+
+
+def _query_pool(bench) -> list[list[str]]:
+    rng = workload_rng(31337)
+    queries: list[list[str]] = []
+    attempts = 0
+    while len(queries) < QUERY_POOL and attempts < 200:
+        attempts += 1
+        query = bench.generator.sample_query(
+            rng,
+            n_keywords=3,
+            result_size=4,
+            band_combo=("T", "S", "L"),
+        )
+        if query is not None:
+            queries.append(list(query.keywords))
+    assert len(queries) >= 2, "dataset too small; raise REPRO_SCALE"
+    return queries
+
+
+def _run_round(service: QueryService, queries: list[list[str]]) -> float:
+    """One timed round of the fixed query stream; returns QPS."""
+    start = time.perf_counter()
+    for i in range(NUM_QUERIES):
+        response = service.search(
+            QueryRequest("dblp", queries[i % len(queries)], use_cache=False)
+        )
+        response.raise_for_error()
+    return NUM_QUERIES / (time.perf_counter() - start)
+
+
+def _dump_sample_span_tree(service: QueryService, queries: list[list[str]]) -> None:
+    path = os.environ.get("TELEMETRY_SPAN_OUT")
+    if not path:
+        return
+    response = service.search(QueryRequest("dblp", queries[0], use_cache=False))
+    response.raise_for_error()
+    tree = service.trace(response.trace_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(tree, handle, indent=2)
+
+
+def run_telemetry_overhead() -> Report:
+    bench = build_bench("dblp", 0.4)
+    queries = _query_pool(bench)
+    arms = {}
+    for tracing in (False, True):
+        service = QueryService(max_workers=1, tracing=tracing)
+        service.register_engine("dblp", bench.engine)
+        arms[tracing] = {"service": service, "qps": []}
+        _run_round(service, queries)  # warm the engine-side caches
+
+    # Alternate rounds so drift hits both arms equally.
+    for _ in range(ROUNDS):
+        for tracing in (False, True):
+            arm = arms[tracing]
+            arm["qps"].append(_run_round(arm["service"], queries))
+
+    _dump_sample_span_tree(arms[True]["service"], queries)
+    for arm in arms.values():
+        arm["service"].close(wait=False)
+
+    baseline = max(arms[False]["qps"])
+    traced = max(arms[True]["qps"])
+    overhead = 1.0 - traced / baseline
+
+    report = Report(
+        experiment="telemetry-overhead",
+        title=(
+            f"{NUM_QUERIES} uncached searches x {ROUNDS} rounds on "
+            f"synthetic DBLP ({bench.engine.graph.num_nodes} nodes): "
+            f"tracer on vs off"
+        ),
+        headers=["mode", "best QPS", "rounds"],
+    )
+    for tracing in (False, True):
+        qps = max(arms[tracing]["qps"])
+        row = {
+            "experiment": "telemetry-overhead",
+            "mode": "traced" if tracing else "untraced",
+            "tracing": tracing,
+            "queries": NUM_QUERIES,
+            "rounds": ROUNDS,
+            "qps": qps,
+            "qps_rounds": arms[tracing]["qps"],
+        }
+        emit_json(row)
+        report.rows.append(
+            [
+                row["mode"],
+                fmt(qps),
+                ", ".join(fmt(value) for value in row["qps_rounds"]),
+            ]
+        )
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead:.1%} exceeds the {MAX_OVERHEAD:.0%} "
+        f"budget ({traced:.0f} vs {baseline:.0f} QPS)"
+    )
+    report.notes.append(
+        f"tracing QPS overhead at default sampling: {overhead:+.1%} "
+        f"(budget < {MAX_OVERHEAD:.0%})"
+    )
+    report.notes.append(
+        f"dataset scale knob REPRO_SCALE={os.environ.get('REPRO_SCALE', '1.0')}"
+    )
+    return report
+
+
+def test_telemetry_overhead(benchmark):
+    report = run_report(benchmark, run_telemetry_overhead)
+    for row in range(len(report.rows)):
+        assert as_float(cell(report, row, 1)) > 0
+
+
+if __name__ == "__main__":
+    print(run_telemetry_overhead().render())

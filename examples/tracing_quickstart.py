@@ -1,0 +1,84 @@
+"""Quickstart for the observability stack (:mod:`repro.telemetry`).
+
+What one traced query looks like across a process-pool fleet, end to
+end:
+
+1. snapshot a small engine and spin up a two-worker
+   :class:`repro.ShardedQueryService` (tracing is on by default),
+2. run one query carrying a ``request_id``: the supervisor mints the
+   trace id, ships it over the wire, and the worker's spans come back
+   and stitch into one tree,
+3. reconstruct and print the cross-process span tree — supervisor
+   ``route``/``queue_wait`` above, worker ``engine`` stages below,
+4. flight-record a slow query (threshold 0 records everything) and
+   show the ``/debug/slow``-shaped entry,
+5. scrape the merged metrics registry as Prometheus text exposition —
+   the same bytes ``GET /metrics?format=prometheus`` serves.
+
+Run:  python examples/tracing_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import KeywordSearchEngine, ShardedQueryService
+from repro.datasets import DblpConfig, make_dblp
+from repro.service.service import QueryRequest
+from repro.service.snapshot import save_engine
+from repro.telemetry.metrics import render_prometheus
+from repro.telemetry.trace import render_span_tree
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        engine = KeywordSearchEngine.from_database(make_dblp(DblpConfig()))
+        snapshot = save_engine(Path(tmp) / "dblp.snap", engine)
+
+        with ShardedQueryService(
+            {"dblp": snapshot}, num_workers=2, slow_query_threshold=0.0
+        ) as cluster:
+            cluster.warmup()
+
+            # ----------------------------------------------------------
+            # one traced query through the fleet
+            # ----------------------------------------------------------
+            response = cluster.search(
+                QueryRequest("dblp", "paper stream", request_id="quickstart-1")
+            )
+            response.raise_for_error()
+            print(
+                f"query ok: request_id={response.request_id} "
+                f"trace_id={response.trace_id} "
+                f"elapsed={response.elapsed * 1000:.1f} ms"
+            )
+
+            # ----------------------------------------------------------
+            # the cross-process span tree
+            # ----------------------------------------------------------
+            tree = cluster.trace(response.trace_id)
+            print(f"\nspan tree ({tree['span_count']} spans, one trace id):")
+            print(render_span_tree(tree))
+
+            # ----------------------------------------------------------
+            # the slow-query log (threshold 0.0 flight-records all)
+            # ----------------------------------------------------------
+            entry = cluster.slow_queries()[0]
+            print(
+                f"\nslow log entry: dataset={entry['request']['dataset']} "
+                f"elapsed={entry['elapsed'] * 1000:.1f} ms "
+                f"spans={entry['span_tree']['span_count']}"
+            )
+
+            # ----------------------------------------------------------
+            # the Prometheus scrape of the merged registry
+            # ----------------------------------------------------------
+            merged = cluster.metrics()
+            text = render_prometheus(merged["registry"])
+            print("\nprometheus scrape (first 12 lines):")
+            print("\n".join(text.splitlines()[:12]))
+            families = sum(1 for line in text.splitlines() if line.startswith("# TYPE"))
+            print(f"... {families} metric families total")
+
+
+if __name__ == "__main__":
+    main()

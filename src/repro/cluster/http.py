@@ -34,11 +34,27 @@ Routes
     Always 200 with ``{"cancelled": true|false}`` — cancellation is
     racy by nature, a request that just completed is not an error.
 ``GET /metrics``
-    The service's metrics dict.
+    The service's metrics dict.  ``?format=prometheus`` renders the
+    service's telemetry registry as Prometheus text exposition 0.0.4
+    (``text/plain``) instead — what a scraper points at.
 ``GET /healthz``
     ``{"status": "ok", "datasets": [...]}`` plus fleet liveness when
     the service exposes ``health()`` (the sharded tier does); degrades
     to 503 when workers are down.
+``GET /debug/trace/<trace_id>``
+    The reconstructed span tree for one trace (404 when unknown or
+    evicted, 501 when the service has tracing off).
+``GET /debug/slow``
+    The slow-query log, newest first, each entry carrying its dumped
+    span tree.
+
+Tracing: when the service has a tracer, ``POST /search`` mints the
+trace at the front door — an ``http`` root span whose id rides the
+request into the service — and every search response carries
+``X-Trace-Id`` / ``X-Request-Id`` headers (error, deadline and 499
+paths included), so a client can fetch ``/debug/trace/<id>`` for any
+answer it got.  Span lists are stripped from JSON bodies; trees are
+read through the debug endpoint.
 
 Client disconnects map to cancellation: while a ``POST /search`` is
 running, a watcher thread peeks the socket; a client that hung up has
@@ -59,6 +75,7 @@ import threading
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs
 
 from repro.errors import (
     DeadlineExceededError,
@@ -76,6 +93,8 @@ from repro.service.wire import (
     request_from_dict,
     response_to_dict,
 )
+from repro.telemetry.metrics import render_prometheus
+from repro.telemetry.trace import new_trace_id
 
 __all__ = ["QueryHTTPServer", "make_server", "serve", "status_for_error"]
 
@@ -127,10 +146,28 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debugging aid
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: Optional[dict] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            if value is not None:
+                self.send_header(name, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -153,16 +190,66 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
-            if self.path == "/healthz":
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
                 self._handle_healthz()
-            elif self.path == "/metrics":
-                self._send_json(200, self.server.service.metrics())
+            elif path == "/metrics":
+                self._handle_metrics(query)
+            elif path.startswith("/debug/trace/") and path != "/debug/trace/":
+                self._handle_trace(path[len("/debug/trace/"):])
+            elif path == "/debug/slow":
+                self._handle_slow()
             else:
                 self._send_error_json(
                     404, f"no route {self.path!r}", "NotFoundError"
                 )
         except Exception as exc:  # pragma: no cover - handler backstop
             self._send_error_json(500, str(exc), type(exc).__name__)
+
+    def _handle_metrics(self, query: str) -> None:
+        fmt = (parse_qs(query).get("format") or ["json"])[0]
+        if fmt not in ("json", "prometheus"):
+            self._send_error_json(
+                400,
+                f"unknown metrics format {fmt!r}; expected json or prometheus",
+                "ValueError",
+            )
+            return
+        metrics = self.server.service.metrics()
+        if fmt == "json":
+            self._send_json(200, metrics)
+            return
+        families = metrics.get("registry")
+        if not isinstance(families, dict):
+            self._send_error_json(
+                501, "service exports no telemetry registry", "NotImplemented"
+            )
+            return
+        self._send_text(200, render_prometheus(families))
+
+    def _handle_trace(self, trace_id: str) -> None:
+        trace = getattr(self.server.service, "trace", None)
+        if not callable(trace):
+            self._send_error_json(
+                501, "service does not support tracing", "NotImplemented"
+            )
+            return
+        tree = trace(trace_id)
+        if tree is None:
+            self._send_error_json(
+                404, f"unknown trace {trace_id!r}", "NotFoundError"
+            )
+            return
+        self._send_json(200, tree)
+
+    def _handle_slow(self) -> None:
+        slow = getattr(self.server.service, "slow_queries", None)
+        if not callable(slow):
+            self._send_error_json(
+                501, "service has no slow-query log", "NotImplemented"
+            )
+            return
+        self._send_json(200, {"slow_queries": slow()})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
@@ -255,6 +342,23 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_search(self) -> None:
         request = request_from_dict(self._read_json())
         service = self.server.service
+        # Mint the trace at the front door: an ``http`` root span whose
+        # id the route/worker spans hang off.  The span lands in the
+        # service's own tracer, so /debug/trace/<id> shows one tree.
+        tracer = getattr(service, "tracer", None)
+        http_span = None
+        if tracer is not None:
+            trace_id = (
+                request.trace_id if request.trace_id is not None else new_trace_id()
+            )
+            http_span = tracer.start_span(
+                "http", trace_id=trace_id, parent_id=request.parent_span_id
+            )
+            http_span.set_attribute("method", "POST")
+            http_span.set_attribute("path", "/search")
+            request = replace(
+                request, trace_id=trace_id, parent_span_id=http_span.span_id
+            )
         watcher_stop: Optional[threading.Event] = None
         if callable(getattr(service, "cancel", None)) and hasattr(
             socket, "MSG_DONTWAIT"
@@ -275,11 +379,30 @@ class _Handler(BaseHTTPRequestHandler):
             ).start()
         try:
             response = service.search(request)
+        except BaseException:
+            if http_span is not None:
+                http_span.end(status="error")
+            raise
         finally:
             if watcher_stop is not None:
                 watcher_stop.set()
+        status = status_for_error(response.error_type)
+        if http_span is not None:
+            http_span.set_attribute("status", status)
+            if response.request_id is not None:
+                http_span.set_attribute("request_id", response.request_id)
+            http_span.end(status="ok" if response.error_type is None else "error")
+        payload = response_to_dict(response)
+        # Span lists stay server-side (read them via /debug/trace/<id>);
+        # shipping them in every body would bloat the common case.
+        payload["spans"] = None
         self._send_json(
-            status_for_error(response.error_type), response_to_dict(response)
+            status,
+            payload,
+            headers={
+                "X-Trace-Id": response.trace_id or request.trace_id,
+                "X-Request-Id": response.request_id or request.request_id,
+            },
         )
 
     def _watch_disconnect(self, stop: threading.Event, request_id: str) -> None:
@@ -349,7 +472,9 @@ class _Handler(BaseHTTPRequestHandler):
                 slots[i] = error_response_dict(raw, str(exc), type(exc).__name__)
         responses = self.server.service.search_many(requests, timeout=timeout)
         for position, response in zip(positions, responses):
-            slots[position] = response_to_dict(response)
+            wire = response_to_dict(response)
+            wire["spans"] = None  # read trees via /debug/trace/<id>
+            slots[position] = wire
         self._send_json(200, {"responses": slots})
 
 

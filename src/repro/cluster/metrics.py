@@ -20,6 +20,7 @@ from collections import Counter
 from typing import Optional, Sequence
 
 from repro.service.metrics import EXPORTED_PERCENTILES, percentile
+from repro.telemetry.metrics import merge_registries
 
 __all__ = ["merge_metrics"]
 
@@ -81,6 +82,7 @@ def _merge_datasets(parts: list[dict]) -> dict:
     built: set[str] = set()
     build_seconds: dict[str, float] = {}
     versions: dict[str, set[int]] = {}
+    wal_seq: dict[str, int] = {}
     for part in parts:
         registered.update(part.get("registered", ()))
         built.update(part.get("built", ()))
@@ -90,7 +92,11 @@ def _merge_datasets(parts: list[dict]) -> dict:
             build_seconds[name] = max(build_seconds.get(name, 0.0), seconds)
         for name, version in part.get("versions", {}).items():
             versions.setdefault(name, set()).add(version)
-    return {
+        for name, seq in part.get("wal_seq", {}).items():
+            # Replicas replaying one shared log report the same logical
+            # tip; the highest is the durable truth, laggards are drift.
+            wal_seq[name] = max(wal_seq.get(name, 0), int(seq))
+    merged = {
         "registered": sorted(registered),
         "built": sorted(built),
         "build_seconds": dict(sorted(build_seconds.items())),
@@ -101,6 +107,9 @@ def _merge_datasets(parts: list[dict]) -> dict:
             name for name, seen in versions.items() if len(seen) > 1
         ),
     }
+    if wal_seq:
+        merged["wal_seq"] = dict(sorted(wal_seq.items()))
+    return merged
 
 
 def merge_metrics(parts: Sequence[dict]) -> dict:
@@ -153,4 +162,7 @@ def merge_metrics(parts: Sequence[dict]) -> dict:
     dataset_parts = [part["datasets"] for part in parts if "datasets" in part]
     if dataset_parts:
         merged["datasets"] = _merge_datasets(dataset_parts)
+    registry_parts = [part["registry"] for part in parts if "registry" in part]
+    if registry_parts:
+        merged["registry"] = merge_registries(registry_parts)
     return merged

@@ -81,6 +81,9 @@ from repro.service.service import (
     normalize_search_args,
 )
 from repro.service.wire import request_to_dict, response_from_dict
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import Tracer, new_span_id, new_trace_id
 from repro.wal.log import MutationLog
 from repro.cluster.metrics import merge_metrics
 from repro.cluster.pool import WorkerPool, control_error
@@ -134,6 +137,17 @@ class ShardedQueryService:
         fsyncs every batch, the ``"batched"`` default flushes every
         batch (a supervisor ``kill -9`` loses nothing) and fsyncs
         periodically, ``"off"`` defers flushing to rotation/close.
+    tracing:
+        Structured tracing, on by default: the supervisor mints a trace
+        id per request (or adopts the caller's), records a ``route``
+        span, and re-homes every span the worker process returns into
+        its own :class:`~repro.telemetry.Tracer` — :meth:`trace`
+        reconstructs the cross-process tree.  Forwarded to every
+        worker's private ``QueryService``; False disables both sides.
+    trace_capacity / slow_query_threshold / slow_log_capacity:
+        Supervisor-side retention knobs: how many traces the store
+        keeps, and the elapsed-seconds threshold / ring size of the
+        slow-query log (:meth:`slow_queries`; ``None`` disables it).
     """
 
     def __init__(
@@ -153,6 +167,10 @@ class ShardedQueryService:
         cancel_grace: float = 1.0,
         wal_dir: Optional[os.PathLike] = None,
         wal_sync: str = "batched",
+        tracing: bool = True,
+        trace_capacity: int = 512,
+        slow_query_threshold: Optional[float] = 1.0,
+        slow_log_capacity: int = 128,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -201,6 +219,7 @@ class ShardedQueryService:
                 "cache_ttl": cache_ttl,
                 "cooperative_cancellation": cooperative_cancellation,
                 "wals": wal_paths,
+                "tracing": tracing,
             },
             start_method=start_method,
             health_interval=health_interval,
@@ -208,7 +227,10 @@ class ShardedQueryService:
         )
         self._cooperative = cooperative_cancellation
         self._cancel_grace = cancel_grace
-        self._local_metrics = ServiceMetrics(metrics_window)
+        self.registry = MetricsRegistry()
+        self._local_metrics = ServiceMetrics(metrics_window, registry=self.registry)
+        self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
+        self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
         self._active_lock = threading.Lock()
         self._active: dict[str, int] = {}
         # One mutation stream per *dataset*: broadcasts from concurrent
@@ -220,6 +242,65 @@ class ShardedQueryService:
         self._mutate_locks: dict[str, threading.Lock] = {
             name: threading.Lock() for name in paths
         }
+        self._register_telemetry_collectors()
+
+    def _register_telemetry_collectors(self) -> None:
+        """Register fleet-state metric families, filled at export time.
+
+        Collector-driven because their sources of truth live elsewhere
+        (the pool's liveness map, the WAL's counters): the collector
+        snapshots them whenever the registry is exported, so the
+        request path never pays for fleet bookkeeping.
+        """
+        workers_total = self.registry.gauge(
+            "repro_cluster_workers", "Configured worker processes"
+        )
+        workers_alive = self.registry.gauge(
+            "repro_cluster_workers_alive", "Worker processes currently alive"
+        )
+        restarts = self.registry.counter(
+            "repro_cluster_worker_restarts_total",
+            "Crash-restarts performed by the worker pool",
+            labels=("worker",),
+        )
+        wal_seq = self.registry.gauge(
+            "repro_wal_last_seq",
+            "Newest durable WAL sequence number",
+            labels=("dataset",),
+            merge="max",
+        )
+        wal_appends = self.registry.counter(
+            "repro_wal_appends_total",
+            "Mutation batches appended to the WAL",
+            labels=("dataset",),
+        )
+        wal_fsyncs = self.registry.counter(
+            "repro_wal_fsyncs_total",
+            "fsync calls issued by the WAL",
+            labels=("dataset",),
+        )
+        wal_bytes = self.registry.counter(
+            "repro_wal_appended_bytes_total",
+            "Bytes appended to the WAL",
+            labels=("dataset",),
+        )
+
+        def collect() -> None:
+            alive = self.pool.alive()
+            workers_total.set(self.router.num_workers)
+            workers_alive.set(sum(alive.values()))
+            for worker_id, count in self.pool.restarts().items():
+                restarts.set_total(count, worker=str(worker_id))
+            for name, log in self._wals.items():
+                stats = log.stats()
+                wal_seq.set(stats.get("last_seq", 0), dataset=name)
+                wal_appends.set_total(stats.get("appends", 0), dataset=name)
+                wal_fsyncs.set_total(stats.get("fsyncs", 0), dataset=name)
+                wal_bytes.set_total(
+                    stats.get("appended_bytes", 0), dataset=name
+                )
+
+        self.registry.add_collector(collect)
 
     # ------------------------------------------------------------------
     # registry view
@@ -643,7 +724,19 @@ class ShardedQueryService:
         """
         per_worker = self.pool.metrics()
         parts = list(per_worker.values())
-        parts.append(self._local_metrics.export(include_samples=True))
+        local = self._local_metrics.export(include_samples=True)
+        local["registry"] = self.registry.export()
+        if self._wals:
+            # Workers replay the log read-only and let go of it; the
+            # supervisor's writable tip is the durable truth the merged
+            # datasets section should carry.
+            local["datasets"] = {
+                "wal_seq": {
+                    name: log.last_seq
+                    for name, log in sorted(self._wals.items())
+                }
+            }
+        parts.append(local)
         merged = merge_metrics(parts)
         if not include_samples:
             for entry in merged.get("algorithms", {}).values():
@@ -770,6 +863,14 @@ class ShardedQueryService:
         """Route and ship one request; supervisor-side failures (bad
         query, unknown dataset) come back as an immediate response."""
         start = time.perf_counter()
+        trace_id = request.trace_id
+        route_span = None
+        if self.tracer is not None:
+            if trace_id is None:
+                trace_id = new_trace_id()
+            route_span = self.tracer.start_span(
+                "route", trace_id=trace_id, parent_id=request.parent_span_id
+            )
         try:
             keywords = parse_query(request.query)
             worker_id = self.router.route(
@@ -777,14 +878,26 @@ class ShardedQueryService:
             )
         except Exception as exc:
             self._local_metrics.record_error(request.algorithm, type(exc).__name__)
+            if route_span is not None:
+                route_span.end(status="error")
             return QueryResponse(
                 request=request,
                 error=str(exc),
                 error_type=type(exc).__name__,
                 elapsed=time.perf_counter() - start,
                 exception=exc,
+                request_id=request.request_id,
+                trace_id=trace_id,
             )
         wire_request = request_to_dict(request)
+        if route_span is not None:
+            route_span.set_attribute("dataset", request.dataset)
+            route_span.set_attribute("worker", worker_id)
+            # The worker's root span hangs off the route span: the wire
+            # copy carries the context, the caller's object stays as
+            # submitted.
+            wire_request["trace_id"] = trace_id
+            wire_request["parent_span_id"] = route_span.span_id
         if not self._cooperative:
             # Control arm: the supervisor owns the deadline; the worker
             # runs every search to completion (pre-cancellation
@@ -794,18 +907,28 @@ class ShardedQueryService:
         try:
             future = self.pool.request(worker_id, wire_request)
         except PoolClosedError:
+            if route_span is not None:
+                route_span.end(status="error")
             raise  # caller bug, like searching a closed QueryService
         except Exception as exc:
             # e.g. WorkerCrashedError with restarts disabled: the shard
             # is gone, which is an answer, not an exception.
             self._local_metrics.record_error(request.algorithm, type(exc).__name__)
+            if route_span is not None:
+                route_span.end(status="error")
             return QueryResponse(
                 request=request,
                 error=str(exc),
                 error_type=type(exc).__name__,
                 elapsed=time.perf_counter() - start,
                 exception=exc,
+                request_id=request.request_id,
+                trace_id=trace_id,
             )
+        if route_span is not None:
+            route_span.end()
+            future.trace_id = trace_id  # type: ignore[attr-defined]
+            future.route_span = route_span  # type: ignore[attr-defined]
         if self._cooperative and request.request_id is not None:
             with self._active_lock:
                 self._active[request.request_id] = future.job_id  # type: ignore[attr-defined]
@@ -868,11 +991,16 @@ class ShardedQueryService:
                     if cancelled or self._cooperative
                     else "the shard worker keeps running it in the background"
                 )
-                return QueryResponse(
-                    request=request,
-                    error=f"deadline of {request.timeout}s exceeded ({suffix})",
-                    error_type=DeadlineExceededError.__name__,
-                    elapsed=request.timeout or 0.0,
+                return self._absorb_trace(
+                    request,
+                    future,
+                    QueryResponse(
+                        request=request,
+                        error=f"deadline of {request.timeout}s exceeded "
+                        f"({suffix})",
+                        error_type=DeadlineExceededError.__name__,
+                        elapsed=request.timeout or 0.0,
+                    ),
                 )
         response = response_from_dict(payload)
         if (
@@ -896,7 +1024,92 @@ class ShardedQueryService:
                 request.algorithm, WorkerCrashedError.__name__
             )
             response.exception = WorkerCrashedError(response.error)
+        return self._absorb_trace(request, future, response)
+
+    def _absorb_trace(
+        self, request: QueryRequest, future: Future, response: QueryResponse
+    ) -> QueryResponse:
+        """Re-home the worker's spans in the supervisor tracer, stamp
+        trace/request ids on the response, and feed the slow-query log.
+
+        Also synthesizes the ``queue_wait`` span — the gap between the
+        route span ending (request enqueued) and the worker's root span
+        starting — which neither process can time alone.  The response
+        hands its span list over to the tracer rather than carrying it:
+        supervisor callers read trees through :meth:`trace`.
+        """
+        if response.request_id is None:
+            response.request_id = request.request_id
+        trace_id = getattr(future, "trace_id", None)
+        if self.tracer is None or trace_id is None:
+            response.spans = None
+            return response
+        if response.trace_id is None:
+            response.trace_id = trace_id
+        route_span = getattr(future, "route_span", None)
+        spans = response.spans
+        if spans:
+            self.tracer.ingest(span for span in spans if isinstance(span, dict))
+            if route_span is not None and route_span.duration is not None:
+                route_end = route_span.started_at + route_span.duration
+                worker_start = min(
+                    (
+                        span["start"]
+                        for span in spans
+                        if isinstance(span, dict)
+                        and span.get("parent_id") == route_span.span_id
+                        and isinstance(span.get("start"), (int, float))
+                    ),
+                    default=None,
+                )
+                if worker_start is not None:
+                    self.tracer.ingest(
+                        [
+                            {
+                                "name": "queue_wait",
+                                "trace_id": trace_id,
+                                "span_id": new_span_id(),
+                                "parent_id": route_span.span_id,
+                                "start": route_end,
+                                "duration": max(0.0, worker_start - route_end),
+                                "status": "ok",
+                                "attributes": {},
+                            }
+                        ]
+                    )
+        response.spans = None
+        if (
+            self.slow_log.threshold is not None
+            and response.elapsed >= self.slow_log.threshold
+        ):
+            self.slow_log.record(
+                elapsed=response.elapsed,
+                trace_id=trace_id,
+                request={
+                    "dataset": request.dataset,
+                    "query": (
+                        request.query
+                        if isinstance(request.query, str)
+                        else list(request.query)
+                    ),
+                    "algorithm": request.algorithm,
+                    "request_id": request.request_id,
+                },
+                error_type=response.error_type,
+                span_tree=self.tracer.trace(trace_id),
+            )
         return response
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """The reconstructed cross-process span tree for ``trace_id``
+        (``None`` when unknown, evicted, or tracing is off)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.trace(trace_id)
+
+    def slow_queries(self) -> list[dict]:
+        """Supervisor-side slow-query entries, newest first."""
+        return self.slow_log.entries()
 
     def _malformed_response(self, exc: Exception) -> QueryResponse:
         self._local_metrics.record_error("invalid-request", type(exc).__name__)

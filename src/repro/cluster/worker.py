@@ -219,7 +219,7 @@ def worker_main(
         ``{dataset_name: snapshot_path_string}`` for this shard.
     settings:
         Plain dict of ``QueryService`` knobs: ``cache_capacity``,
-        ``cache_ttl``, ``cooperative_cancellation``.
+        ``cache_ttl``, ``cooperative_cancellation``, ``tracing``.
     request_queue / response_conn:
         The channel pair described in the module docstring.
     cancel_cells:
@@ -236,6 +236,7 @@ def worker_main(
         cache_ttl=settings.get("cache_ttl"),
         max_workers=1,
         cooperative_cancellation=cooperative,
+        tracing=settings.get("tracing", True),
     )
     for name, path in snapshots.items():
         service.register_snapshot(name, path)

@@ -138,12 +138,16 @@ class BackwardExpandingSearch(BaseSearch):
                 self.stats.explore()
                 self._pops_since_flush += 1
                 self._record_visit(node, idx)
+                self._profile_tick()
             peek = iterator.peek()
             if peek is not None:
                 self._schedule.push(idx, peek)
             if self._should_flush():
                 self._flush(self._edge_bound())
         return self._finish()
+
+    def _frontier_sizes(self) -> dict[str, int]:
+        return {"iterators": len(self._schedule)}
 
     # ------------------------------------------------------------------
     def _record_visit(self, node: int, iterator_idx: int) -> None:

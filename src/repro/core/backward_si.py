@@ -86,6 +86,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
             self._explored.add(node)
             self.stats.explore()
             self._pops_since_flush += 1
+            self._profile_tick()
 
             if self._table.is_complete(node):
                 paths, dists = self._table.build_paths(node)
@@ -98,6 +99,9 @@ class SingleIteratorBackwardSearch(BaseSearch):
                 self._flush(self._edge_bound())
 
         return self._finish()
+
+    def _frontier_sizes(self) -> dict[str, int]:
+        return {"queue": len(self._queue)}
 
     # ------------------------------------------------------------------
     def _expand(self, v: int) -> None:

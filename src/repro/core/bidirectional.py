@@ -101,9 +101,13 @@ class BidirectionalSearch(BaseSearch):
                 self._expand_incoming()
             else:
                 self._expand_outgoing()
+            self._profile_tick()
             if self._should_flush():
                 self._flush(self._edge_bound())
         return self._finish()
+
+    def _frontier_sizes(self) -> dict[str, int]:
+        return {"incoming": len(self._qin), "outgoing": len(self._qout)}
 
     # ------------------------------------------------------------------
     # incoming iterator (Figure 3 lines 6-14)

@@ -18,6 +18,7 @@ the output actually is.
 from __future__ import annotations
 
 from math import inf, isinf
+from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
 from repro.core.answer import OutputAnswer, SearchResult, is_minimal_rooting
@@ -26,6 +27,7 @@ from repro.core.output_heap import OutputHeap
 from repro.core.params import SearchParams
 from repro.core.scoring import Scorer
 from repro.core.stats import SearchStats
+from repro.telemetry.trace import current_span
 
 __all__ = ["BaseSearch", "nra_edge_bound", "frontier_minima"]
 
@@ -87,12 +89,64 @@ class BaseSearch:
         self._pops_since_flush = 0
         self._done = False
         self._stopped_by_cancel = False
+        # Tracing: the ambient span (if any) receives an end-of-run
+        # summary plus, when ``trace_every_n_pops`` is set, a sampled
+        # trajectory.  With no span active every hook below reduces to
+        # one falsy check per pop.
+        self.span = current_span()
+        self._sample_every = (
+            self.params.trace_every_n_pops if self.span is not None else 0
+        )
+        self._samples: list[dict] = []
+        self._emit_seconds = 0.0
+        self._t_start = perf_counter() if self.span is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def _frontier_sizes(self) -> dict[str, int]:
+        """Per-side frontier sizes, overridden by each algorithm."""
+        return {}
+
+    def _profile_tick(self) -> None:
+        """Record a trajectory sample every ``trace_every_n_pops`` pops.
+
+        Called once per pop by every main loop; the common (sampling
+        off) case is a single falsy check.
+        """
+        every = self._sample_every
+        if every and self.stats.nodes_explored % every == 0:
+            self._samples.append(
+                {
+                    "pops": self.stats.nodes_explored,
+                    "touched": self.stats.nodes_touched,
+                    "answers_output": self.stats.answers_output,
+                    "elapsed": perf_counter() - self._t_start,
+                    "frontiers": self._frontier_sizes(),
+                }
+            )
+
+    @property
+    def emit_seconds(self) -> float:
+        """Cumulative time spent scoring/releasing answers (only
+        measured while a span is active)."""
+        return self._emit_seconds
 
     # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
     def _emit_tree(self, root, paths, dists) -> None:
         """Score and buffer a candidate tree (Figure 3 EMIT)."""
+        if self.span is None:
+            self._emit_tree_now(root, paths, dists)
+            return
+        t0 = perf_counter()
+        try:
+            self._emit_tree_now(root, paths, dists)
+        finally:
+            self._emit_seconds += perf_counter() - t0
+
+    def _emit_tree_now(self, root, paths, dists) -> None:
         if not is_minimal_rooting(root, paths):
             return
         tree = self.scorer.build_tree(root, paths, dists)
@@ -126,6 +180,16 @@ class BaseSearch:
     def _flush(self, edge_bound: float) -> None:
         """Release buffered answers the bound allows; sets ``_done`` when
         the top-k quota is filled."""
+        if self.span is None:
+            self._flush_now(edge_bound)
+            return
+        t0 = perf_counter()
+        try:
+            self._flush_now(edge_bound)
+        finally:
+            self._emit_seconds += perf_counter() - t0
+
+    def _flush_now(self, edge_bound: float) -> None:
         if self.params.output_mode == "exact":
             score_bound = self.scorer.score_upper_bound(edge_bound, self.k)
             ready = self.output.pop_ready(score_bound=score_bound)
@@ -200,6 +264,25 @@ class BaseSearch:
         elif not self._done:
             self._drain()
         self.stats.finish()
+        span = self.span
+        if span is not None:
+            span.set_attributes(
+                {
+                    "pops": self.stats.nodes_explored,
+                    "nodes_touched": self.stats.nodes_touched,
+                    "edges_explored": self.stats.edges_explored,
+                    "answers_generated": self.stats.answers_generated,
+                    "answers_output": self.stats.answers_output,
+                    "duplicates_discarded": self.stats.duplicates_discarded,
+                    "complete": self._result.complete,
+                    "frontiers": self._frontier_sizes(),
+                }
+            )
+            if self._result.cancel_reason is not None:
+                span.set_attribute("cancel_reason", self._result.cancel_reason)
+            if self._samples:
+                span.set_attribute("profile_every", self._sample_every)
+                span.set_attribute("profile", list(self._samples))
         return self._result
 
     # ------------------------------------------------------------------

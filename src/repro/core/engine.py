@@ -28,8 +28,16 @@ from repro.core.params import SearchParams
 from repro.core.scoring import Scorer
 from repro.errors import EmptyQueryError, KeywordNotFoundError
 from repro.index.tokenizer import tokenize
+from repro.telemetry.trace import current_span, use_span
 
 __all__ = ["KeywordSearchEngine", "parse_query", "ALGORITHMS"]
+
+#: Short stage names used in span labels (``expand[bidir]``).
+_SPAN_ALGO = {
+    "bidirectional": "bidir",
+    "si-backward": "si",
+    "mi-backward": "mi",
+}
 
 _QUERY_TOKEN_RE = re.compile(r'"([^"]*)"|(\S+)')
 
@@ -183,16 +191,74 @@ class KeywordSearchEngine:
         run_params = params if params is not None else self.params
         if k is not None:
             run_params = run_params.with_(max_results=k)
-        keywords, keyword_sets = self.resolve(query)
-        search = search_cls(
-            self.graph,
-            keywords,
-            keyword_sets,
-            params=run_params,
-            scorer=self.scorer_for(run_params.lam),
-            token=token,
+        parent = current_span()
+        if parent is None:
+            keywords, keyword_sets = self.resolve(query)
+            search = search_cls(
+                self.graph,
+                keywords,
+                keyword_sets,
+                params=run_params,
+                scorer=self.scorer_for(run_params.lam),
+                token=token,
+            )
+            return search.run()
+        return self._traced_search(
+            parent, search_cls, query, algorithm, run_params, token
         )
-        return search.run()
+
+    def _traced_search(
+        self, parent, search_cls, query, algorithm, run_params, token
+    ) -> SearchResult:
+        """The engine-stage spans: ``resolve`` → ``expand[...]`` →
+        ``emit`` as children of the ambient span.
+
+        The ``emit`` span is synthesized from the time the search spent
+        scoring and releasing answers — emission interleaves with
+        expansion, so it is an accumulated duration, not a wall-clock
+        interval.
+        """
+        resolve_span = parent.child("resolve")
+        try:
+            keywords, keyword_sets = self.resolve(query)
+        except BaseException:
+            resolve_span.end(status="error")
+            raise
+        resolve_span.set_attributes(
+            {
+                "keywords": len(keywords),
+                "origin_nodes": sum(len(nodes) for nodes in keyword_sets),
+            }
+        )
+        resolve_span.end()
+        expand_span = parent.child(
+            f"expand[{_SPAN_ALGO.get(algorithm, algorithm)}]"
+        )
+        try:
+            with use_span(expand_span):
+                search = search_cls(
+                    self.graph,
+                    keywords,
+                    keyword_sets,
+                    params=run_params,
+                    scorer=self.scorer_for(run_params.lam),
+                    token=token,
+                )
+                result = search.run()
+        except BaseException:
+            expand_span.end(status="error")
+            raise
+        expand_span.end()
+        emit_span = parent.child("emit")
+        emit_span.set_attributes(
+            {
+                "answers_generated": result.stats.answers_generated,
+                "answers_output": result.stats.answers_output,
+                "duplicates_discarded": result.stats.duplicates_discarded,
+            }
+        )
+        emit_span.end(duration=float(getattr(search, "emit_seconds", 0.0)))
+        return result
 
     def scorer_for(self, lam: float) -> Scorer:
         """The memoized :class:`Scorer` for ``lam``.

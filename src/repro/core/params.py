@@ -59,6 +59,12 @@ class SearchParams:
         sources (deadline clock, external cancel channel).  Bounds the
         overrun of a cancelled search at ~2 intervals of pops; the
         service layers forward it as the token's ``check_every``.
+    trace_every_n_pops:
+        Sampling interval of the per-stage search profiler: every this
+        many pops, the search records a trajectory sample (pops,
+        touched, frontier sizes, elapsed) into the active trace span.
+        ``0`` (the default) disables sampling; the end-of-run summary
+        attributes are recorded either way whenever a span is active.
     """
 
     mu: float = 0.5
@@ -71,6 +77,7 @@ class SearchParams:
     flush_interval: int = 16
     max_combos_per_node: int = 64
     cancel_check_interval: int = 32
+    trace_every_n_pops: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mu <= 1.0:
@@ -104,6 +111,11 @@ class SearchParams:
             raise ValueError(
                 f"cancel_check_interval must be >= 1, got "
                 f"{self.cancel_check_interval!r}"
+            )
+        if self.trace_every_n_pops < 0:
+            raise ValueError(
+                f"trace_every_n_pops must be >= 0, got "
+                f"{self.trace_every_n_pops!r}"
             )
 
     def with_(self, **changes) -> "SearchParams":

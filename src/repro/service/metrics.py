@@ -10,6 +10,12 @@ Latencies are kept in a bounded per-algorithm reservoir (most recent
 ``window`` samples): a long-lived service must not grow memory with
 query count, and recent samples are the ones percentile alerts care
 about anyway.
+
+When constructed with a :class:`~repro.telemetry.MetricsRegistry`, the
+same events additionally feed Prometheus-style families (request
+counters, error counters, bucketed latency histograms) — the mergeable,
+scrapeable view.  :meth:`export` keeps its exact historical shape either
+way; the registry is exported separately by the owning service.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from collections import Counter, deque
 from typing import Optional
 
 import numpy as np
+
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["ServiceMetrics", "percentile"]
 
@@ -39,7 +47,9 @@ def percentile(samples: list[float], q: float) -> Optional[float]:
 class ServiceMetrics:
     """Thread-safe counters and latency reservoirs for one service."""
 
-    def __init__(self, window: int = 2048) -> None:
+    def __init__(
+        self, window: int = 2048, *, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window!r}")
         self._window = window
@@ -52,6 +62,42 @@ class ServiceMetrics:
         self._overrun_seconds = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._registry = registry
+        if registry is not None:
+            self._req_counter = registry.counter(
+                "repro_requests_total",
+                "Requests handled (including errors)",
+                labels=("algorithm",),
+            )
+            self._err_counter = registry.counter(
+                "repro_errors_total",
+                "Requests that ended in a structured error",
+                labels=("type",),
+            )
+            self._cancel_counter = registry.counter(
+                "repro_cancellations_total",
+                "Cooperatively stopped searches",
+                labels=("reason",),
+            )
+            self._reclaimed_counter = registry.counter(
+                "repro_cancel_reclaimed_seconds_total",
+                "Deadline budget handed back by cooperative cancellation",
+            )
+            self._overrun_counter = registry.counter(
+                "repro_cancel_overrun_seconds_total",
+                "Time searches ran past their deadline before stopping",
+            )
+            self._hit_counter = registry.counter(
+                "repro_cache_hits_total", "Result cache hits"
+            )
+            self._miss_counter = registry.counter(
+                "repro_cache_misses_total", "Result cache misses"
+            )
+            self._latency_hist = registry.histogram(
+                "repro_request_latency_seconds",
+                "Uncached request latency",
+                labels=("algorithm",),
+            )
 
     # ------------------------------------------------------------------
     # recording
@@ -70,20 +116,33 @@ class ServiceMetrics:
         """
         with self._lock:
             self._requests[algorithm] += 1
-            if cached is True:
+            if cached is not True:
+                if cached is False:
+                    self._cache_misses += 1
+                reservoir = self._latencies.get(algorithm)
+                if reservoir is None:
+                    reservoir = self._latencies[algorithm] = deque(
+                        maxlen=self._window
+                    )
+                reservoir.append(float(seconds))
+            else:
                 self._cache_hits += 1
-                return
-            if cached is False:
-                self._cache_misses += 1
-            reservoir = self._latencies.get(algorithm)
-            if reservoir is None:
-                reservoir = self._latencies[algorithm] = deque(maxlen=self._window)
-            reservoir.append(float(seconds))
+        if self._registry is not None:
+            self._req_counter.inc(algorithm=algorithm)
+            if cached is True:
+                self._hit_counter.inc()
+            else:
+                if cached is False:
+                    self._miss_counter.inc()
+                self._latency_hist.observe(float(seconds), algorithm=algorithm)
 
     def record_error(self, algorithm: str, error_type: str) -> None:
         with self._lock:
             self._requests[algorithm] += 1
             self._errors[error_type] += 1
+        if self._registry is not None:
+            self._req_counter.inc(algorithm=algorithm)
+            self._err_counter.inc(type=error_type)
 
     def record_cancellation(
         self,
@@ -114,12 +173,15 @@ class ServiceMetrics:
         the check interval, and the number to alert on if a
         non-cooperative section ever grows.
         """
+        bucket = "deadline_exceeded" if reason == "deadline" else "cancelled"
         with self._lock:
-            self._cancellations[
-                "deadline_exceeded" if reason == "deadline" else "cancelled"
-            ] += 1
+            self._cancellations[bucket] += 1
             self._reclaimed_seconds += max(0.0, reclaimed_seconds)
             self._overrun_seconds += max(0.0, overrun_seconds)
+        if self._registry is not None:
+            self._cancel_counter.inc(reason=bucket)
+            self._reclaimed_counter.inc(max(0.0, reclaimed_seconds))
+            self._overrun_counter.inc(max(0.0, overrun_seconds))
 
     # ------------------------------------------------------------------
     # export

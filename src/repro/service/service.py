@@ -79,6 +79,9 @@ from repro.errors import (
 )
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import Tracer, new_trace_id, use_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.live.dataset import MutableDataset
@@ -210,6 +213,15 @@ class QueryRequest:
         Optional caller-chosen id making the request cancellable
         mid-flight via ``cancel(request_id)`` on either service tier
         (and ``DELETE /search/<id>`` over HTTP).
+    trace_id:
+        Trace this request belongs to.  Minted at the outermost layer
+        that sees the request (the HTTP front door, the cluster
+        supervisor, or the service itself when absent) and echoed on
+        the response; all spans the request produces share it.
+    parent_span_id:
+        Span id the executing service should parent its ``worker`` span
+        under — how the supervisor's ``route`` span and the worker
+        process's spans join into one tree.
     """
 
     dataset: str
@@ -222,6 +234,8 @@ class QueryRequest:
     use_cache: bool = True
     allow_partial: bool = False
     request_id: Optional[str] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, (str, tuple)):
@@ -263,6 +277,18 @@ class QueryResponse:
     error_type: Optional[str] = None
     cached: bool = False
     elapsed: float = 0.0
+    #: Echo of ``request.request_id`` — present on every path (success,
+    #: error, deadline, cancel) so callers correlate without keeping the
+    #: request object around.
+    request_id: Optional[str] = None
+    #: The trace this response belongs to (minted by the executing
+    #: service when the request carried none); key into
+    #: ``service.trace(...)`` / ``GET /debug/trace/<id>``.
+    trace_id: Optional[str] = None
+    #: Finished span dicts produced while executing this request — how
+    #: spans cross the worker→supervisor process boundary (the
+    #: supervisor ingests and clears them).
+    spans: Optional[list] = field(default=None, repr=False)
     #: The original exception object, for in-process callers that want
     #: exception semantics back (``error``/``error_type`` carry the
     #: wire-friendly view; a deadline miss has no exception object).
@@ -392,13 +418,20 @@ class QueryService:
         clock: Callable[[], float] = time.monotonic,
         cooperative_cancellation: bool = True,
         cancel_grace: float = 1.0,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_query_threshold: Optional[float] = 1.0,
+        slow_log_capacity: int = 128,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
         if cancel_grace < 0:
             raise ValueError(f"cancel_grace must be >= 0, got {cancel_grace!r}")
         self.cache = ResultCache(cache_capacity, cache_ttl, clock=clock)
-        self._metrics = ServiceMetrics(metrics_window)
+        self.registry = MetricsRegistry()
+        self._metrics = ServiceMetrics(metrics_window, registry=self.registry)
+        self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
+        self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
         self._max_workers = max_workers
         self._cooperative = cooperative_cancellation
         self._cancel_grace = cancel_grace
@@ -418,6 +451,101 @@ class QueryService:
         self._active_lock = threading.Lock()
         self._active: dict[str, CancellationToken] = {}
         self._closed = False
+        self._register_telemetry_collectors()
+
+    def _register_telemetry_collectors(self) -> None:
+        """Declare the service/live/wal metric families and the
+        export-time collector that reads their live state."""
+        registry = self.registry
+        cache_entries = registry.gauge(
+            "repro_cache_entries", "Result cache entries currently held"
+        )
+        cache_capacity = registry.gauge(
+            "repro_cache_capacity", "Result cache capacity"
+        )
+        cache_evictions = registry.counter(
+            "repro_cache_evictions_total", "Result cache LRU evictions"
+        )
+        cache_expirations = registry.counter(
+            "repro_cache_expirations_total", "Result cache TTL expirations"
+        )
+        datasets_built = registry.gauge(
+            "repro_datasets_built", "Datasets with a built engine"
+        )
+        dataset_version = registry.gauge(
+            "repro_dataset_version",
+            "Live-mutation epoch per dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        wal_last_seq = registry.gauge(
+            "repro_wal_last_seq",
+            "Last durable WAL sequence number per dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        wal_appends = registry.counter(
+            "repro_wal_appends_total",
+            "WAL records appended",
+            labels=("dataset",),
+        )
+        wal_fsyncs = registry.counter(
+            "repro_wal_fsyncs_total",
+            "WAL fsync calls",
+            labels=("dataset",),
+        )
+        wal_bytes = registry.counter(
+            "repro_wal_appended_bytes_total",
+            "WAL bytes appended",
+            labels=("dataset",),
+        )
+        wal_replayed = registry.counter(
+            "repro_wal_replayed_records_total",
+            "WAL records replayed during recovery",
+            labels=("dataset",),
+        )
+        registry.counter(
+            "repro_mutations_applied_total",
+            "Mutation batches committed",
+            labels=("dataset",),
+        )
+
+        def collect() -> None:
+            stats = self.cache.stats()
+            cache_entries.set(stats["size"])
+            cache_capacity.set(stats["capacity"])
+            cache_evictions.set_total(stats["evictions"])
+            cache_expirations.set_total(stats["expirations"])
+            with self._registry_lock:
+                registered = sorted(
+                    self._engines.keys()
+                    | self._factories.keys()
+                    | self._mutable.keys()
+                )
+                built = len(self._engines.keys() | self._mutable.keys())
+                versions = {
+                    name: self._effective_version_locked(name)
+                    for name in registered
+                }
+                logs = dict(self._wals)
+            datasets_built.set(built)
+            for name, version in versions.items():
+                dataset_version.set(version, dataset=name)
+            for name, log in logs.items():
+                wal_stats = log.stats()
+                wal_last_seq.set(wal_stats["last_seq"], dataset=name)
+                wal_appends.set_total(
+                    wal_stats.get("appends", 0), dataset=name
+                )
+                wal_fsyncs.set_total(wal_stats.get("fsyncs", 0), dataset=name)
+                wal_bytes.set_total(
+                    wal_stats.get("appended_bytes", 0), dataset=name
+                )
+                wal_replayed.set_total(
+                    wal_stats.get("replayed_records", 0), dataset=name
+                )
+
+        registry.add_collector(collect)
 
     # ------------------------------------------------------------------
     # registry
@@ -1009,6 +1137,9 @@ class QueryService:
         purged = self.cache.purge(
             lambda key: key[0] == dataset and key[-1] != version
         )
+        self.registry.counter("repro_mutations_applied_total").inc(
+            dataset=dataset
+        )
         from repro.live.mutations import MutationResult
 
         return MutationResult(
@@ -1190,10 +1321,20 @@ class QueryService:
             exported["datasets"]["wal_seq"] = {
                 name: log.last_seq for name, log in sorted(logs.items())
             }
+        exported["registry"] = self.registry.export()
         return exported
 
     def reset_metrics(self) -> None:
         self._metrics.reset()
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """The reconstructed span tree for ``trace_id``, or None (absent
+        trace, or tracing disabled)."""
+        return self.tracer.trace(trace_id) if self.tracer is not None else None
+
+    def slow_queries(self) -> list[dict]:
+        """Slow-query log entries, newest first (see :class:`SlowQueryLog`)."""
+        return self.slow_log.entries()
 
     def close(self, *, wait: bool = True) -> None:
         """Shut the executor down (idempotent); engines stay usable.
@@ -1301,7 +1442,9 @@ class QueryService:
                         max_workers=self._max_workers,
                         thread_name_prefix="repro-query",
                     )
-                future = self._executor.submit(self._execute, request, record, armed)
+                future = self._executor.submit(
+                    self._execute, request, record, armed, time.time()
+                )
                 return future, record, armed
         except BaseException:
             if registered:
@@ -1374,6 +1517,8 @@ class QueryService:
             error=f"deadline of {request.timeout}s exceeded ({suffix})",
             error_type=DeadlineExceededError.__name__,
             elapsed=request.timeout or 0.0,
+            request_id=request.request_id,
+            trace_id=request.trace_id,
         )
 
     def _execute(
@@ -1381,6 +1526,7 @@ class QueryService:
         request: QueryRequest,
         record: Optional[_Once] = None,
         token: Optional[CancellationToken] = None,
+        submitted_at: Optional[float] = None,
     ) -> QueryResponse:
         """Run one request, never raising — any failure (library error,
         broken factory, engine bug) becomes a structured error response,
@@ -1395,7 +1541,7 @@ class QueryService:
         # actual registration for the inline no-deadline path.
         registered = self._register_active(request, token)
         try:
-            return self._execute_inner(request, record, token)
+            return self._execute_inner(request, record, token, submitted_at)
         finally:
             if registered:
                 self._unregister_active(request, token)
@@ -1405,6 +1551,97 @@ class QueryService:
         request: QueryRequest,
         record: Optional[_Once],
         token: Optional[CancellationToken],
+        submitted_at: Optional[float] = None,
+    ) -> QueryResponse:
+        """Trace wrapper around :meth:`_run_request`: mints the trace id
+        when the request carries none, opens the ``worker`` root span,
+        synthesizes ``queue_wait`` from the executor hand-off gap, and
+        stamps ``request_id`` / ``trace_id`` / ``spans`` onto whatever
+        response comes back (every path, success or error)."""
+        tracer = self.tracer
+        if tracer is None:
+            response = self._run_request(request, record, token, None)
+            response.request_id = request.request_id
+            response.trace_id = request.trace_id
+            return response
+        trace_id = request.trace_id or new_trace_id()
+        root = tracer.start_span(
+            "worker", trace_id=trace_id, parent_id=request.parent_span_id
+        )
+        if submitted_at is not None:
+            root.child("queue_wait").end(
+                duration=max(0.0, root.started_at - submitted_at)
+            )
+        try:
+            response = self._run_request(request, record, token, root)
+        except BaseException:
+            root.end(status="error")
+            raise
+        root.set_attributes(
+            {
+                "dataset": request.dataset,
+                "algorithm": request.algorithm,
+                "cached": response.cached,
+            }
+        )
+        if request.request_id is not None:
+            root.set_attribute("request_id", request.request_id)
+        if response.error_type is not None:
+            root.set_attribute("error_type", response.error_type)
+        root.end(status="ok" if response.ok else "error")
+        response.request_id = request.request_id
+        response.trace_id = trace_id
+        response.spans = tracer.spans_for(trace_id)
+        self._maybe_record_slow(request, response, trace_id)
+        return response
+
+    def _maybe_record_slow(
+        self, request: QueryRequest, response: QueryResponse, trace_id: str
+    ) -> None:
+        if (
+            self.slow_log.threshold is None
+            or response.elapsed < self.slow_log.threshold
+        ):
+            return
+        span_tree = (
+            self.tracer.trace(trace_id) if self.tracer is not None else None
+        )
+        self.slow_log.record(
+            elapsed=response.elapsed,
+            trace_id=trace_id,
+            request={
+                "dataset": request.dataset,
+                "query": (
+                    request.query
+                    if isinstance(request.query, str)
+                    else list(request.query)
+                ),
+                "algorithm": request.algorithm,
+                "request_id": request.request_id,
+            },
+            error_type=response.error_type,
+            span_tree=span_tree,
+        )
+
+    @staticmethod
+    def _call_engine(engine, request, run_params, token):
+        if token is not None:
+            return engine.search(
+                request.query,
+                algorithm=request.algorithm,
+                params=run_params,
+                token=token,
+            )
+        return engine.search(
+            request.query, algorithm=request.algorithm, params=run_params
+        )
+
+    def _run_request(
+        self,
+        request: QueryRequest,
+        record: Optional[_Once],
+        token: Optional[CancellationToken],
+        root,
     ) -> QueryResponse:
         start = time.perf_counter()
         try:
@@ -1428,6 +1665,12 @@ class QueryService:
         except Exception as exc:
             return self._error_response(request, exc, start, record)
 
+        if root is not None:
+            root.set_attribute("dataset_version", version)
+            wal = self._wals.get(request.dataset)
+            if wal is not None:
+                root.set_attribute("wal_seq", wal.last_seq)
+
         if request.use_cache:
             cached = self.cache.get(key, _MISS)
             if cached is not _MISS:
@@ -1436,26 +1679,36 @@ class QueryService:
                     self._metrics.record_request(
                         request.algorithm, elapsed, cached=True
                     )
+                if root is not None:
+                    root.set_attribute("cache", "hit")
                 return QueryResponse(
                     request=request, result=cached, cached=True, elapsed=elapsed
                 )
+        if root is not None:
+            root.set_attribute(
+                "cache", "miss" if request.use_cache else "bypass"
+            )
 
+        search = engine.search
+        run_token = (
+            token
+            if token is not None
+            and _accepts_token(getattr(search, "__func__", search))
+            else None
+        )
+        engine_span = root.child("engine") if root is not None else None
         try:
-            search = engine.search
-            if token is not None and _accepts_token(
-                getattr(search, "__func__", search)
-            ):
-                result = engine.search(
-                    request.query,
-                    algorithm=request.algorithm,
-                    params=run_params,
-                    token=token,
-                )
+            if engine_span is not None:
+                with use_span(engine_span):
+                    result = self._call_engine(
+                        engine, request, run_params, run_token
+                    )
+                engine_span.end()
             else:
-                result = engine.search(
-                    request.query, algorithm=request.algorithm, params=run_params
-                )
+                result = self._call_engine(engine, request, run_params, run_token)
         except Exception as exc:
+            if engine_span is not None:
+                engine_span.end(status="error")
             return self._error_response(request, exc, start, record)
         if not result.complete:
             return self._cancelled_response(request, result, start, record, token)

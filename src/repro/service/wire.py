@@ -94,6 +94,8 @@ def request_to_dict(request: QueryRequest) -> dict:
         "use_cache": request.use_cache,
         "allow_partial": request.allow_partial,
         "request_id": request.request_id,
+        "trace_id": request.trace_id,
+        "parent_span_id": request.parent_span_id,
     }
 
 
@@ -125,6 +127,8 @@ def request_from_dict(data: dict) -> QueryRequest:
     _check_type(data, "use_cache", (bool,), "flag")
     _check_type(data, "allow_partial", (bool,), "flag")
     _check_type(data, "request_id", (str,), "request id")
+    _check_type(data, "trace_id", (str,), "trace id")
+    _check_type(data, "parent_span_id", (str,), "span id")
     query = data["query"]
     if not isinstance(query, str) and not all(
         isinstance(keyword, str) for keyword in query
@@ -157,6 +161,8 @@ def request_from_dict(data: dict) -> QueryRequest:
         use_cache=data.get("use_cache", True),
         allow_partial=data.get("allow_partial", False),
         request_id=data.get("request_id"),
+        trace_id=data.get("trace_id"),
+        parent_span_id=data.get("parent_span_id"),
     )
 
 
@@ -271,6 +277,9 @@ def response_to_dict(response: QueryResponse) -> dict:
         "error_type": response.error_type,
         "cached": response.cached,
         "elapsed": response.elapsed,
+        "request_id": response.request_id,
+        "trace_id": response.trace_id,
+        "spans": response.spans,
     }
 
 
@@ -288,13 +297,17 @@ def error_response_dict(
     ``QueryResponse`` in hand; sharing the literal keeps the shape in
     the module that owns the format.
     """
+    raw = request if isinstance(request, dict) else None
     return {
-        "request": request if isinstance(request, dict) else None,
+        "request": raw,
         "result": None,
         "error": error,
         "error_type": error_type,
         "cached": False,
         "elapsed": elapsed,
+        "request_id": raw.get("request_id") if raw else None,
+        "trace_id": raw.get("trace_id") if raw else None,
+        "spans": None,
     }
 
 
@@ -309,4 +322,7 @@ def response_from_dict(data: dict) -> QueryResponse:
         error_type=data.get("error_type"),
         cached=data.get("cached", False),
         elapsed=data.get("elapsed", 0.0),
+        request_id=data.get("request_id"),
+        trace_id=data.get("trace_id"),
+        spans=data.get("spans"),
     )

@@ -1,0 +1,58 @@
+"""Unified telemetry: structured tracing, metric families, slow-query log.
+
+Stdlib-only observability for the whole serving stack.  Three pieces:
+
+* :mod:`repro.telemetry.trace` — ``Tracer`` / ``Span`` / ``TraceStore``:
+  one ``trace_id`` per query, a span tree crossing thread and process
+  boundaries (``http → route → queue_wait → worker → engine``);
+* :mod:`repro.telemetry.metrics` — ``MetricsRegistry``: counters,
+  gauges and bucketed histograms every layer registers into, exported
+  as JSON or Prometheus text exposition, mergeable across replicas;
+* :mod:`repro.telemetry.slowlog` — ``SlowQueryLog``: a ring buffer of
+  span trees for queries over a latency threshold.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and the full list
+of exported metric families.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+    render_prometheus,
+)
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import (
+    Span,
+    Tracer,
+    TraceStore,
+    build_span_tree,
+    current_span,
+    new_span_id,
+    new_trace_id,
+    render_span_tree,
+    use_span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "render_prometheus",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "TraceStore",
+    "build_span_tree",
+    "current_span",
+    "new_span_id",
+    "new_trace_id",
+    "render_span_tree",
+    "use_span",
+]

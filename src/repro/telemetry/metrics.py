@@ -1,0 +1,486 @@
+"""Central metrics registry: counters, gauges, bucketed histograms.
+
+Every layer of the stack registers families here — the service cache,
+cluster pool health, live-mutation dataset versions, WAL append/fsync
+counters — and two consumers read them back:
+
+* ``QueryService.metrics()`` / ``ShardedQueryService.metrics()`` embed
+  :meth:`MetricsRegistry.export` (a JSON-safe dict) under a
+  ``"registry"`` key, and :func:`merge_registries` combines the exports
+  of many replicas into one fleet view;
+* the HTTP front-end renders the same export as Prometheus text
+  exposition (``/metrics?format=prometheus``) via
+  :func:`render_prometheus`.
+
+Unlike :class:`~repro.service.metrics.ServiceMetrics` (whose reservoir
+percentiles are exact but unmergeable without shipping samples),
+histogram buckets merge across replicas by plain addition — the trade
+the whole Prometheus ecosystem makes.
+
+Two ways to feed a family:
+
+* *event-driven*: call ``inc`` / ``observe`` / ``set`` at the point the
+  thing happens (request counters, latency histograms);
+* *collector-driven*: register a callback with :meth:`add_collector`
+  that reads live state (cache sizes, WAL sequence numbers) and sets
+  gauges/counters; collectors run at export time, so scrapes always see
+  current values without per-event bookkeeping.
+
+Stdlib only; thread-safe behind one registry-wide lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "render_prometheus",
+]
+
+#: Default histogram buckets (seconds), Prometheus-style log-ish ladder.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_Number = Union[int, float]
+
+
+def _bucket_label(bound: float) -> str:
+    return format(bound, "g")
+
+
+class _Family:
+    """Shared machinery: label validation and keyed sample storage."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str],
+        lock: threading.RLock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = tuple(labels)
+        self._lock = lock
+        self._samples: dict = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labels):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.labels)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labels)
+
+    def _label_dict(self, key: tuple) -> dict:
+        return dict(zip(self.labels, key))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def export(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """A monotonically increasing total; merges across replicas by sum."""
+
+    kind = "counter"
+
+    def inc(self, amount: _Number = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def set_total(self, value: _Number, **labels: str) -> None:
+        """Overwrite the running total — for collector-driven counters
+        whose true source of increments lives elsewhere (WAL stats)."""
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = value
+
+    def value(self, **labels: str) -> _Number:
+        with self._lock:
+            return self._samples.get(self._key(labels), 0)
+
+    def export(self) -> dict:
+        with self._lock:
+            samples = [
+                {"labels": self._label_dict(key), "value": value}
+                for key, value in sorted(self._samples.items())
+            ]
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labels),
+            "samples": samples,
+        }
+
+
+class Gauge(_Family):
+    """A value that can go both ways.  ``merge`` picks the cross-replica
+    combine: ``"sum"`` (sizes, queue depths) or ``"max"`` (versions,
+    sequence numbers — where replicas report the same logical quantity).
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str],
+        lock: threading.RLock,
+        merge: str = "sum",
+    ) -> None:
+        if merge not in ("sum", "max"):
+            raise ValueError(f"{name}: merge must be 'sum' or 'max', got {merge!r}")
+        super().__init__(name, help_text, labels, lock)
+        self.merge = merge
+
+    def set(self, value: _Number, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = value
+
+    def inc(self, amount: _Number = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def dec(self, amount: _Number = 1, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> _Number:
+        with self._lock:
+            return self._samples.get(self._key(labels), 0)
+
+    def export(self) -> dict:
+        with self._lock:
+            samples = [
+                {"labels": self._label_dict(key), "value": value}
+                for key, value in sorted(self._samples.items())
+            ]
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labels),
+            "merge": self.merge,
+            "samples": samples,
+        }
+
+
+class Histogram(_Family):
+    """Bucketed distribution.  Exported bucket counts are *cumulative*
+    (Prometheus ``le`` semantics), which keeps the merge a plain
+    per-bucket sum."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str],
+        lock: threading.RLock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labels, lock)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"{name}: at least one bucket bound required")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"{name}: duplicate bucket bounds")
+        self.buckets = bounds
+
+    def observe(self, value: _Number, **labels: str) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._samples.get(key)
+            if state is None:
+                state = self._samples[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            state["counts"][index] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    def export(self) -> dict:
+        with self._lock:
+            samples = []
+            for key, state in sorted(self._samples.items()):
+                cumulative: dict[str, int] = {}
+                running = 0
+                for bound, count in zip(self.buckets, state["counts"]):
+                    running += count
+                    cumulative[_bucket_label(bound)] = running
+                cumulative["+Inf"] = state["count"]
+                samples.append(
+                    {
+                        "labels": self._label_dict(key),
+                        "buckets": cumulative,
+                        "sum": state["sum"],
+                        "count": state["count"],
+                    }
+                )
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labels),
+            "samples": samples,
+        }
+
+
+class MetricsRegistry:
+    """Owns metric families and export-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _get_or_create(self, cls, name: str, factory) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}"
+                    )
+                return family
+            family = self._families[name] = factory()
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(  # type: ignore[return-value]
+            Counter, name, lambda: Counter(name, help_text, labels, self._lock)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        merge: str = "sum",
+    ) -> Gauge:
+        return self._get_or_create(  # type: ignore[return-value]
+            Gauge, name, lambda: Gauge(name, help_text, labels, self._lock, merge)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram,
+            name,
+            lambda: Histogram(name, help_text, labels, self._lock, buckets),
+        )
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run at every export, before families are
+        read — the hook that turns live state into gauge values."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+
+    def export(self) -> dict:
+        """Run collectors, then snapshot every family as JSON-safe data."""
+        self.collect()
+        with self._lock:
+            families = dict(self._families)
+        return {name: families[name].export() for name in sorted(families)}
+
+    def reset(self) -> None:
+        """Zero every family's samples (families stay registered)."""
+        with self._lock:
+            for family in self._families.values():
+                family.clear()
+
+
+# ----------------------------------------------------------------------
+# cross-replica merge
+# ----------------------------------------------------------------------
+def _merge_value(kind: str, merge: str, left: _Number, right: _Number) -> _Number:
+    if kind == "gauge" and merge == "max":
+        return max(left, right)
+    return left + right
+
+
+def merge_registries(parts: Iterable[Optional[dict]]) -> dict:
+    """Combine :meth:`MetricsRegistry.export` dicts from many replicas.
+
+    Counters and histograms add; gauges follow their declared ``merge``
+    mode.  A family or label set present in only some replicas merges
+    from the replicas that have it — heterogeneous fleets (a worker
+    mid-restart, a replica without a dataset) must not KeyError.
+    """
+    merged: dict[str, dict] = {}
+    for part in parts:
+        if not isinstance(part, dict):
+            continue
+        for name, family in part.items():
+            if not isinstance(family, dict):
+                continue
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {
+                    key: value
+                    for key, value in family.items()
+                    if key != "samples"
+                }
+                target["samples"] = {}
+            kind = family.get("type", "untyped")
+            merge_mode = family.get("merge", "sum")
+            for sample in family.get("samples", ()):
+                labels = sample.get("labels", {})
+                key = tuple(sorted(labels.items()))
+                existing = target["samples"].get(key)
+                if kind == "histogram":
+                    if existing is None:
+                        target["samples"][key] = {
+                            "labels": dict(labels),
+                            "buckets": dict(sample.get("buckets", {})),
+                            "sum": sample.get("sum", 0.0),
+                            "count": sample.get("count", 0),
+                        }
+                    else:
+                        buckets = existing["buckets"]
+                        for bound, count in sample.get("buckets", {}).items():
+                            buckets[bound] = buckets.get(bound, 0) + count
+                        existing["sum"] += sample.get("sum", 0.0)
+                        existing["count"] += sample.get("count", 0)
+                else:
+                    value = sample.get("value", 0)
+                    if existing is None:
+                        target["samples"][key] = {
+                            "labels": dict(labels),
+                            "value": value,
+                        }
+                    else:
+                        existing["value"] = _merge_value(
+                            kind, merge_mode, existing["value"], value
+                        )
+    result: dict[str, dict] = {}
+    for name in sorted(merged):
+        family = merged[name]
+        samples = [family["samples"][key] for key in sorted(family["samples"])]
+        for sample in samples:
+            if "buckets" in sample:
+                sample["buckets"] = _sort_buckets(sample["buckets"])
+        result[name] = {**{k: v for k, v in family.items() if k != "samples"},
+                        "samples": samples}
+    return result
+
+
+def _sort_buckets(buckets: dict) -> dict:
+    def bound_key(label: str) -> float:
+        return float("inf") if label == "+Inf" else float(label)
+
+    return {label: buckets[label] for label in sorted(buckets, key=bound_key)}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+# ----------------------------------------------------------------------
+def _sanitize_name(name: str) -> str:
+    cleaned = [
+        ch if ch.isalnum() or ch in ("_", ":") else "_" for ch in name
+    ]
+    if cleaned and cleaned[0].isdigit():
+        cleaned.insert(0, "_")
+    return "".join(cleaned)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: _Number) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(labels: dict, extra: Optional[dict] = None) -> str:
+    items = list(labels.items()) + list((extra or {}).items())
+    if not items:
+        return ""
+    body = ",".join(
+        f'{_sanitize_name(str(key))}="{_escape_label(str(value))}"'
+        for key, value in items
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(families: Optional[dict]) -> str:
+    """Render a registry export (or merge) as Prometheus text exposition."""
+    lines: list[str] = []
+    for name in sorted(families or {}):
+        family = (families or {})[name]
+        metric = _sanitize_name(name)
+        kind = family.get("type", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, count in sample.get("buckets", {}).items():
+                    lines.append(
+                        f"{metric}_bucket"
+                        f"{_label_string(labels, {'le': bound})} "
+                        f"{_format_number(count)}"
+                    )
+                lines.append(
+                    f"{metric}_sum{_label_string(labels)} "
+                    f"{_format_number(sample.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{metric}_count{_label_string(labels)} "
+                    f"{_format_number(sample.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{metric}{_label_string(labels)} "
+                    f"{_format_number(sample.get('value', 0))}"
+                )
+    return "\n".join(lines) + "\n"

@@ -362,6 +362,13 @@ class MutationLog:
         self._unsynced = 0
         self._last_append_offset: Optional[int] = None
         self._closed = False
+        # Lifetime activity counters (this instance, not the on-disk
+        # history): what a metrics collector reads to expose append /
+        # fsync / replay rates without touching the segments.
+        self._appends = 0
+        self._fsyncs = 0
+        self._appended_bytes = 0
+        self._replayed_records = 0
         if readonly:
             if not self.path.is_dir():
                 raise WalError(f"WAL directory {self.path} does not exist")
@@ -463,6 +470,10 @@ class MutationLog:
                 "records": sum(s.records for s in self._segments),
                 "bytes": sum(s.end_offset for s in self._segments),
                 "sync": self.sync_policy,
+                "appends": self._appends,
+                "fsyncs": self._fsyncs,
+                "appended_bytes": self._appended_bytes,
+                "replayed_records": self._replayed_records,
             }
 
     @classmethod
@@ -533,15 +544,19 @@ class MutationLog:
             active.end_offset += len(data)
             active.records += 1
             active.last_seq = seq
+            self._appends += 1
+            self._appended_bytes += len(data)
             if self.sync_policy == "commit":
                 handle.flush()
                 os.fsync(handle.fileno())
+                self._fsyncs += 1
                 self._unsynced = 0
             elif self.sync_policy == "batched":
                 handle.flush()
                 self._unsynced += 1
                 if self._unsynced >= self._batch_every:
                     os.fsync(handle.fileno())
+                    self._fsyncs += 1
                     self._unsynced = 0
             return seq
 
@@ -575,6 +590,7 @@ class MutationLog:
             if self._handle is not None:
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
+                self._fsyncs += 1
                 self._unsynced = 0
 
     def _writer(self, active: _Segment):
@@ -665,6 +681,7 @@ class MutationLog:
                 if event == "record":
                     last = value.seq
                     if start_after is None or value.seq > start_after:
+                        self._replayed_records += 1
                         yield value
                 elif event == "base":
                     last = value
@@ -693,6 +710,7 @@ class MutationLog:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            self._fsyncs += 1
             self._handle.close()
             self._handle = None
             self._unsynced = 0

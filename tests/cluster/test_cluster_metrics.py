@@ -4,6 +4,7 @@ import numpy as np
 
 from repro.cluster.metrics import merge_metrics
 from repro.service.metrics import ServiceMetrics
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def _worker_part(latencies, *, hits, misses, errors, cache, datasets):
@@ -122,3 +123,66 @@ def test_merge_tolerates_supervisor_only_parts():
         "cache_hit_rate": 0.0,
         "algorithms": {},
     }
+
+
+def test_merge_heterogeneous_replicas_no_keyerror():
+    # A worker mid-restart exports bare ServiceMetrics (no cache, no
+    # datasets, no registry); a healthy replica exports everything.
+    bare = ServiceMetrics().export(include_samples=True)
+    registry = MetricsRegistry()
+    full_metrics = ServiceMetrics(registry=registry)
+    full_metrics.record_request("bidirectional", 0.01, cached=False)
+    full = full_metrics.export(include_samples=True)
+    full["cache"] = {"size": 1, "capacity": 8, "ttl": None, "hits": 0,
+                     "misses": 1, "hit_rate": 0.0, "evictions": 0,
+                     "expirations": 0}
+    full["datasets"] = {"registered": ["alpha"], "built": ["alpha"],
+                        "build_seconds": {}, "wal_seq": {"alpha": 3}}
+    full["registry"] = registry.export()
+    merged = merge_metrics([bare, full])
+    assert merged["requests_total"] == 1
+    assert merged["datasets"]["wal_seq"] == {"alpha": 3}
+    assert "registry" in merged
+
+
+def test_merge_wal_seq_is_max_per_dataset():
+    def part(wal_seq):
+        exported = ServiceMetrics().export(include_samples=True)
+        exported["datasets"] = {
+            "registered": ["alpha"],
+            "built": [],
+            "build_seconds": {},
+            "wal_seq": wal_seq,
+        }
+        return exported
+
+    merged = merge_metrics(
+        [part({"alpha": 4, "beta": 1}), part({"alpha": 2, "beta": 7})]
+    )
+    # Replicas replay one shared log: the highest tip is the durable
+    # truth, a lower number is a lagging replica, not a different log.
+    assert merged["datasets"]["wal_seq"] == {"alpha": 4, "beta": 7}
+
+
+def test_merge_wal_seq_absent_when_no_part_has_it():
+    exported = ServiceMetrics().export(include_samples=True)
+    exported["datasets"] = {"registered": [], "built": [], "build_seconds": {}}
+    merged = merge_metrics([exported])
+    assert "wal_seq" not in merged["datasets"]
+
+
+def test_merge_registry_families_across_replicas():
+    def part():
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry=registry)
+        metrics.record_request("bidirectional", 0.01, cached=False)
+        exported = metrics.export(include_samples=True)
+        exported["registry"] = registry.export()
+        return exported
+
+    merged = merge_metrics([part(), part()])
+    registry = merged["registry"]
+    samples = registry["repro_requests_total"]["samples"]
+    assert sum(sample["value"] for sample in samples) == 2
+    latency = registry["repro_request_latency_seconds"]
+    assert sum(sample["count"] for sample in latency["samples"]) == 2

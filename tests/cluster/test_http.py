@@ -140,6 +140,114 @@ def test_healthz_reports_fleet_state(server, sharded):
         server.service = original
 
 
+def _get_raw(server, path):
+    """Like ``_get`` but also returns headers and the raw body text."""
+    try:
+        with urllib.request.urlopen(_url(server, path), timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode("utf-8")
+
+
+def _post_raw(server, path, obj):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(obj).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode("utf-8")
+
+
+def test_search_returns_trace_and_request_id_headers(server):
+    status, headers, body = _post_raw(
+        server,
+        "/search",
+        {"dataset": "toy", "query": "gray", "request_id": "req-http-1"},
+    )
+    assert status == 200
+    payload = json.loads(body)
+    trace_id = headers.get("X-Trace-Id")
+    assert trace_id and len(trace_id) == 32
+    assert headers.get("X-Request-Id") == "req-http-1"
+    assert payload["trace_id"] == trace_id
+    assert payload["request_id"] == "req-http-1"
+    # Span payloads never ride the response body; trees are read via
+    # /debug/trace/<id>.
+    assert payload["spans"] is None
+
+
+def test_error_responses_still_carry_trace_header(server):
+    status, headers, _ = _post_raw(
+        server, "/search", {"dataset": "nope", "query": "x"}
+    )
+    assert status == 404
+    assert headers.get("X-Trace-Id")
+
+
+def test_debug_trace_reconstructs_http_rooted_tree(server):
+    _, headers, _ = _post_raw(
+        server, "/search", {"dataset": "toy", "query": "gray transaction"}
+    )
+    trace_id = headers["X-Trace-Id"]
+    status, tree = _get(server, f"/debug/trace/{trace_id}")
+    assert status == 200
+    assert tree["trace_id"] == trace_id
+    (root,) = tree["roots"]
+    assert root["name"] == "http"
+    assert root["attributes"]["path"] == "/search"
+    child_names = {child["name"] for child in root["children"]}
+    assert "worker" in child_names
+
+
+def test_debug_trace_unknown_id_is_404(server):
+    assert _get(server, "/debug/trace/" + "0" * 32)[0] == 404
+
+
+def test_debug_slow_lists_flight_recorded_queries(server, http_service):
+    original = http_service.slow_log.threshold
+    http_service.slow_log.threshold = 0.0
+    try:
+        _, headers, _ = _post_raw(
+            server, "/search", {"dataset": "toy", "query": "selinger"}
+        )
+        status, body = _get(server, "/debug/slow")
+        assert status == 200
+        assert len(body["slow_queries"]) >= 1
+        entry = body["slow_queries"][0]
+        assert entry["trace_id"] == headers["X-Trace-Id"]
+        assert entry["span_tree"]["span_count"] >= 1
+    finally:
+        http_service.slow_log.threshold = original
+        http_service.slow_log.clear()
+
+
+def test_metrics_prometheus_exposition(server):
+    _post_raw(server, "/search", {"dataset": "toy", "query": "gray"})
+    status, headers, text = _get_raw(server, "/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    assert "# TYPE repro_requests_total counter" in text
+    assert "# TYPE repro_request_latency_seconds histogram" in text
+    # Every sample line is ``name{labels} value``.
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)
+        assert name_part
+
+
+def test_metrics_unknown_format_is_400(server):
+    status, body = _get(server, "/metrics?format=xml")
+    assert status == 400
+    assert body["error_type"] == "ValueError"
+
+
 def test_status_for_error_mapping():
     assert status_for_error(None) == 200
     assert status_for_error("UnknownDatasetError") == 404

@@ -4,9 +4,12 @@ import json
 
 import pytest
 
+from repro.core.answer import SearchResult
 from repro.core.params import SearchParams
+from repro.core.stats import SearchStats
 from repro.service.service import QueryRequest, QueryResponse
 from repro.service.wire import (
+    error_response_dict,
     params_from_dict,
     params_to_dict,
     request_from_dict,
@@ -111,6 +114,112 @@ def test_response_round_trip_success(toy_engine):
     assert restored.elapsed == 0.5
     assert restored.request == response.request
     assert restored.result.scores() == result.scores()
+
+
+def test_request_round_trip_trace_fields():
+    request = QueryRequest(
+        "dblp",
+        "gray",
+        request_id="req-42",
+        trace_id="a" * 32,
+        parent_span_id="b" * 16,
+    )
+    data = request_to_dict(request)
+    json.dumps(data)
+    assert data["trace_id"] == "a" * 32
+    assert data["parent_span_id"] == "b" * 16
+    restored = request_from_dict(data)
+    assert restored == request
+    assert restored.trace_id == "a" * 32
+    assert restored.parent_span_id == "b" * 16
+
+
+def test_request_trace_fields_default_to_none():
+    restored = request_from_dict({"dataset": "d", "query": "q"})
+    assert restored.trace_id is None
+    assert restored.parent_span_id is None
+
+
+def test_request_rejects_non_string_trace_fields():
+    base = {"dataset": "d", "query": "q"}
+    with pytest.raises(ValueError):
+        request_from_dict({**base, "trace_id": 7})
+    with pytest.raises(ValueError):
+        request_from_dict({**base, "parent_span_id": ["x"]})
+
+
+def test_response_round_trip_identity_fields(toy_engine):
+    spans = [{"name": "worker", "trace_id": "c" * 32, "span_id": "d" * 16}]
+    response = QueryResponse(
+        request=QueryRequest("toy", "gray"),
+        result=toy_engine.search("gray", k=1),
+        request_id="req-9",
+        trace_id="c" * 32,
+        spans=spans,
+    )
+    data = response_to_dict(response)
+    json.dumps(data)
+    restored = response_from_dict(data)
+    assert restored.request_id == "req-9"
+    assert restored.trace_id == "c" * 32
+    assert restored.spans == spans
+
+
+def test_error_response_dict_derives_identity_from_request():
+    wire_request = {
+        "dataset": "d",
+        "query": "q",
+        "request_id": "req-7",
+        "trace_id": "e" * 32,
+    }
+    data = error_response_dict(wire_request, "boom", "RuntimeError")
+    assert data["request_id"] == "req-7"
+    assert data["trace_id"] == "e" * 32
+    assert data["spans"] is None
+    restored = response_from_dict(data)
+    assert not restored.ok
+    assert restored.request_id == "req-7"
+    assert restored.trace_id == "e" * 32
+
+
+def test_error_response_dict_tolerates_malformed_request():
+    data = error_response_dict("not a dict", "boom", "ValueError")
+    assert data["request_id"] is None
+    assert data["trace_id"] is None
+
+
+def test_search_stats_round_trip_pins_counters():
+    # Pin: cluster responses must keep explored/touched counts and the
+    # elapsed timer across the wire — dashboards aggregate these.
+    stats = SearchStats(
+        nodes_explored=11,
+        nodes_touched=29,
+        edges_explored=41,
+        answers_generated=5,
+        answers_output=3,
+        duplicates_discarded=2,
+    )
+    stats.finished_at = stats.started_at + 0.125
+    data = stats.as_dict()
+    assert data == {
+        "nodes_explored": 11,
+        "nodes_touched": 29,
+        "edges_explored": 41,
+        "answers_generated": 5,
+        "answers_output": 3,
+        "duplicates_discarded": 2,
+        "elapsed": pytest.approx(0.125),
+    }
+    wire = result_to_dict(
+        SearchResult(
+            algorithm="bidirectional", keywords=("gray",), answers=[], stats=stats
+        )
+    )
+    restored = result_from_dict(wire).stats
+    assert restored.nodes_explored == 11
+    assert restored.nodes_touched == 29
+    assert restored.edges_explored == 41
+    assert restored.elapsed == pytest.approx(0.125)
 
 
 def test_response_round_trip_error_drops_exception_keeps_fields():
