@@ -16,12 +16,17 @@ Loose shape assertions (cache >= 10x cold, batch == sequential results)
 keep a silently broken service layer from benchmarking plausibly.
 """
 
+import sys
 import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.experiments.common import Report, build_bench, fmt
 from repro.service import QueryRequest, QueryService
 
-from conftest import as_float, cell, run_report
+from conftest import as_float, cell, emit_json, run_report
 
 NUM_REQUESTS = 50
 SEED_TERMS = 8
@@ -85,14 +90,24 @@ def run_throughput() -> Report:
         f"(synthetic DBLP, k=5)",
         headers=["mode", "seconds", "QPS", "vs cold"],
     )
-    for mode, seconds in (
-        ("cold (uncached)", cold_s),
-        ("cached", cached_s),
-        ("batched x8 (uncached)", batched_s),
+    for mode, label, seconds in (
+        ("cold", "cold (uncached)", cold_s),
+        ("cached", "cached", cached_s),
+        ("batched", "batched x8 (uncached)", batched_s),
     ):
+        emit_json(
+            {
+                "experiment": "service-throughput",
+                "mode": mode,
+                "requests": NUM_REQUESTS,
+                "seconds": seconds,
+                "qps": NUM_REQUESTS / seconds,
+                "speedup_vs_cold": cold_s / seconds,
+            }
+        )
         report.rows.append(
             [
-                mode,
+                label,
                 fmt(seconds, 3),
                 fmt(NUM_REQUESTS / seconds),
                 fmt(cold_s / seconds, 2),
@@ -117,3 +132,7 @@ def test_service_throughput(benchmark):
     # The acceptance bar: repeated queries answered from cache must be
     # at least 10x faster than uncached search.
     assert qps_cached >= 10 * qps_cold
+
+
+if __name__ == "__main__":
+    print(run_throughput().render())

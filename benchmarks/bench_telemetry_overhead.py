@@ -1,15 +1,24 @@
-"""Tracing overhead: QPS with the tracer on vs off.
+"""Telemetry overhead: QPS with tracing and profiling on vs off.
 
-The observability bar: end-to-end tracing at the default sampling
-(``trace_every_n_pops=0`` — span per stage, no per-pop trajectory
-sampling) must cost the serving path **less than 5% QPS**.  Spans are a
-handful of dict writes around a graph search that costs milliseconds;
-if this budget ever fails, a span crept into a per-pop loop.
+Two observability bars:
+
+* end-to-end tracing at the default sampling (``trace_every_n_pops=0``
+  — span per stage, no per-pop trajectory sampling) must cost the
+  serving path **less than 5% QPS** against the untraced arm.  Spans
+  are a handful of dict writes around a graph search that costs
+  milliseconds; if this budget ever fails, a span crept into a per-pop
+  loop;
+* the always-on sampling profiler at its default rate
+  (:data:`repro.telemetry.profile.DEFAULT_INTERVAL`) must cost **less
+  than 3% QPS** on top of the traced arm.  The sampler reads
+  ``sys._current_frames`` from its own thread — the serving thread
+  only pays for brief GIL steals; if this fails, the sampler's fold
+  path got expensive.
 
 The workload: ``NUM_QUERIES`` uncached single-shot searches against a
 thread-tier ``QueryService`` over synthetic DBLP, a pool of
 mid-frequency multi-keyword queries sampled the same way as
-``bench_search_micro``.  Both arms run the identical query stream;
+``bench_search_micro``.  All arms run the identical query stream;
 arms alternate rounds and each arm scores its best round, so a noisy
 neighbour slows both or neither.
 
@@ -43,6 +52,16 @@ ROUNDS = 3
 QUERY_POOL = 8
 #: The acceptance bar: tracing may cost at most this QPS fraction.
 MAX_OVERHEAD = 0.05
+#: The profiler bar: sampling at the default rate may cost at most
+#: this QPS fraction *on top of* the traced arm.
+PROFILER_MAX_OVERHEAD = 0.03
+
+#: Arm name -> QueryService telemetry kwargs.
+ARMS = {
+    "untraced": {"tracing": False},
+    "traced": {"tracing": True},
+    "profiled": {"tracing": True, "profiling": True},
+}
 
 
 def _query_pool(bench) -> list[list[str]]:
@@ -89,50 +108,52 @@ def run_telemetry_overhead() -> Report:
     bench = build_bench("dblp", 0.4)
     queries = _query_pool(bench)
     arms = {}
-    for tracing in (False, True):
-        service = QueryService(max_workers=1, tracing=tracing)
+    for mode, kwargs in ARMS.items():
+        service = QueryService(max_workers=1, **kwargs)
         service.register_engine("dblp", bench.engine)
-        arms[tracing] = {"service": service, "qps": []}
+        arms[mode] = {"service": service, "qps": []}
         _run_round(service, queries)  # warm the engine-side caches
 
-    # Alternate rounds so drift hits both arms equally.
+    # Alternate rounds so drift hits every arm equally.
     for _ in range(ROUNDS):
-        for tracing in (False, True):
-            arm = arms[tracing]
+        for arm in arms.values():
             arm["qps"].append(_run_round(arm["service"], queries))
 
-    _dump_sample_span_tree(arms[True]["service"], queries)
+    _dump_sample_span_tree(arms["traced"]["service"], queries)
     for arm in arms.values():
         arm["service"].close(wait=False)
 
-    baseline = max(arms[False]["qps"])
-    traced = max(arms[True]["qps"])
+    baseline = max(arms["untraced"]["qps"])
+    traced = max(arms["traced"]["qps"])
+    profiled = max(arms["profiled"]["qps"])
     overhead = 1.0 - traced / baseline
+    profiler_overhead = 1.0 - profiled / traced
 
     report = Report(
         experiment="telemetry-overhead",
         title=(
             f"{NUM_QUERIES} uncached searches x {ROUNDS} rounds on "
             f"synthetic DBLP ({bench.engine.graph.num_nodes} nodes): "
-            f"tracer on vs off"
+            f"tracing and profiling on vs off"
         ),
         headers=["mode", "best QPS", "rounds"],
     )
-    for tracing in (False, True):
-        qps = max(arms[tracing]["qps"])
+    for mode, kwargs in ARMS.items():
+        qps = max(arms[mode]["qps"])
         row = {
             "experiment": "telemetry-overhead",
-            "mode": "traced" if tracing else "untraced",
-            "tracing": tracing,
+            "mode": mode,
+            "tracing": kwargs.get("tracing", False),
+            "profiling": kwargs.get("profiling", False),
             "queries": NUM_QUERIES,
             "rounds": ROUNDS,
             "qps": qps,
-            "qps_rounds": arms[tracing]["qps"],
+            "qps_rounds": arms[mode]["qps"],
         }
         emit_json(row)
         report.rows.append(
             [
-                row["mode"],
+                mode,
                 fmt(qps),
                 ", ".join(fmt(value) for value in row["qps_rounds"]),
             ]
@@ -141,9 +162,18 @@ def run_telemetry_overhead() -> Report:
         f"tracing overhead {overhead:.1%} exceeds the {MAX_OVERHEAD:.0%} "
         f"budget ({traced:.0f} vs {baseline:.0f} QPS)"
     )
+    assert profiler_overhead < PROFILER_MAX_OVERHEAD, (
+        f"profiler overhead {profiler_overhead:.1%} exceeds the "
+        f"{PROFILER_MAX_OVERHEAD:.0%} budget "
+        f"({profiled:.0f} vs {traced:.0f} QPS)"
+    )
     report.notes.append(
         f"tracing QPS overhead at default sampling: {overhead:+.1%} "
         f"(budget < {MAX_OVERHEAD:.0%})"
+    )
+    report.notes.append(
+        f"profiler QPS overhead at the default rate: "
+        f"{profiler_overhead:+.1%} (budget < {PROFILER_MAX_OVERHEAD:.0%})"
     )
     report.notes.append(
         f"dataset scale knob REPRO_SCALE={os.environ.get('REPRO_SCALE', '1.0')}"

@@ -1,0 +1,218 @@
+"""Performance-trend gate: compare bench rows against a committed baseline.
+
+The benches emit one JSON row per (experiment, mode) when
+``BENCH_JSON_OUT`` is set (see ``benchmarks/conftest.py``).  This tool
+reads that JSONL, normalizes each row's QPS by a *calibration row*
+measured in the same run, and compares the resulting machine-portable
+ratios against ``benchmarks/baseline.json``:
+
+* **calibration** — raw QPS depends on the box (CI runners drift by
+  2-3x), so absolute numbers cannot gate anything.  Each run instead
+  divides every row's QPS by the run's own calibration row (by
+  default ``telemetry-overhead/untraced`` — a plain uncached search
+  loop with all telemetry off).  The ratio "cached throughput is N x
+  the untraced search rate *on this machine*" is stable across
+  hardware; a >20% drop in it is a real relative regression, not a
+  slower runner;
+* **tolerance** — a row regresses when its normalized ratio falls more
+  than ``tolerance`` (default 0.20) below the baseline's.  Faster is
+  never an error (the report suggests a baseline refresh instead);
+* **history** — every run appends ``{commit, ts, rows}`` to a history
+  file (default ``BENCH_history.json``, CI keeps it as an artifact) so
+  trends are reconstructable without re-running old commits.
+
+Usage::
+
+    BENCH_JSON_OUT=rows.jsonl python benchmarks/bench_service_throughput.py
+    BENCH_JSON_OUT=rows.jsonl python benchmarks/bench_telemetry_overhead.py
+    python benchmarks/perf_trend.py --rows rows.jsonl --commit "$(git rev-parse HEAD)"
+
+Exit status 1 on any regression; ``--update-baseline`` rewrites the
+baseline from the current rows instead of gating (run it on the same
+``REPRO_SCALE`` the CI job uses, then commit the file).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Rows are compared per (experiment, mode); only rows carrying this
+#: metric participate.
+METRIC = "qps"
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_HISTORY = Path("BENCH_history.json")
+
+
+def load_rows(path: Path) -> dict[tuple[str, str], float]:
+    """JSONL -> ``{(experiment, mode): qps}`` (last row wins)."""
+    rows: dict[tuple[str, str], float] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        experiment = row.get("experiment")
+        mode = row.get("mode")
+        value = row.get(METRIC)
+        if experiment and mode and isinstance(value, (int, float)) and value > 0:
+            rows[(str(experiment), str(mode))] = float(value)
+    return rows
+
+
+def normalize(
+    rows: dict[tuple[str, str], float], calibration: tuple[str, str]
+) -> dict[tuple[str, str], float]:
+    """Divide every row by the calibration row's value."""
+    cal = rows.get(calibration)
+    if not cal:
+        raise SystemExit(
+            f"calibration row {'/'.join(calibration)} missing from the "
+            f"bench output; did bench_telemetry_overhead run?"
+        )
+    return {key: value / cal for key, value in rows.items()}
+
+
+def compare(
+    current: dict[tuple[str, str], float],
+    baseline: dict[tuple[str, str], float],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    for key in sorted(baseline):
+        name = "/".join(key)
+        base = baseline[key]
+        now = current.get(key)
+        if now is None:
+            regressions.append(f"{name}: row missing from this run")
+            continue
+        change = now / base - 1.0
+        verdict = "ok"
+        if change < -tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: normalized ratio {now:.3f} is {-change:.1%} below "
+                f"the baseline {base:.3f} (tolerance {tolerance:.0%})"
+            )
+        elif change > tolerance:
+            verdict = "faster (consider --update-baseline)"
+        lines.append(
+            f"  {name:40s} base {base:10.3f}  now {now:10.3f}  "
+            f"({change:+.1%}) {verdict}"
+        )
+    for key in sorted(set(current) - set(baseline)):
+        lines.append(
+            f"  {'/'.join(key):40s} (new row, not in baseline — "
+            f"run --update-baseline to start tracking it)"
+        )
+    return lines, regressions
+
+
+def append_history(
+    path: Path, commit: str, rows: dict[tuple[str, str], float]
+) -> None:
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(
+        {
+            "commit": commit,
+            "ts": time.time(),
+            "rows": {"/".join(key): value for key, value in sorted(rows.items())},
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", type=Path, required=True, help="JSONL from BENCH_JSON_OUT"
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY)
+    parser.add_argument("--commit", default="unknown")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's tolerance",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current rows instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    raw = load_rows(args.rows)
+    if not raw:
+        print(f"no usable rows in {args.rows}", file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        calibration = ("telemetry-overhead", "untraced")
+        normalized = normalize(raw, calibration)
+        payload = {
+            "calibration": list(calibration),
+            "tolerance": args.tolerance if args.tolerance is not None else 0.20,
+            "rows": {
+                "/".join(key): value for key, value in sorted(normalized.items())
+            },
+        }
+        args.baseline.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"baseline rewritten: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline "
+            f"first",
+            file=sys.stderr,
+        )
+        return 1
+    base_doc = json.loads(args.baseline.read_text(encoding="utf-8"))
+    calibration = tuple(base_doc.get("calibration") or ())
+    if len(calibration) != 2:
+        print(f"malformed baseline {args.baseline}", file=sys.stderr)
+        return 1
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else float(base_doc.get("tolerance", 0.20))
+    )
+    baseline = {
+        tuple(key.split("/", 1)): float(value)
+        for key, value in (base_doc.get("rows") or {}).items()
+    }
+    normalized = normalize(raw, calibration)
+    append_history(args.history, args.commit, normalized)
+
+    lines, regressions = compare(normalized, baseline, tolerance)
+    print(
+        f"perf-trend vs {args.baseline.name} "
+        f"(calibration {'/'.join(calibration)}, tolerance {tolerance:.0%}):"
+    )
+    print("\n".join(lines))
+    if regressions:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Ops-dashboard smoke: boot the HTTP tier, scrape every debug endpoint.
+
+The CI ``dashboard-smoke`` job runs this end to end:
+
+1. build a small engine, snapshot it, spin up a two-worker
+   :class:`repro.ShardedQueryService` with a WAL and the sampling
+   profiler on,
+2. push a little traffic (including one guaranteed failure and one
+   live mutation) so every dashboard section has something to show,
+3. serve the fleet over HTTP and fetch ``/debug/events``,
+   ``/debug/profile`` and ``/debug/dashboard`` like a browser would,
+4. assert the responses carry what an operator needs (events with
+   monotone sequence numbers, collapsed profile stacks, the SLO and
+   event sections in the HTML),
+5. write the dashboard page to ``DASHBOARD_HTML_OUT`` (when set) so CI
+   uploads a real page as an artifact.
+
+Run:  python examples/ops_dashboard_smoke.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import KeywordSearchEngine, ShardedQueryService
+from repro.cluster.http import make_server
+from repro.datasets import DblpConfig, make_dblp
+from repro.live.mutations import AddNode
+from repro.service.snapshot import save_engine
+
+
+def _get(base: str, path: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(f"{base}{path}") as response:
+        return response.status, response.read()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        engine = KeywordSearchEngine.from_database(
+            make_dblp(DblpConfig().scaled(0.25))
+        )
+        snapshot = save_engine(Path(tmp) / "dblp.snap", engine)
+        with ShardedQueryService(
+            {"dblp": snapshot},
+            num_workers=2,
+            default_replicas=2,
+            wal_dir=Path(tmp) / "wal",
+            slo_interval=0.5,
+        ) as cluster:
+            cluster.warmup()
+
+            # Traffic for the dashboard to show: some hits, one failure
+            # (unknown dataset -> fleet failure counter), one mutation
+            # (WAL append + mutation_commit events on both sides).
+            for _ in range(5):
+                cluster.search("dblp", "paper stream", k=3).raise_for_error()
+            assert cluster.search("nope", "paper").error_type is not None
+            cluster.apply(
+                "dblp", [AddNode(label="ops probe", text="dashboard")]
+            )
+            time.sleep(0.6)  # let the SLO ticker evaluate at least once
+
+            server = make_server(cluster)
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+
+            status, body = _get(base, "/debug/events?since=0")
+            assert status == 200, status
+            events = json.loads(body)
+            seqs = [event["seq"] for event in events["events"]]
+            assert seqs and seqs == sorted(seqs), seqs
+            kinds = {event["kind"] for event in events["events"]}
+            assert "mutation_commit" in kinds, kinds
+            print(
+                f"/debug/events: {len(seqs)} events, kinds "
+                f"{sorted(kinds)}, last_seq={events['last_seq']}"
+            )
+
+            # Incremental tail: nothing new after the last seq.
+            status, body = _get(
+                base, f"/debug/events?since={events['last_seq']}"
+            )
+            assert json.loads(body)["events"] == []
+
+            status, body = _get(base, "/debug/profile?seconds=1")
+            assert status == 200, status
+            profile = body.decode("utf-8")
+            lines = [line for line in profile.splitlines() if line.strip()]
+            assert lines, "profiler returned no stacks"
+            assert all(
+                line.rsplit(" ", 1)[1].isdigit() for line in lines
+            ), "not collapsed-stack format"
+            print(f"/debug/profile: {len(lines)} collapsed stacks")
+
+            status, body = _get(base, "/debug/dashboard")
+            assert status == 200, status
+            html = body.decode("utf-8")
+            for needle in ("SLO", "Events", "dblp", "<html"):
+                assert needle in html, f"dashboard missing {needle!r}"
+            print(f"/debug/dashboard: {len(html)} bytes of HTML")
+
+            out = os.environ.get("DASHBOARD_HTML_OUT")
+            if out:
+                Path(out).write_text(html, encoding="utf-8")
+                print(f"dashboard page written to {out}")
+
+            server.shutdown()
+            server.server_close()
+    print("ops dashboard smoke OK")
+
+
+if __name__ == "__main__":
+    main()

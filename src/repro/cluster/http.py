@@ -44,9 +44,25 @@ Routes
 ``GET /debug/trace/<trace_id>``
     The reconstructed span tree for one trace (404 when unknown or
     evicted, 501 when the service has tracing off).
+    ``?format=text`` renders the tree as indented plain text
+    (:func:`~repro.telemetry.trace.render_span_tree`) instead of JSON.
 ``GET /debug/slow``
     The slow-query log, newest first, each entry carrying its dumped
     span tree.
+``GET /debug/events``
+    The merged structured event stream (worker logs pulled and
+    re-sequenced on the sharded tier): ``{"events": [...],
+    "last_seq": N}``.  ``?since=<seq>`` returns only events after that
+    supervisor sequence number — poll with the last ``last_seq`` you
+    saw for an incremental tail.
+``GET /debug/profile``
+    Profile the fleet for ``?seconds=N`` (default 2, capped at 30)
+    and return the merged collapsed-stack text (``stack count`` per
+    line, flamegraph-ready); 501 when profiling is off.
+``GET /debug/dashboard``
+    The whole fleet on one dependency-free auto-refreshing HTML page:
+    health, SLO burn rates, recent events, latency per algorithm,
+    slow queries and the hottest profile stacks.
 
 Tracing: when the service has a tracer, ``POST /search`` mints the
 trace at the front door — an ``http`` root span whose id rides the
@@ -93,8 +109,9 @@ from repro.service.wire import (
     request_from_dict,
     response_to_dict,
 )
+from repro.telemetry.dashboard import render_dashboard
 from repro.telemetry.metrics import render_prometheus
-from repro.telemetry.trace import new_trace_id
+from repro.telemetry.trace import new_trace_id, render_span_tree
 
 __all__ = ["QueryHTTPServer", "make_server", "serve", "status_for_error"]
 
@@ -162,12 +179,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -196,9 +216,15 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/metrics":
                 self._handle_metrics(query)
             elif path.startswith("/debug/trace/") and path != "/debug/trace/":
-                self._handle_trace(path[len("/debug/trace/"):])
+                self._handle_trace(path[len("/debug/trace/"):], query)
             elif path == "/debug/slow":
                 self._handle_slow()
+            elif path == "/debug/events":
+                self._handle_events(query)
+            elif path == "/debug/profile":
+                self._handle_profile(query)
+            elif path == "/debug/dashboard":
+                self._handle_dashboard()
             else:
                 self._send_error_json(
                     404, f"no route {self.path!r}", "NotFoundError"
@@ -227,7 +253,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_text(200, render_prometheus(families))
 
-    def _handle_trace(self, trace_id: str) -> None:
+    def _handle_trace(self, trace_id: str, query: str = "") -> None:
+        fmt = (parse_qs(query).get("format") or ["json"])[0]
+        if fmt not in ("json", "text"):
+            self._send_error_json(
+                400,
+                f"unknown trace format {fmt!r}; expected json or text",
+                "ValueError",
+            )
+            return
         trace = getattr(self.server.service, "trace", None)
         if not callable(trace):
             self._send_error_json(
@@ -240,6 +274,13 @@ class _Handler(BaseHTTPRequestHandler):
                 404, f"unknown trace {trace_id!r}", "NotFoundError"
             )
             return
+        if fmt == "text":
+            self._send_text(
+                200,
+                render_span_tree(tree),
+                content_type="text/plain; charset=utf-8",
+            )
+            return
         self._send_json(200, tree)
 
     def _handle_slow(self) -> None:
@@ -250,6 +291,68 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send_json(200, {"slow_queries": slow()})
+
+    def _handle_events(self, query: str) -> None:
+        events = getattr(self.server.service, "events", None)
+        if not callable(events):
+            self._send_error_json(
+                501, "service has no event log", "NotImplemented"
+            )
+            return
+        raw = (parse_qs(query).get("since") or ["0"])[0]
+        try:
+            since = int(raw)
+        except ValueError:
+            self._send_error_json(
+                400, f'"since" must be an integer, got {raw!r}', "ValueError"
+            )
+            return
+        self._send_json(200, events(since))
+
+    def _handle_profile(self, query: str) -> None:
+        profile = getattr(self.server.service, "profile", None)
+        if not callable(profile):
+            self._send_error_json(
+                501, "service has no profiler", "NotImplemented"
+            )
+            return
+        raw = (parse_qs(query).get("seconds") or ["2"])[0]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            self._send_error_json(
+                400, f'"seconds" must be a number, got {raw!r}', "ValueError"
+            )
+            return
+        if not 0 <= seconds <= 30:
+            self._send_error_json(
+                400,
+                f'"seconds" must be between 0 and 30, got {seconds}',
+                "ValueError",
+            )
+            return
+        text = profile(seconds)
+        if text is None:
+            self._send_error_json(
+                501, "profiling is disabled on this service", "NotImplemented"
+            )
+            return
+        self._send_text(
+            200, text, content_type="text/plain; charset=utf-8"
+        )
+
+    def _handle_dashboard(self) -> None:
+        data = getattr(self.server.service, "dashboard_data", None)
+        if not callable(data):
+            self._send_error_json(
+                501, "service has no dashboard", "NotImplemented"
+            )
+            return
+        self._send_text(
+            200,
+            render_dashboard(data()),
+            content_type="text/html; charset=utf-8",
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:

@@ -126,6 +126,12 @@ class WorkerPool:
     restart:
         Whether a dead worker is replaced (tests disable this to
         observe pure failure behaviour).
+    event_sink:
+        Optional ``callable(kind, **info)`` invoked on worker
+        lifecycle transitions (``worker_crash`` with
+        ``worker_id/pid/exitcode/in_flight``, ``worker_restart`` with
+        ``worker_id/restarts``).  Exceptions it raises are swallowed —
+        observability must never break crash handling.
     """
 
     #: Grace period after noticing a dead worker, letting responses it
@@ -151,6 +157,7 @@ class WorkerPool:
         start_method: Optional[str] = "spawn",
         health_interval: float = 0.5,
         restart: bool = True,
+        event_sink=None,
     ) -> None:
         if not specs:
             raise ValueError("at least one worker spec is required")
@@ -162,6 +169,7 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(start_method)
         self._health_interval = health_interval
         self._restart = restart
+        self._event_sink = event_sink
 
         self._lock = threading.RLock()
         self._job_ids = itertools.count(1)
@@ -537,6 +545,13 @@ class WorkerPool:
                 for job_id, job in self._inflight.items()
                 if job.worker_id == worker_id
             ]
+        self._emit_event(
+            "worker_crash",
+            worker_id=worker_id,
+            pid=dead_process.pid,
+            exitcode=exitcode,
+            in_flight=len(doomed_ids),
+        )
         # Give responses the worker produced before dying a moment to
         # drain from its pipe — the reader completes those futures and
         # removes them from the in-flight table, shrinking the failures.
@@ -562,7 +577,24 @@ class WorkerPool:
                 return
             if self._processes.get(worker_id) is None:
                 self._restarts[worker_id] += 1
+                restarts = self._restarts[worker_id]
                 self._spawn(worker_id)
+            else:  # pragma: no cover - lost the respawn race benignly
+                return
+        self._emit_event(
+            "worker_restart", worker_id=worker_id, restarts=restarts
+        )
+
+    def _emit_event(self, kind: str, **info) -> None:
+        """Hand a lifecycle event to the owner's sink, if any.  Sink
+        failures are swallowed: observability must never break crash
+        handling."""
+        if self._event_sink is None:
+            return
+        try:
+            self._event_sink(kind, **info)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     def _fail_job(self, job: _Job, message: str) -> None:
         if job.future.done():  # pragma: no cover - lost the race benignly

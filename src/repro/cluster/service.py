@@ -81,7 +81,16 @@ from repro.service.service import (
     normalize_search_args,
 )
 from repro.service.wire import request_to_dict, response_from_dict
+from repro.telemetry.dashboard import algorithm_summary
+from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    diff_profiles,
+    merge_profiles,
+    render_collapsed,
+)
+from repro.telemetry.slo import SloEngine, SloObjective, default_objectives
 from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.trace import Tracer, new_span_id, new_trace_id
 from repro.wal.log import MutationLog
@@ -148,6 +157,23 @@ class ShardedQueryService:
         Supervisor-side retention knobs: how many traces the store
         keeps, and the elapsed-seconds threshold / ring size of the
         slow-query log (:meth:`slow_queries`; ``None`` disables it).
+    profiling / profile_interval:
+        Always-on sampling profiler (:mod:`repro.telemetry.profile`),
+        on by default: the supervisor and every worker run a
+        ``SamplingProfiler`` at ``profile_interval`` seconds per
+        sample; :meth:`profile` diffs snapshots fleet-wide.
+    event_log_capacity:
+        Ring size of the supervisor's (and each worker's) structured
+        :class:`~repro.telemetry.events.EventLog`; worker events are
+        pulled and re-sequenced into the supervisor's stream by
+        :meth:`events`.
+    slo_objectives / slo_interval:
+        Burn-rate alerting (:mod:`repro.telemetry.slo`): objectives
+        default to :func:`~repro.telemetry.slo.default_objectives`
+        evaluated every ``slo_interval`` seconds by a background
+        ticker (alerts fire into the event log and export ``slo_*``
+        gauges).  An empty sequence disables SLOs; ``slo_interval=0``
+        keeps evaluate-on-read only.
     """
 
     def __init__(
@@ -171,11 +197,17 @@ class ShardedQueryService:
         trace_capacity: int = 512,
         slow_query_threshold: Optional[float] = 1.0,
         slow_log_capacity: int = 128,
+        profiling: bool = True,
+        profile_interval: float = 0.02,
+        event_log_capacity: int = 1024,
+        slo_objectives: Optional[Sequence[SloObjective]] = None,
+        slo_interval: float = 5.0,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
         if cancel_grace < 0:
             raise ValueError(f"cancel_grace must be >= 0, got {cancel_grace!r}")
+        self.event_log = EventLog(event_log_capacity)
         self.router = ShardRouter(
             list(snapshots),
             num_workers,
@@ -184,6 +216,7 @@ class ShardedQueryService:
         )
         paths = {name: str(path) for name, path in snapshots.items()}
         self._wals: dict[str, MutationLog] = {}
+        self._wal_corruption: dict[str, int] = {}
         wal_paths: dict[str, str] = {}
         if wal_dir is not None:
             from repro.errors import SnapshotError
@@ -208,6 +241,7 @@ class ShardedQueryService:
                     log.reset(start_seq=start)
                 self._wals[name] = log
                 wal_paths[name] = str(wal_path)
+                self._note_wal_corruption(name, log)
         specs = {
             worker_id: {name: paths[name] for name in names}
             for worker_id, names in self.router.assignments().items()
@@ -220,10 +254,14 @@ class ShardedQueryService:
                 "cooperative_cancellation": cooperative_cancellation,
                 "wals": wal_paths,
                 "tracing": tracing,
+                "profiling": profiling,
+                "profile_interval": profile_interval,
+                "event_log_capacity": event_log_capacity,
             },
             start_method=start_method,
             health_interval=health_interval,
             restart=restart,
+            event_sink=self._pool_event,
         )
         self._cooperative = cooperative_cancellation
         self._cancel_grace = cancel_grace
@@ -233,6 +271,55 @@ class ShardedQueryService:
         self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
         self._active_lock = threading.Lock()
         self._active: dict[str, int] = {}
+        # Fleet-level request accounting, recorded supervisor-side on
+        # every settled response so the SLO engine never needs a worker
+        # round-trip to evaluate: the families it watches live in this
+        # registry.
+        self._fleet_requests = self.registry.counter(
+            "repro_fleet_requests_total",
+            "Requests settled by the supervisor",
+            labels=("dataset",),
+        )
+        self._fleet_failures = self.registry.counter(
+            "repro_fleet_failures_total",
+            "Requests settled with a structured error",
+            labels=("dataset", "type"),
+        )
+        self._fleet_latency = self.registry.histogram(
+            "repro_fleet_request_latency_seconds",
+            "End-to-end request latency as seen by the supervisor",
+            labels=("dataset",),
+        )
+        self.profiler: Optional[SamplingProfiler] = None
+        if profiling:
+            self.profiler = SamplingProfiler(interval=profile_interval)
+            self.profiler.start()
+        self._event_cursors: dict[int, int] = {}
+        self._events_lock = threading.Lock()
+        self.slo: Optional[SloEngine] = None
+        self._slo_stop = threading.Event()
+        self._slo_thread: Optional[threading.Thread] = None
+        objectives = (
+            default_objectives() if slo_objectives is None else list(slo_objectives)
+        )
+        if objectives:
+            self.slo = SloEngine(
+                objectives,
+                source=self.registry.export,
+                registry=self.registry,
+                event_log=self.event_log,
+                request_family="repro_fleet_requests_total",
+                error_family="repro_fleet_failures_total",
+                latency_family="repro_fleet_request_latency_seconds",
+            )
+            if slo_interval and slo_interval > 0:
+                self._slo_thread = threading.Thread(
+                    target=self._slo_loop,
+                    args=(slo_interval,),
+                    name="repro-slo-ticker",
+                    daemon=True,
+                )
+                self._slo_thread.start()
         # One mutation stream per *dataset*: broadcasts from concurrent
         # callers must reach every replica's queue in the same order,
         # or replicas would assign different node ids to the same
@@ -284,6 +371,11 @@ class ShardedQueryService:
             "Bytes appended to the WAL",
             labels=("dataset",),
         )
+        wal_corruption = self.registry.counter(
+            "repro_wal_corruption_records_total",
+            "Corrupt records detected while reading the WAL",
+            labels=("dataset",),
+        )
 
         def collect() -> None:
             alive = self.pool.alive()
@@ -299,8 +391,98 @@ class ShardedQueryService:
                 wal_bytes.set_total(
                     stats.get("appended_bytes", 0), dataset=name
                 )
+                wal_corruption.set_total(
+                    stats.get("corruption_records", 0), dataset=name
+                )
 
         self.registry.add_collector(collect)
+
+    def _note_wal_corruption(self, name: str, log: MutationLog) -> None:
+        """Turn a freshly-opened log's corruption incidents into
+        first-class operational events (the counter is collector-driven
+        off ``log.stats()``, so this only handles the event side)."""
+        incidents = log.corruption_events()
+        if not incidents:
+            return
+        self._wal_corruption[name] = self._wal_corruption.get(name, 0) + len(
+            incidents
+        )
+        for incident in incidents:
+            outcome = (
+                "repaired by truncating the tail"
+                if incident.get("repaired")
+                else "reads stop at the last valid record"
+            )
+            self.event_log.emit(
+                "wal_corruption",
+                f"WAL for dataset {name!r} hit corrupt data at offset "
+                f"{incident.get('offset')}: {incident.get('reason')} "
+                f"({outcome})",
+                severity="warning",
+                dataset=name,
+                source="supervisor",
+                path=incident.get("path"),
+                offset=incident.get("offset"),
+                reason=incident.get("reason"),
+                last_valid_seq=incident.get("last_valid_seq"),
+                repaired=incident.get("repaired"),
+            )
+
+    def _pool_event(self, kind: str, **info) -> None:
+        """Event sink the worker pool calls from its health/crash
+        machinery.  Never raises — an observability failure must not
+        take down crash handling."""
+        try:
+            worker = info.get("worker_id")
+            if kind == "worker_crash":
+                self.event_log.emit(
+                    "worker_crash",
+                    f"worker {worker} (pid {info.get('pid')}) died with "
+                    f"exit code {info.get('exitcode')}; "
+                    f"{info.get('in_flight', 0)} request(s) were in flight",
+                    severity="error",
+                    source="pool",
+                    **info,
+                )
+            elif kind == "worker_restart":
+                self.event_log.emit(
+                    "worker_restart",
+                    f"worker {worker} respawned "
+                    f"(restart #{info.get('restarts')})",
+                    severity="warning",
+                    source="pool",
+                    **info,
+                )
+            else:  # pragma: no cover - future pool event kinds
+                self.event_log.emit(kind, str(info), source="pool", **info)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _slo_loop(self, interval: float) -> None:
+        while not self._slo_stop.wait(interval):
+            try:
+                if self.slo is not None:
+                    self.slo.evaluate()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def _record_fleet_outcome(
+        self, request: Optional[QueryRequest], response: QueryResponse
+    ) -> None:
+        """Fleet-level per-dataset accounting for every settled
+        response — the series the SLO engine's error-rate and latency
+        objectives are evaluated over."""
+        try:
+            dataset = request.dataset if request is not None else "unknown"
+            self._fleet_requests.inc(dataset=dataset)
+            if response.error_type:
+                self._fleet_failures.inc(
+                    dataset=dataset, type=response.error_type
+                )
+            if response.elapsed:
+                self._fleet_latency.observe(response.elapsed, dataset=dataset)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     # ------------------------------------------------------------------
     # registry view
@@ -460,6 +642,27 @@ class ShardedQueryService:
         }
         if seq is not None:
             outcome["wal_seq"] = seq
+        self.event_log.emit(
+            "mutation_commit",
+            f"dataset {dataset!r} committed {outcome['applied']} mutation(s) "
+            f"at version {outcome['version']}",
+            dataset=dataset,
+            source="supervisor",
+            version=outcome["version"],
+            applied=outcome["applied"],
+            wal_seq=seq,
+        )
+        if outcome["drift"]:
+            self.event_log.emit(
+                "version_drift",
+                f"replica versions for dataset {dataset!r} disagree after "
+                f"commit: {outcome['workers']} — a replica likely "
+                f"crash-restarted from an older snapshot and needs a reload",
+                severity="warning",
+                dataset=dataset,
+                source="supervisor",
+                workers=outcome["workers"],
+            )
         return outcome
 
     def _no_replica_committed(
@@ -535,12 +738,25 @@ class ShardedQueryService:
                 # stays replayable.  Any actual reload starts a new
                 # lineage.
                 log.reset(start_seq=version)
+        reloaded = {
+            str(worker_id): bool(result["reloaded"])
+            for worker_id, result in sorted(results.items())
+        }
+        if any(reloaded.values()):
+            self.event_log.emit(
+                "snapshot_reload",
+                f"dataset {dataset!r} hot-reloaded from "
+                f"{snapshot_path} on replicas "
+                f"{sorted(w for w, did in reloaded.items() if did)} "
+                f"(version {version})",
+                dataset=dataset,
+                source="supervisor",
+                version=version,
+                reloaded=reloaded,
+            )
         return {
             "dataset": dataset,
-            "reloaded": {
-                str(worker_id): bool(result["reloaded"])
-                for worker_id, result in sorted(results.items())
-            },
+            "reloaded": reloaded,
             "version": version,
         }
 
@@ -665,6 +881,7 @@ class ShardedQueryService:
         )
         dispatched = self._dispatch(request)
         if isinstance(dispatched, QueryResponse):
+            self._record_fleet_outcome(request, dispatched)
             return dispatched
         return self._await(request, dispatched, deadline)
 
@@ -696,6 +913,9 @@ class ShardedQueryService:
         responses: list[QueryResponse] = []
         for item, outcome in zip(prepared, dispatched):
             if isinstance(outcome, QueryResponse):
+                self._record_fleet_outcome(
+                    item if isinstance(item, QueryRequest) else None, outcome
+                )
                 responses.append(outcome)
                 continue
             deadline = (
@@ -844,6 +1064,12 @@ class ShardedQueryService:
     def close(self, timeout: float = 10.0) -> None:
         """Drain and stop the worker fleet (idempotent); durable logs
         are synced and closed last."""
+        self._slo_stop.set()
+        if self._slo_thread is not None:
+            self._slo_thread.join(timeout=1.0)
+            self._slo_thread = None
+        if self.profiler is not None:
+            self.profiler.stop()
         self.pool.close(timeout)
         for log in self._wals.values():
             log.close()
@@ -941,7 +1167,9 @@ class ShardedQueryService:
         deadline: Optional[float],
     ) -> QueryResponse:
         try:
-            return self._await_inner(request, future, deadline)
+            response = self._await_inner(request, future, deadline)
+            self._record_fleet_outcome(request, response)
+            return response
         finally:
             if request.request_id is not None:
                 job_id = getattr(future, "job_id", None)
@@ -1110,6 +1338,173 @@ class ShardedQueryService:
     def slow_queries(self) -> list[dict]:
         """Supervisor-side slow-query entries, newest first."""
         return self.slow_log.entries()
+
+    # ------------------------------------------------------------------
+    # operational intelligence
+    # ------------------------------------------------------------------
+    def _pull_worker_events(self, *, timeout: float = 2.0) -> None:
+        """Merge every worker's event log into the supervisor's.
+
+        Each worker keeps its own monotonically-sequenced log; the
+        supervisor pulls incrementally with a per-worker cursor and
+        re-sequences into its own stream (``ingest`` preserves the
+        worker-side seq as ``remote_seq``).  A worker whose reported
+        ``last_seq`` went *backwards* restarted with a fresh log — the
+        cursor resets and its events are re-pulled from zero.  Serial
+        worker queues mean a busy replica delays its answer; non-strict
+        collection skips it until the next pull.
+        """
+        with self._events_lock:
+            futures: dict[int, Future] = {}
+            for worker_id in self.pool.worker_ids():
+                since = self._event_cursors.get(worker_id, 0)
+                try:
+                    futures[worker_id] = self.pool.submit(
+                        worker_id, "events", {"since": since}
+                    )
+                except Exception:
+                    continue
+            results = self._collect(
+                futures, "events", timeout=timeout, strict=False
+            )
+            for worker_id, payload in results.items():
+                last = int(payload.get("last_seq") or 0)
+                if last < self._event_cursors.get(worker_id, 0):
+                    try:
+                        payload = self.pool.submit(
+                            worker_id, "events", {"since": 0}
+                        ).result(timeout=timeout)
+                    except Exception:
+                        continue
+                    if (
+                        not isinstance(payload, dict)
+                        or control_error(payload) is not None
+                    ):
+                        continue
+                    last = int(payload.get("last_seq") or 0)
+                for event in payload.get("events") or []:
+                    if isinstance(event, dict):
+                        self.event_log.ingest(
+                            event, source=f"worker-{worker_id}"
+                        )
+                self._event_cursors[worker_id] = last
+
+    def events(
+        self,
+        since: int = 0,
+        *,
+        limit: Optional[int] = None,
+        pull: bool = True,
+        timeout: float = 2.0,
+    ) -> dict:
+        """The merged fleet event stream after ``since`` (a supervisor
+        sequence number): ``{"events": [...], "last_seq": N}``.  Worker
+        logs are pulled first unless ``pull=False``."""
+        if pull:
+            self._pull_worker_events(timeout=timeout)
+        return {
+            "events": self.event_log.events(since=since, limit=limit),
+            "last_seq": self.event_log.last_seq,
+        }
+
+    def slo_status(self) -> list[dict]:
+        """Evaluate every objective now; ``[]`` when SLOs are off."""
+        if self.slo is None:
+            return []
+        return self.slo.evaluate()
+
+    def _profile_snapshots(self, *, timeout: float = 5.0) -> dict[str, dict]:
+        """Cumulative profiler snapshots, keyed by process."""
+        snaps: dict[str, dict] = {}
+        if self.profiler is not None:
+            snaps["supervisor"] = self.profiler.snapshot()
+        results = self._broadcast(
+            self.pool.worker_ids(), "profile", None, timeout=timeout,
+            strict=False,
+        )
+        for worker_id, payload in results.items():
+            snap = payload.get("profile")
+            if isinstance(snap, dict):
+                snaps[f"worker-{worker_id}"] = snap
+        return snaps
+
+    def profile_snapshot(self) -> Optional[dict]:
+        """The merged *cumulative* fleet profile (since process start);
+        ``None`` when profiling is off everywhere."""
+        snaps = self._profile_snapshots()
+        if not snaps:
+            return None
+        return merge_profiles(snaps.values())
+
+    def profile(
+        self, seconds: float = 2.0, *, timeout: float = 5.0
+    ) -> Optional[str]:
+        """Profile the whole fleet for ``seconds`` and render the
+        merged window as collapsed stacks (``stack count`` lines,
+        hottest first) — ``None`` when profiling is disabled.
+
+        Implemented as two cumulative snapshots and a diff, so the
+        samplers never pause and a worker busy serving is *exactly*
+        what shows up in the window.  A worker that restarts inside
+        the window contributes its whole new lifetime (its "before"
+        snapshot died with it) — close enough for a hot-stack view.
+        """
+        before = self._profile_snapshots(timeout=timeout)
+        time.sleep(max(0.0, seconds))
+        after = self._profile_snapshots(timeout=timeout)
+        if not after:
+            return None
+        windows = []
+        for key, snap in after.items():
+            prior = before.get(key)
+            windows.append(
+                diff_profiles(prior, snap) if prior is not None else snap
+            )
+        merged = merge_profiles(windows)
+        return render_collapsed(merged)
+
+    def dashboard_data(self) -> dict:
+        """Everything :func:`~repro.telemetry.dashboard.render_dashboard`
+        needs, in one pass: health, merged metrics, SLO status, the
+        merged event stream, slow queries and the cumulative profile."""
+        health = self.health()
+        merged = self.metrics()
+        slo = self.slo.evaluate() if self.slo is not None else []
+        self._pull_worker_events()
+        versions = {
+            name: ", ".join(
+                f"w{worker}={'?' if version is None else version}"
+                for worker, version in sorted(by_worker.items())
+            )
+            for name, by_worker in health.get("versions", {}).items()
+        }
+        return {
+            "service": type(self).__name__,
+            "generated_at": time.time(),
+            "health": {
+                "status": (
+                    "ok" if health["alive"] == health["workers"] else "degraded"
+                ),
+                "workers": health["workers"],
+                "workers_alive": health["alive"],
+                "restarts": {
+                    str(w): n for w, n in sorted(self.pool.restarts().items())
+                },
+                "versions": versions,
+                "version_drift": health.get("version_drift", []),
+                "wal_seq": health.get("wal_seq", {}),
+            },
+            "metrics": {
+                "requests_total": merged.get("requests_total", 0),
+                "errors_total": merged.get("errors_total", 0),
+                "cache_hit_rate": merged.get("cache_hit_rate"),
+                "algorithms": algorithm_summary(merged.get("algorithms", {})),
+            },
+            "slo": slo,
+            "events": self.event_log.events(limit=50),
+            "slow_queries": self.slow_queries()[:10],
+            "profile": self.profile_snapshot(),
+        }
 
     def _malformed_response(self, exc: Exception) -> QueryResponse:
         self._local_metrics.record_error("invalid-request", type(exc).__name__)

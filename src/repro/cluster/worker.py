@@ -192,6 +192,17 @@ def _handle_message(
         )
     if kind == "versions":
         return {"versions": service.dataset_versions()}
+    if kind == "events":
+        # Incremental event-log pull: the supervisor tracks a cursor
+        # per worker and re-sequences what comes back into its own
+        # stream.  ``last_seq`` going backwards tells it this process
+        # restarted with a fresh log.
+        payload = message[2] if len(message) > 2 and message[2] else {}
+        return service.events(since=int(payload.get("since") or 0))
+    if kind == "profile":
+        # Cumulative sampler snapshot (None when profiling is off);
+        # the supervisor diffs two of these to get a window.
+        return {"profile": service.profile_snapshot()}
     if kind == "sleep":
         # Debug/test hook: hold this worker busy for a while, the cheap
         # stand-in for a long search when exercising crash recovery and
@@ -237,6 +248,12 @@ def worker_main(
         max_workers=1,
         cooperative_cancellation=cooperative,
         tracing=settings.get("tracing", True),
+        profiling=settings.get("profiling", False),
+        profile_interval=settings.get("profile_interval", 0.02),
+        event_log_capacity=settings.get("event_log_capacity", 512),
+        # Workers never evaluate SLOs — the supervisor owns the fleet
+        # view; an engine per replica would just burn samples.
+        slo_objectives=(),
     )
     for name, path in snapshots.items():
         service.register_snapshot(name, path)

@@ -62,6 +62,7 @@ import functools
 import inspect
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -79,7 +80,15 @@ from repro.errors import (
 )
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
+from repro.telemetry.dashboard import algorithm_summary
+from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    diff_profiles,
+    render_collapsed,
+)
+from repro.telemetry.slo import SloEngine, SloObjective, default_objectives
 from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.trace import Tracer, new_trace_id, use_span
 
@@ -408,6 +417,12 @@ class QueryService:
     matters if a search is stuck in a non-cooperative section.
     """
 
+    #: Cancellation-storm event: this many cancellations inside the
+    #: window emit one ``cancellation_storm`` warning (then re-arm only
+    #: after a quiet window — a storm is one event, not a stream).
+    CANCEL_STORM_THRESHOLD = 10
+    CANCEL_STORM_WINDOW = 10.0
+
     def __init__(
         self,
         *,
@@ -422,6 +437,10 @@ class QueryService:
         trace_capacity: int = 256,
         slow_query_threshold: Optional[float] = 1.0,
         slow_log_capacity: int = 128,
+        profiling: bool = False,
+        profile_interval: float = 0.02,
+        event_log_capacity: int = 512,
+        slo_objectives: Optional[Sequence[SloObjective]] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -432,6 +451,29 @@ class QueryService:
         self._metrics = ServiceMetrics(metrics_window, registry=self.registry)
         self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
         self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
+        self.event_log = EventLog(event_log_capacity)
+        self.profiler: Optional[SamplingProfiler] = None
+        if profiling:
+            self.profiler = SamplingProfiler(profile_interval)
+            self.profiler.start()
+        # SLO burn-rate alerting over this tier's own registry families
+        # (per-algorithm counters — objectives here are fleet-wide;
+        # dataset-scoped objectives belong to the cluster tier, whose
+        # supervisor counters carry a dataset label).
+        objectives = (
+            default_objectives() if slo_objectives is None else tuple(slo_objectives)
+        )
+        self.slo: Optional[SloEngine] = None
+        if objectives:
+            self.slo = SloEngine(
+                objectives,
+                source=self.registry.export,
+                registry=self.registry,
+                event_log=self.event_log,
+                request_family="repro_requests_total",
+                error_family="repro_errors_total",
+                latency_family="repro_request_latency_seconds",
+            )
         self._max_workers = max_workers
         self._cooperative = cooperative_cancellation
         self._cancel_grace = cancel_grace
@@ -440,6 +482,9 @@ class QueryService:
         self._mutable: dict[str, "MutableDataset"] = {}
         self._wals: dict[str, "MutationLog"] = {}
         self._detached_wals: list["MutationLog"] = []
+        # Corruption incidents harvested from each attached log (the
+        # log instance may close after replay; the count must survive).
+        self._wal_corruption: dict[str, int] = {}
         self._versions: dict[str, int] = {}
         self._snapshot_sources: dict[str, str] = {}
         self._snapshot_digests: dict[str, Optional[str]] = {}
@@ -450,6 +495,13 @@ class QueryService:
         self._executor_lock = threading.Lock()
         self._active_lock = threading.Lock()
         self._active: dict[str, CancellationToken] = {}
+        # Cancellation-storm detector: a burst of cancellations usually
+        # means one shared cause (deadline too tight after a deploy, a
+        # stuck shard) rather than many unlucky queries — worth one
+        # operational event, not one per request.
+        self._cancel_times: deque[float] = deque()
+        self._cancel_storm_lock = threading.Lock()
+        self._cancel_storm_until = 0.0
         self._closed = False
         self._register_telemetry_collectors()
 
@@ -504,6 +556,12 @@ class QueryService:
             "WAL records replayed during recovery",
             labels=("dataset",),
         )
+        wal_corruption = registry.counter(
+            "repro_wal_corruption_records_total",
+            "WAL corruption incidents detected (and repaired when the "
+            "log was writable)",
+            labels=("dataset",),
+        )
         registry.counter(
             "repro_mutations_applied_total",
             "Mutation batches committed",
@@ -528,7 +586,10 @@ class QueryService:
                     for name in registered
                 }
                 logs = dict(self._wals)
+                corruption = dict(self._wal_corruption)
             datasets_built.set(built)
+            for name, incidents in corruption.items():
+                wal_corruption.set_total(incidents, dataset=name)
             for name, version in versions.items():
                 dataset_version.set(version, dataset=name)
             for name, log in logs.items():
@@ -564,7 +625,7 @@ class QueryService:
             self._build_seconds.setdefault(name, 0.0)
         self._close_detached_wals()
         if replacing:
-            self.cache.purge(lambda key: key[0] == name)
+            self._shred_cache(name)
 
     def register_factory(
         self, name: str, factory: Callable[[], KeywordSearchEngine]
@@ -580,7 +641,7 @@ class QueryService:
             self._build_locks.setdefault(name, threading.Lock())
         self._close_detached_wals()
         if replacing:
-            self.cache.purge(lambda key: key[0] == name)
+            self._shred_cache(name)
 
     def register_mutable(
         self,
@@ -607,9 +668,25 @@ class QueryService:
             self._build_seconds.setdefault(name, 0.0)
         self._close_detached_wals()
         if replacing:
-            self.cache.purge(lambda key: key[0] == name)
+            self._shred_cache(name)
         if wal_path is not None:
             self.attach_wal(name, wal_path, sync=wal_sync)
+
+    def _shred_cache(self, name: str) -> None:
+        """Purge ``name``'s cached results after a re-registration and
+        record the shred as an operational event (a replaced engine's
+        answers must not outlive it — and an operator should see that
+        the fleet just lost its warm cache for the dataset)."""
+        purged = self.cache.purge(lambda key: key[0] == name)
+        self.event_log.emit(
+            "cache_shred",
+            f"purged {purged} cached result(s) for {name!r} after "
+            f"re-registration",
+            severity="info",
+            dataset=name,
+            source="service",
+            purged=purged,
+        )
 
     def _replace_registration_locked(self, name: str) -> bool:
         """Shared replacement sequence (registry lock held): bump the
@@ -795,6 +872,15 @@ class QueryService:
             )
             with self._registry_lock:
                 self._wals[name] = fresh
+        self.event_log.emit(
+            "snapshot_reload",
+            f"reloaded {name!r} from snapshot (version {version})",
+            severity="info",
+            dataset=name,
+            source="service",
+            version=version,
+            digest=digest,
+        )
         return {
             "dataset": name,
             "reloaded": True,
@@ -969,6 +1055,7 @@ class QueryService:
                 dataset.attach_journal(_DatasetJournal(log, self, name))
         else:
             log.close()
+        self._note_wal_events(name, log, replayed)
         return {
             "dataset": name,
             "path": str(path),
@@ -976,6 +1063,51 @@ class QueryService:
             "wal_seq": log.last_seq,
             "version": effective,
         }
+
+    def _note_wal_events(self, name: str, log, replayed: int) -> None:
+        """Turn a just-attached log's recovery outcome into first-class
+        signals: one event per corruption incident (plus the
+        ``repro_wal_corruption_records_total`` counter) and a replay
+        event when records were applied — the operational record of a
+        crash recovery, visible without anyone catching Python
+        warnings."""
+        incidents = log.corruption_events()
+        if incidents:
+            with self._registry_lock:
+                self._wal_corruption[name] = self._wal_corruption.get(
+                    name, 0
+                ) + len(incidents)
+        for incident in incidents:
+            self.event_log.emit(
+                "wal_corruption",
+                f"WAL for {name!r} damaged at byte {incident['offset']} "
+                f"({incident['reason']}); "
+                + (
+                    "tail repaired, "
+                    if incident.get("repaired")
+                    else "replay stopped, "
+                )
+                + f"last valid seq {incident['last_valid_seq']}",
+                severity="warning",
+                dataset=name,
+                source="wal",
+                **{
+                    key: incident[key]
+                    for key in ("path", "offset", "reason", "last_valid_seq", "repaired")
+                    if key in incident
+                },
+            )
+        if replayed:
+            self.event_log.emit(
+                "wal_replay",
+                f"replayed {replayed} WAL record(s) for {name!r} to seq "
+                f"{log.last_seq}",
+                severity="info",
+                dataset=name,
+                source="wal",
+                replayed=replayed,
+                wal_seq=log.last_seq,
+            )
 
     def wal_seqs(self) -> dict[str, int]:
         """``{dataset: last durable WAL sequence}`` for every dataset
@@ -1139,6 +1271,17 @@ class QueryService:
         )
         self.registry.counter("repro_mutations_applied_total").inc(
             dataset=dataset
+        )
+        self.event_log.emit(
+            "mutation_commit",
+            f"committed {outcome.applied} mutation(s) to {dataset!r} "
+            f"(version {version}, {purged} cached result(s) shredded)",
+            severity="info",
+            dataset=dataset,
+            source="service",
+            version=version,
+            applied=outcome.applied,
+            cache_purged=purged,
         )
         from repro.live.mutations import MutationResult
 
@@ -1336,6 +1479,63 @@ class QueryService:
         """Slow-query log entries, newest first (see :class:`SlowQueryLog`)."""
         return self.slow_log.entries()
 
+    def events(self, since: int = 0) -> dict:
+        """Operational events with ``seq > since`` plus the log head —
+        the polling contract behind ``GET /debug/events?since=<seq>``."""
+        return {
+            "events": self.event_log.events(since),
+            "last_seq": self.event_log.last_seq,
+        }
+
+    def profile_snapshot(self) -> Optional[dict]:
+        """Cumulative collapsed-stack counts (None when profiling is
+        off) — the wire shape workers ship to the supervisor."""
+        return self.profiler.snapshot() if self.profiler is not None else None
+
+    def profile(self, seconds: float = 2.0) -> Optional[str]:
+        """Collapsed-stack text for the next ``seconds`` of sampling.
+
+        Snapshot-diff over the always-on profiler: the caller's thread
+        sleeps, the service keeps serving.  None when profiling is off.
+        """
+        if self.profiler is None:
+            return None
+        before = self.profiler.snapshot()
+        time.sleep(max(0.0, seconds))
+        after = self.profiler.snapshot()
+        return render_collapsed(diff_profiles(before, after))
+
+    def slo_status(self) -> list[dict]:
+        """Evaluate the configured objectives now and return their
+        status (burn rates per window, firing state).  Empty when SLOs
+        are disabled (``slo_objectives=()``)."""
+        return self.slo.evaluate() if self.slo is not None else []
+
+    def dashboard_data(self) -> dict:
+        """Everything the ops dashboard renders, as one JSON-safe dict
+        (see :func:`repro.telemetry.dashboard.render_dashboard`)."""
+        exported = self.metrics()
+        datasets = exported.get("datasets") or {}
+        return {
+            "service": type(self).__name__,
+            "generated_at": time.time(),
+            "health": {
+                "status": "ok",
+                "versions": datasets.get("versions") or {},
+                "wal_seq": datasets.get("wal_seq") or {},
+            },
+            "metrics": {
+                "requests_total": exported.get("requests_total"),
+                "errors_total": exported.get("errors_total"),
+                "cache_hit_rate": exported.get("cache_hit_rate"),
+                "algorithms": algorithm_summary(exported.get("algorithms")),
+            },
+            "slo": self.slo_status(),
+            "events": self.event_log.events(limit=50),
+            "slow_queries": self.slow_queries()[:10],
+            "profile": self.profile_snapshot(),
+        }
+
     def close(self, *, wait: bool = True) -> None:
         """Shut the executor down (idempotent); engines stay usable.
 
@@ -1344,6 +1544,8 @@ class QueryService:
         threads in the background — the choice for callers whose own
         deadline matters more than a clean join.
         """
+        if self.profiler is not None:
+            self.profiler.stop()
         with self._executor_lock:
             self._closed = True
             if self._executor is not None:
@@ -1763,6 +1965,7 @@ class QueryService:
             reclaimed_seconds=reclaimed,
             overrun_seconds=overrun,
         )
+        self._note_cancellation(now, reason, request.dataset)
         if record is None or record.claim():
             self._metrics.record_error(request.algorithm, error_type)
         return QueryResponse(
@@ -1773,6 +1976,38 @@ class QueryService:
             elapsed=elapsed,
             exception=exception,
         )
+
+    def _note_cancellation(
+        self, now: float, reason: str, dataset: Optional[str]
+    ) -> None:
+        """Feed the cancellation-storm detector; emit at most one
+        ``cancellation_storm`` event per stormy window.  A burst of
+        cancellations has one shared cause (a too-tight deadline after
+        a deploy, a stuck shard) and deserves one operational event."""
+        with self._cancel_storm_lock:
+            window = self.CANCEL_STORM_WINDOW
+            times = self._cancel_times
+            times.append(now)
+            while times and times[0] < now - window:
+                times.popleft()
+            count = len(times)
+            if count < self.CANCEL_STORM_THRESHOLD or now < self._cancel_storm_until:
+                return
+            self._cancel_storm_until = now + window
+        try:
+            self.event_log.emit(
+                "cancellation_storm",
+                f"{count} cancellations in the last {window:g}s "
+                f"(latest: {reason})",
+                severity="warning",
+                dataset=dataset,
+                source="service",
+                count=count,
+                window=window,
+                reason=reason,
+            )
+        except Exception:  # pragma: no cover - observability never breaks serving
+            pass
 
     def _error_response(
         self,

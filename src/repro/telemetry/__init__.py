@@ -1,6 +1,6 @@
-"""Unified telemetry: structured tracing, metric families, slow-query log.
+"""Unified telemetry: tracing, metrics, events, SLOs, profiling.
 
-Stdlib-only observability for the whole serving stack.  Three pieces:
+Stdlib-only observability for the whole serving stack.  Seven pieces:
 
 * :mod:`repro.telemetry.trace` — ``Tracer`` / ``Span`` / ``TraceStore``:
   one ``trace_id`` per query, a span tree crossing thread and process
@@ -9,12 +9,24 @@ Stdlib-only observability for the whole serving stack.  Three pieces:
   gauges and bucketed histograms every layer registers into, exported
   as JSON or Prometheus text exposition, mergeable across replicas;
 * :mod:`repro.telemetry.slowlog` — ``SlowQueryLog``: a ring buffer of
-  span trees for queries over a latency threshold.
+  span trees for queries over a latency threshold;
+* :mod:`repro.telemetry.events` — ``EventLog``: a monotonically
+  sequenced ring of structured operational events (crashes, WAL
+  repairs, reloads, SLO breaches), mergeable across replicas;
+* :mod:`repro.telemetry.slo` — ``SloEngine``: declarative objectives
+  evaluated over sliding windows of the registry with multi-window
+  burn-rate alerting;
+* :mod:`repro.telemetry.profile` — ``SamplingProfiler``: an always-on
+  collapsed-stack sampler over ``sys._current_frames``;
+* :mod:`repro.telemetry.dashboard` — ``render_dashboard``: the whole
+  fleet on one dependency-free HTML page.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and the full list
 of exported metric families.
 """
 
+from repro.telemetry.dashboard import render_dashboard
+from repro.telemetry.events import SEVERITIES, EventLog, merge_events
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -23,6 +35,19 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     merge_registries,
     render_prometheus,
+)
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    diff_profiles,
+    merge_profiles,
+    render_collapsed,
+)
+from repro.telemetry.slo import (
+    SloEngine,
+    SloObjective,
+    burn_rate,
+    default_objectives,
+    histogram_bad_fraction,
 )
 from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.trace import (
@@ -40,19 +65,32 @@ from repro.telemetry.trace import (
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
-    "merge_registries",
-    "render_prometheus",
+    "SEVERITIES",
+    "SamplingProfiler",
+    "SloEngine",
+    "SloObjective",
     "SlowQueryLog",
     "Span",
     "Tracer",
     "TraceStore",
     "build_span_tree",
+    "burn_rate",
     "current_span",
+    "default_objectives",
+    "diff_profiles",
+    "histogram_bad_fraction",
+    "merge_events",
+    "merge_profiles",
+    "merge_registries",
     "new_span_id",
     "new_trace_id",
+    "render_collapsed",
+    "render_dashboard",
+    "render_prometheus",
     "render_span_tree",
     "use_span",
 ]

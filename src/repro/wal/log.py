@@ -369,6 +369,12 @@ class MutationLog:
         self._fsyncs = 0
         self._appended_bytes = 0
         self._replayed_records = 0
+        # Corruption incidents this instance detected (recovery scan or
+        # replay): a counter for metrics plus a bounded structured list
+        # so the event log can surface *what* was repaired, not just a
+        # Python warning production never sees.
+        self._corruption_records = 0
+        self._corruption_log: list[dict] = []
         if readonly:
             if not self.path.is_dir():
                 raise WalError(f"WAL directory {self.path} does not exist")
@@ -382,6 +388,34 @@ class MutationLog:
     def _segment_paths(self) -> list[Path]:
         return sorted(self.path.glob(_SEGMENT_GLOB))
 
+    def _note_corruption(
+        self, warning: WalCorruptionWarning, *, repaired: bool, stacklevel: int
+    ) -> None:
+        """Record a corruption incident, then emit the usual warning.
+
+        The incident survives on the instance (``corruption_events()``,
+        ``stats()["corruption_records"]``) so callers can turn it into
+        operational events and registry counters after the fact.
+        """
+        self._corruption_records += 1
+        self._corruption_log.append(
+            {
+                "path": warning.path,
+                "offset": warning.offset,
+                "reason": warning.reason,
+                "last_valid_seq": warning.last_valid_seq,
+                "repaired": repaired,
+                "ts": time.time(),
+            }
+        )
+        del self._corruption_log[:-16]
+        warnings.warn(warning, stacklevel=stacklevel + 1)
+
+    def corruption_events(self) -> list[dict]:
+        """Structured corruption incidents this instance detected."""
+        with self._lock:
+            return [dict(event) for event in self._corruption_log]
+
     def _recover(self, start_seq: int) -> list[_Segment]:
         """Scan segments in order; repair the tail unless readonly."""
         paths = self._segment_paths()
@@ -392,10 +426,12 @@ class MutationLog:
             segment = _scan_segment(path, expected)
             segments.append(segment)
             if segment.damaged is not None:
-                warnings.warn(segment.damaged, stacklevel=3)
+                self._note_corruption(
+                    segment.damaged, repaired=not self._readonly, stacklevel=3
+                )
                 dropped = paths[i + 1 :]
                 if dropped:
-                    warnings.warn(
+                    self._note_corruption(
                         WalCorruptionWarning(
                             self.path,
                             segment.damaged.offset,
@@ -403,6 +439,7 @@ class MutationLog:
                             f"past the damage and are ignored",
                             segment.last_seq,
                         ),
+                        repaired=not self._readonly,
                         stacklevel=3,
                     )
                 break
@@ -474,6 +511,7 @@ class MutationLog:
                 "fsyncs": self._fsyncs,
                 "appended_bytes": self._appended_bytes,
                 "replayed_records": self._replayed_records,
+                "corruption_records": self._corruption_records,
             }
 
     @classmethod
@@ -688,10 +726,10 @@ class MutationLog:
                 else:  # damage
                     damage = value
             if damage is not None:
-                warnings.warn(damage, stacklevel=2)
+                self._note_corruption(damage, repaired=False, stacklevel=2)
                 remaining = len(paths) - i - 1
                 if remaining:
-                    warnings.warn(
+                    self._note_corruption(
                         WalCorruptionWarning(
                             self.path,
                             damage.offset,
@@ -699,6 +737,7 @@ class MutationLog:
                             f"past the damage and are ignored",
                             damage.last_valid_seq,
                         ),
+                        repaired=False,
                         stacklevel=2,
                     )
                 return

@@ -248,6 +248,97 @@ def test_metrics_unknown_format_is_400(server):
     assert body["error_type"] == "ValueError"
 
 
+def test_debug_trace_text_format_renders_span_tree(server):
+    _, headers, _ = _post_raw(
+        server, "/search", {"dataset": "toy", "query": "gray transaction"}
+    )
+    trace_id = headers["X-Trace-Id"]
+    status, resp_headers, text = _get_raw(
+        server, f"/debug/trace/{trace_id}?format=text"
+    )
+    assert status == 200
+    assert resp_headers["Content-Type"].startswith("text/plain")
+    assert text.startswith("http")  # the root span, children indented
+    assert "path=/search" in text
+    assert "worker" in text
+
+
+def test_debug_trace_unknown_format_is_400(server):
+    status, _ = _get(server, "/debug/trace/" + "0" * 32 + "?format=xml")
+    assert status == 400
+
+
+def test_debug_events_incremental_polling(server, http_service):
+    http_service.event_log.emit(
+        "probe", "http tier event", severity="warning", dataset="toy"
+    )
+    status, body = _get(server, "/debug/events?since=0")
+    assert status == 200
+    seqs = [event["seq"] for event in body["events"]]
+    assert seqs == sorted(seqs) and seqs
+    assert body["last_seq"] == seqs[-1]
+    kinds = {event["kind"] for event in body["events"]}
+    assert "probe" in kinds
+    # Nothing new past the head.
+    status, body = _get(server, f"/debug/events?since={body['last_seq']}")
+    assert status == 200
+    assert body["events"] == []
+
+
+def test_debug_events_bad_since_is_400(server):
+    assert _get(server, "/debug/events?since=abc")[0] == 400
+
+
+def test_debug_profile_disabled_is_501(server):
+    # The thread-tier module fixture runs with profiling off.
+    status, body = _get(server, "/debug/profile?seconds=0.1")
+    assert status == 501
+    assert "profiling" in body["error"]
+
+
+def test_debug_profile_bounds_and_bad_values(server):
+    assert _get(server, "/debug/profile?seconds=bogus")[0] == 400
+    assert _get(server, "/debug/profile?seconds=99")[0] == 400
+    assert _get(server, "/debug/profile?seconds=-1")[0] == 400
+
+
+def test_debug_profile_collapsed_stacks_from_fleet(server, sharded):
+    original = server.service
+    try:
+        server.service = sharded
+        status, headers, text = _get_raw(server, "/debug/profile?seconds=0.3")
+        assert status == 200, text
+        assert headers["Content-Type"].startswith("text/plain")
+        lines = [line for line in text.splitlines() if line.strip()]
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and count.isdigit()
+    finally:
+        server.service = original
+
+
+def test_debug_dashboard_serves_html(server, sharded):
+    original = server.service
+    try:
+        server.service = sharded
+        sharded.search("alpha", "gray transaction")
+        status, headers, html = _get_raw(server, "/debug/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        for needle in ("<!doctype html>", "SLO", "Events", "alpha"):
+            assert needle in html, needle
+    finally:
+        server.service = original
+
+
+def test_debug_dashboard_on_thread_tier(server):
+    status, headers, html = _get_raw(server, "/debug/dashboard")
+    assert status == 200
+    assert "<!doctype html>" in html
+    assert "QueryService" in html
+
+
 def test_status_for_error_mapping():
     assert status_for_error(None) == 200
     assert status_for_error("UnknownDatasetError") == 404

@@ -219,6 +219,142 @@ class TestKill9Recovery:
         assert signal.SIGKILL.value == 9
 
 
+@pytest.fixture()
+def ops_fleet(tmp_path, toy_snapshot):
+    """The kill-9 fleet with aggressive SLO windows so an availability
+    burn-rate alert can fire and clear within a test's patience."""
+    from repro.telemetry.slo import SloObjective
+
+    # health_interval bounds crash *detection*: until the monitor's next
+    # sweep the dead slot stays down, so 0.5s guarantees the 0.05s SLO
+    # ticker snapshots the outage (alive 1/2) several times before the
+    # respawn — the breach fires deterministically instead of racing.
+    service = ShardedQueryService(
+        {"toy": toy_snapshot},
+        num_workers=2,
+        default_replicas=2,
+        health_interval=0.5,
+        wal_dir=tmp_path / "wal",
+        slo_objectives=[
+            SloObjective(
+                name="availability",
+                kind="availability",
+                budget=0.02,
+                fast_window=0.3,
+                slow_window=0.6,
+                burn_threshold=1.5,
+            )
+        ],
+        slo_interval=0.05,
+    )
+    service.warmup()
+    yield service
+    service.close()
+
+
+class TestOperationalIntelligence:
+    """The ISSUE-7 acceptance scenario: one kill -9, and the incident's
+    whole arc — crash, restart, WAL replay, SLO breach and clearance —
+    is in the supervisor's event log and on one dashboard page."""
+
+    def test_kill9_incident_is_fully_recorded(self, ops_fleet):
+        from repro.telemetry.dashboard import render_dashboard
+
+        fleet = ops_fleet
+        commit_stream(fleet, NUM_COMMITS)
+        time.sleep(0.7)  # let any startup SLO wobble settle and clear
+        pre_kill_seq = fleet.events()["last_seq"]
+
+        process = fleet.pool.process(0)
+        process.kill()
+        assert wait_until(
+            lambda: fleet.pool.restarts().get(0, 0) >= 1
+            and fleet.pool.alive().get(0, False)
+        ), "supervisor never restarted the killed worker"
+        assert wait_until(
+            lambda: fleet.dataset_versions(timeout=5.0).get("toy", {})
+            == {"0": NUM_COMMITS, "1": NUM_COMMITS}
+        )
+
+        def kinds():
+            return {e["kind"] for e in fleet.events()["events"]}
+
+        assert wait_until(
+            lambda: {"worker_crash", "worker_restart", "wal_replay"}
+            <= kinds()
+        ), kinds()
+
+        events = fleet.events()["events"]
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs), "merged log lost seq order"
+        by_kind: dict[str, list] = {}
+        for event in events:
+            by_kind.setdefault(event["kind"], []).append(event)
+
+        crash = by_kind["worker_crash"][0]
+        assert crash["severity"] == "error"
+        assert crash["extra"]["worker_id"] == 0
+        assert crash["source"] == "pool"
+        restart = by_kind["worker_restart"][0]
+        assert restart["seq"] > crash["seq"]
+        assert restart["extra"]["restarts"] >= 1
+
+        # The respawned replica's replay, pulled from the worker's own
+        # log and re-sequenced into the supervisor's: right dataset,
+        # right seq, attributed to the worker that replayed.
+        replays = [
+            e for e in by_kind["wal_replay"] if e["seq"] > pre_kill_seq
+        ]
+        assert replays, by_kind["wal_replay"]
+        replay = replays[-1]
+        assert replay["dataset"] == "toy"
+        assert replay["extra"]["wal_seq"] == NUM_COMMITS
+        assert replay["extra"]["replayed"] == NUM_COMMITS
+        assert replay["source"].startswith("worker-")
+
+        # The availability burn-rate alert fired during the outage and
+        # cleared once the replacement worker reported alive.  (The
+        # breach can be sequenced just before the crash event — the SLO
+        # ticker and the crash handler race within the same tick — so
+        # anchor on the pre-kill head, not the crash's seq.)
+        def breach_then_clear():
+            current = fleet.events(pull=False)["events"]
+            breaches = [
+                e
+                for e in current
+                if e["kind"] == "slo_breach" and e["seq"] > pre_kill_seq
+            ]
+            if not breaches:
+                return False
+            return any(
+                e["kind"] == "slo_clear" and e["seq"] > breaches[0]["seq"]
+                for e in current
+            )
+
+        assert wait_until(breach_then_clear), [
+            (e["kind"], e["seq"]) for e in fleet.events(pull=False)["events"]
+        ]
+        breach = next(
+            e
+            for e in fleet.events(pull=False)["events"]
+            if e["kind"] == "slo_breach" and e["seq"] > pre_kill_seq
+        )
+        assert breach["extra"]["objective"] == "availability"
+
+        # ...and the whole incident is on one dashboard page.
+        html = render_dashboard(fleet.dashboard_data())
+        for needle in (
+            "worker_crash",
+            "worker_restart",
+            "wal_replay",
+            "slo_breach",
+            "slo_clear",
+            "availability",
+            "toy",
+        ):
+            assert needle in html, f"dashboard missing {needle!r}"
+
+
 class TestWithoutWal:
     def test_no_wal_dir_keeps_in_memory_semantics(self, tmp_path, toy_snapshot):
         """Without wal_dir nothing is written and apply reports no

@@ -1,0 +1,128 @@
+"""Property: SLO window math is merge-invariant.
+
+The supervisor computes burn rates from *merged* replica histograms
+(cumulative buckets add across replicas).  For that to be sound, the
+bad fraction — and therefore the burn rate — computed over the merged
+export must equal the one computed over the union of the raw latency
+samples.  Hypothesis pins this for arbitrary replica splits of an
+arbitrary sample population, plus the supporting algebra
+(``burn_rate`` scaling, bucket-threshold conservatism).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import MetricsRegistry, merge_registries
+from repro.telemetry.slo import burn_rate, histogram_bad_fraction
+
+BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+latencies = st.lists(
+    st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+def observe_all(samples: list[float]) -> dict:
+    """One registry that saw every sample -> its exported histogram."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "latency", buckets=BUCKETS)
+    for value in samples:
+        hist.observe(value)
+    return registry.export()
+
+
+def split(samples: list[float], cuts: list[int]) -> list[list[float]]:
+    """Partition samples into replica-sized chunks at the given cuts."""
+    bounds = sorted(cut % (len(samples) + 1) for cut in cuts)
+    parts, start = [], 0
+    for cut in bounds + [len(samples)]:
+        parts.append(samples[start:cut])
+        start = cut
+    return parts
+
+
+@st.composite
+def replica_splits(draw):
+    samples = draw(latencies)
+    cuts = draw(st.lists(st.integers(min_value=0), min_size=0, max_size=4))
+    threshold = draw(st.sampled_from(BUCKETS))
+    return samples, split(samples, cuts), threshold
+
+
+class TestMergeInvariance:
+    @settings(max_examples=200, deadline=None)
+    @given(replica_splits())
+    def test_bad_fraction_over_merge_equals_union(self, case):
+        samples, parts, threshold = case
+        merged = merge_registries([observe_all(part) for part in parts])
+        union = observe_all(samples)
+
+        def bad_fraction(export: dict) -> float:
+            (sample,) = export["lat"]["samples"]
+            return histogram_bad_fraction(
+                sample["buckets"], sample["count"], threshold
+            )
+
+        assert bad_fraction(merged) == pytest.approx(bad_fraction(union))
+
+    @settings(max_examples=200, deadline=None)
+    @given(replica_splits())
+    def test_merged_count_and_buckets_are_sums(self, case):
+        samples, parts, _ = case
+        merged = merge_registries([observe_all(part) for part in parts])
+        union = observe_all(samples)
+        (merged_sample,) = merged["lat"]["samples"]
+        (union_sample,) = union["lat"]["samples"]
+        assert merged_sample["count"] == union_sample["count"] == len(samples)
+        assert merged_sample["buckets"] == union_sample["buckets"]
+        assert merged_sample["sum"] == pytest.approx(union_sample["sum"])
+
+    @settings(max_examples=200, deadline=None)
+    @given(replica_splits(), st.floats(min_value=0.001, max_value=0.5))
+    def test_burn_rate_is_merge_invariant(self, case, budget):
+        samples, parts, threshold = case
+        merged = merge_registries([observe_all(part) for part in parts])
+        (sample,) = merged["lat"]["samples"]
+        total = sample["count"]
+        fraction = histogram_bad_fraction(sample["buckets"], total, threshold)
+        via_merge = burn_rate(fraction * total, total, budget)
+        exact_bad = sum(1 for value in samples if value > threshold)
+        # The bucketed count can only over-estimate badness (conservative
+        # rounding up to the next bound), never under-estimate.
+        assert via_merge * budget * total >= exact_bad - 1e-9
+
+
+class TestAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=1000),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_burn_rate_scales_with_bad_fraction(self, bad, extra, budget):
+        total = bad + extra
+        rate = burn_rate(bad, total, budget)
+        assert rate == pytest.approx((bad / total) / budget)
+        assert rate >= 0
+        # Doubling both bad and total leaves the rate unchanged.
+        assert burn_rate(2 * bad, 2 * total, budget) == pytest.approx(rate)
+
+    @settings(max_examples=200, deadline=None)
+    @given(latencies, st.sampled_from(BUCKETS))
+    def test_bad_fraction_bounded_and_conservative(self, samples, threshold):
+        export = observe_all(samples)
+        (sample,) = export["lat"]["samples"]
+        fraction = histogram_bad_fraction(
+            sample["buckets"], sample["count"], threshold
+        )
+        assert 0.0 <= fraction <= 1.0
+        exact = sum(1 for v in samples if v > threshold) / len(samples)
+        assert fraction >= exact - 1e-9
+        assert not math.isnan(fraction)

@@ -282,3 +282,42 @@ class TestNonCooperativeMode:
             gated.gate.set()
             assert gated.stopped.wait(2.0)
             svc.close(wait=False)
+
+
+class TestCancellationStormEvent:
+    def test_burst_emits_exactly_one_storm_event(self, service, gated):
+        service.CANCEL_STORM_THRESHOLD = 3
+        for _ in range(3):
+            response = service.search("slow", "anything", timeout=0.01)
+            assert response.error_type == DeadlineExceededError.__name__
+
+        def storms():
+            return [
+                e
+                for e in service.event_log.events()
+                if e["kind"] == "cancellation_storm"
+            ]
+
+        # The deadline response returns before the cancelled search
+        # finishes on its worker thread, where the storm is detected.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline and not storms():
+            time.sleep(0.01)
+        (storm,) = storms()
+        assert storm["severity"] == "warning"
+        assert storm["dataset"] == "slow"
+        assert storm["extra"]["count"] >= 3
+        assert storm["extra"]["reason"] == "deadline"
+        # More cancellations inside the same storm window stay quiet:
+        # a storm is one event, not a stream of them.
+        for _ in range(3):
+            service.search("slow", "anything", timeout=0.01)
+        time.sleep(0.2)  # let the trailing cancellations land
+        assert len(storms()) == 1
+
+    def test_sparse_cancellations_never_fire_the_event(self, service):
+        # Two cancellations against the default threshold of 10.
+        for _ in range(2):
+            service.search("slow", "anything", timeout=0.01)
+        kinds = [e["kind"] for e in service.event_log.events()]
+        assert "cancellation_storm" not in kinds

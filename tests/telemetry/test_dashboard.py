@@ -1,0 +1,165 @@
+"""render_dashboard: a pure function over plain dicts — escaping,
+section presence, and tolerance of missing/degraded data."""
+
+from repro.telemetry.dashboard import algorithm_summary, render_dashboard
+
+
+def full_data() -> dict:
+    return {
+        "service": "ShardedQueryService",
+        "generated_at": 1700000000.0,
+        "health": {
+            "status": "ok",
+            "workers": 2,
+            "workers_alive": 2,
+            "restarts": {"0": 1, "1": 0},
+            "versions": {"toy": "w0=3, w1=3"},
+            "version_drift": [],
+            "wal_seq": {"toy": 3},
+        },
+        "metrics": {
+            "requests_total": 120,
+            "errors_total": 2,
+            "cache_hit_rate": 0.5,
+            "algorithms": {
+                "bidirectional": {
+                    "requests": 100,
+                    "p50": 0.01,
+                    "p90": 0.05,
+                    "p99": 0.2,
+                }
+            },
+        },
+        "slo": [
+            {
+                "objective": "availability",
+                "kind": "availability",
+                "dataset": "*",
+                "burn_threshold": 6.0,
+                "windows": {
+                    "fast": {"burn_rate": 12.0},
+                    "slow": {"burn_rate": 8.0},
+                },
+                "firing": True,
+            }
+        ],
+        "events": [
+            {
+                "seq": 1,
+                "ts": 1700000000.0,
+                "kind": "worker_crash",
+                "severity": "error",
+                "message": "worker 0 died",
+                "dataset": None,
+                "source": "pool",
+            },
+            {
+                "seq": 2,
+                "ts": 1700000001.0,
+                "kind": "worker_restart",
+                "severity": "warning",
+                "message": "worker 0 respawned",
+                "dataset": None,
+                "source": "pool",
+            },
+        ],
+        "slow_queries": [
+            {
+                "recorded_at": 1700000000.0,
+                "elapsed": 1.5,
+                "trace_id": "trace-abc",
+                "request": {"dataset": "toy", "query": "gray transaction"},
+                "error_type": None,
+            }
+        ],
+        "profile": {
+            "samples": {"MainThread;app.py:serve;engine.py:search": 90},
+            "total": 100,
+        },
+    }
+
+
+class TestSections:
+    def test_full_page_has_every_section(self):
+        html = render_dashboard(full_data())
+        for needle in (
+            "<!doctype html>",
+            "SLO",
+            "FIRING",
+            "Events",
+            "worker_crash",
+            "Datasets",
+            "Latency",
+            "Slow queries",
+            "Hottest stacks",
+            "/debug/trace/trace-abc?format=text",
+            "/debug/profile?seconds=2",
+        ):
+            assert needle in html, needle
+
+    def test_events_render_newest_first(self):
+        html = render_dashboard(full_data())
+        assert html.index("worker_restart") < html.index("worker_crash")
+
+    def test_degraded_fleet_shows_bad_status(self):
+        data = full_data()
+        data["health"]["status"] = "degraded"
+        data["health"]["workers_alive"] = 1
+        html = render_dashboard(data)
+        assert "degraded" in html
+        assert 'class="value bad"' in html
+
+    def test_empty_data_still_renders_a_page(self):
+        html = render_dashboard({})
+        assert "<!doctype html>" in html
+        assert "repro ops dashboard" in html
+        assert "(none)" in html  # empty tables collapse to a stub
+
+    def test_refresh_meta_tag_and_opt_out(self):
+        assert 'http-equiv="refresh" content="5"' in render_dashboard({})
+        assert "http-equiv" not in render_dashboard({}, refresh_seconds=None)
+
+    def test_html_escaping_of_event_messages(self):
+        data = full_data()
+        data["events"] = [
+            {
+                "seq": 1,
+                "ts": 0.0,
+                "kind": "note",
+                "severity": "info",
+                "message": '<script>alert("xss")</script>',
+                "source": "test",
+            }
+        ]
+        html = render_dashboard(data)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestAlgorithmSummary:
+    def test_converts_service_metrics_keys(self):
+        summary = algorithm_summary(
+            {
+                "bidirectional": {
+                    "requests": 10,
+                    "latency_p50": 0.01,
+                    "latency_p90": 0.02,
+                    "latency_p99": 0.03,
+                    "latency_mean": 0.015,
+                }
+            }
+        )
+        assert summary == {
+            "bidirectional": {
+                "requests": 10,
+                "p50": 0.01,
+                "p90": 0.02,
+                "p99": 0.03,
+            }
+        }
+
+    def test_tolerates_none(self):
+        assert algorithm_summary(None) == {}
+        assert algorithm_summary({"x": None}) == {
+            "x": {"requests": None, "p50": None, "p90": None, "p99": None}
+        }

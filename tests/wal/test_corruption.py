@@ -131,6 +131,79 @@ class TestMultiSegmentDamage:
         assert [r.seq for r in records] == [1, 2]
 
 
+class TestCorruptionSignal:
+    """Corruption is a first-class structured signal, not just a Python
+    warning: incidents persist on the instance for the event log and
+    the ``repro_wal_corruption_records_total`` counter to harvest."""
+
+    def test_clean_log_reports_no_incidents(self, tmp_path):
+        write_log(tmp_path / "log", 3)
+        with MutationLog(tmp_path / "log", readonly=True) as log:
+            assert log.corruption_events() == []
+            assert log.stats()["corruption_records"] == 0
+
+    def test_incident_shape_matches_the_warning(self, tmp_path):
+        write_log(tmp_path / "log", 4)
+        seg = segments(tmp_path / "log")[-1]
+        seg.write_bytes(seg.read_bytes()[:-5])
+        with pytest.warns(WalCorruptionWarning) as caught:
+            with MutationLog(tmp_path / "log", readonly=True) as log:
+                (incident,) = log.corruption_events()
+        warning = caught[0].message
+        assert incident["reason"] == warning.reason
+        assert incident["offset"] == warning.offset
+        assert incident["last_valid_seq"] == warning.last_valid_seq == 3
+        assert incident["path"] == warning.path
+        assert isinstance(incident["ts"], float)
+        assert log.stats()["corruption_records"] == 1
+
+    def test_repaired_flag_tracks_open_mode(self, tmp_path):
+        write_log(tmp_path / "log", 3)
+        seg = segments(tmp_path / "log")[-1]
+        torn = seg.read_bytes()[:-5]
+        seg.write_bytes(torn)
+        with pytest.warns(WalCorruptionWarning):
+            with MutationLog(tmp_path / "log", readonly=True) as log:
+                (incident,) = log.corruption_events()
+                assert incident["repaired"] is False
+        seg.write_bytes(torn)  # re-tear (readonly never repaired anyway)
+        with pytest.warns(WalCorruptionWarning):
+            writable = MutationLog(tmp_path / "log")
+        (incident,) = writable.corruption_events()
+        assert incident["repaired"] is True
+        writable.close()
+
+    def test_multi_segment_damage_counts_every_incident(self, tmp_path):
+        write_log(tmp_path / "log", 6, segment_max_records=2)
+        first = segments(tmp_path / "log")[0]
+        first.write_bytes(first.read_bytes()[:-5])
+        with pytest.warns(WalCorruptionWarning):
+            with MutationLog(tmp_path / "log", readonly=True) as log:
+                incidents = log.corruption_events()
+        # One incident for the torn tail, one for the unreachable
+        # later segments — the counter matches the structured list.
+        assert len(incidents) == 2
+        assert log.stats()["corruption_records"] == 2
+        reasons = [incident["reason"] for incident in incidents]
+        assert any("later segment" in reason for reason in reasons)
+
+    def test_incident_list_is_bounded_but_counter_is_not(self, tmp_path):
+        # A readonly log never repairs, so every replay re-detects the
+        # same torn tail.  The counter counts them all; the structured
+        # list stays a bounded ring.
+        write_log(tmp_path / "log", 3)
+        seg = segments(tmp_path / "log")[-1]
+        seg.write_bytes(seg.read_bytes()[:-5])
+        with pytest.warns(WalCorruptionWarning):
+            log = MutationLog(tmp_path / "log", readonly=True)
+        for _ in range(20):
+            with pytest.warns(WalCorruptionWarning):
+                list(log.records())
+        assert log.stats()["corruption_records"] == 21
+        assert len(log.corruption_events()) == 16
+        log.close()
+
+
 class TestAppendRepair:
     def test_reopen_for_append_truncates_torn_tail(self, tmp_path):
         write_log(tmp_path / "log", 3)
