@@ -17,6 +17,13 @@ ratios against ``benchmarks/baseline.json``:
 * **tolerance** — a row regresses when its normalized ratio falls more
   than ``tolerance`` (default 0.20) below the baseline's.  Faster is
   never an error (the report suggests a baseline refresh instead);
+* **ratio gates** — the baseline may carry ``ratio_gates``: hard
+  floors on the ratio of two rows *from the same run* (e.g. the
+  vectorized expansion backend must stay >= 3x the python backend's
+  QPS on the kernel bench).  Ratios of same-run rows need no
+  calibration — the machine factor cancels — so these are absolute
+  bars, not drift-tolerant comparisons, and they fail the run the
+  moment an optimization rots;
 * **history** — every run appends ``{commit, ts, rows}`` to a history
   file (default ``BENCH_history.json``, CI keeps it as an artifact) so
   trends are reconstructable without re-running old commits.
@@ -112,6 +119,40 @@ def compare(
     return lines, regressions
 
 
+def check_ratio_gates(
+    raw: dict[tuple[str, str], float], gates: list[dict]
+) -> tuple[list[str], list[str]]:
+    """Enforce ``ratio_gates`` on the *raw* rows (calibration cancels).
+
+    Each gate: ``{"name", "numerator": "experiment/mode",
+    "denominator": "experiment/mode", "min_ratio": float}``.
+    """
+    lines: list[str] = []
+    regressions: list[str] = []
+    for gate in gates:
+        name = str(gate.get("name", "unnamed-gate"))
+        num_key = tuple(str(gate.get("numerator", "")).split("/", 1))
+        den_key = tuple(str(gate.get("denominator", "")).split("/", 1))
+        floor = float(gate.get("min_ratio", 0.0))
+        num = raw.get(num_key) if len(num_key) == 2 else None
+        den = raw.get(den_key) if len(den_key) == 2 else None
+        if not num or not den:
+            missing = "/".join(num_key if not num else den_key)
+            regressions.append(f"{name}: row {missing} missing from this run")
+            continue
+        ratio = num / den
+        verdict = "ok" if ratio >= floor else "BELOW FLOOR"
+        lines.append(
+            f"  {name:40s} ratio {ratio:10.2f}  floor {floor:.2f}  {verdict}"
+        )
+        if ratio < floor:
+            regressions.append(
+                f"{name}: {'/'.join(num_key)} is only {ratio:.2f}x "
+                f"{'/'.join(den_key)} (floor {floor:.2f}x)"
+            )
+    return lines, regressions
+
+
 def append_history(
     path: Path, commit: str, rows: dict[tuple[str, str], float]
 ) -> None:
@@ -162,9 +203,18 @@ def main(argv=None) -> int:
     if args.update_baseline:
         calibration = ("telemetry-overhead", "untraced")
         normalized = normalize(raw, calibration)
+        # Ratio gates are policy, not measurements — carry them over.
+        gates = []
+        if args.baseline.exists():
+            try:
+                old = json.loads(args.baseline.read_text(encoding="utf-8"))
+                gates = old.get("ratio_gates") or []
+            except (json.JSONDecodeError, OSError):
+                gates = []
         payload = {
             "calibration": list(calibration),
             "tolerance": args.tolerance if args.tolerance is not None else 0.20,
+            "ratio_gates": gates,
             "rows": {
                 "/".join(key): value for key, value in sorted(normalized.items())
             },
@@ -200,11 +250,18 @@ def main(argv=None) -> int:
     append_history(args.history, args.commit, normalized)
 
     lines, regressions = compare(normalized, baseline, tolerance)
+    gate_lines, gate_regressions = check_ratio_gates(
+        raw, base_doc.get("ratio_gates") or []
+    )
+    regressions.extend(gate_regressions)
     print(
         f"perf-trend vs {args.baseline.name} "
         f"(calibration {'/'.join(calibration)}, tolerance {tolerance:.0%}):"
     )
     print("\n".join(lines))
+    if gate_lines:
+        print("ratio gates (raw same-run ratios, hard floors):")
+        print("\n".join(gate_lines))
     if regressions:
         print("\nREGRESSIONS:", file=sys.stderr)
         for line in regressions:

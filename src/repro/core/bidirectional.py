@@ -82,6 +82,13 @@ class BidirectionalSearch(BaseSearch):
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
+        from repro.core.kernels import resolve_backend
+
+        backend = resolve_backend(self.params.expansion_backend)
+        if backend != "python":
+            from repro.core.kernels import run_bidi_batched
+
+            return run_bidi_batched(self, backend)
         seeds = self._table.seed_all()
         self._act.seed_all()
         for node in sorted(seeds):

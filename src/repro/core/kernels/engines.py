@@ -1,0 +1,416 @@
+"""Batched expansion engines for SI-Backward and Bidirectional search.
+
+These are alternate ``run()`` bodies the search classes delegate to
+when ``SearchParams.expansion_backend`` resolves to a kernel backend
+(``scalar`` / ``vectorized`` / ``numba``).  Instead of one cursor pop
+per iteration, each loop pops a batch of up to ``expansion_batch``
+cursors from a :class:`~repro.core.kernels.frontier.VectorFrontier`,
+gathers the batch's edges from the graph CSR in bulk, computes
+relaxation / activation candidates with the selected kernel, and
+applies them through the shared scalar cascade code in
+:mod:`repro.core.kernels.state`.
+
+Contracts preserved from the per-pop loops:
+
+* **anytime/cancellation** — the token is consumed once per batch via
+  :meth:`CancellationToken.tick_many`; the batch is capped at
+  ``cancel_check_interval`` so a cancelled search still stops within
+  ~2 check intervals of pops, and a partially-granted batch processes
+  exactly the granted pops (``cancel_at_tick`` cuts stay exact).
+  Cancellation breaks *between* batches before any flush, so the
+  released answers remain a bound-certified prefix;
+* **stats/tracing** — ``nodes_explored`` still counts pops,
+  ``nodes_touched`` frontier inserts and ``edges_explored`` explored
+  edges; ``_profile_tick`` runs once per pop so
+  ``trace_every_n_pops`` samples keep their meaning;
+* **output** — emission, minimality, duplicate discard and the
+  Section 4.5 bounded release all go through the ``BaseSearch``
+  plumbing, with the bound computed vectorized over the dense state.
+
+What batching *changes* is exploration order: cursors 2..K of a batch
+are popped before cursor 1's relaxations land, so pop order (and
+anything downstream of it, like which equal-cost ``sp`` decomposition
+wins a tie) can differ from the python backend.  All kernel backends
+share one deterministic order, which is the parity property
+``tests/property/test_prop_kernels.py`` pins bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.kernels.csr import graph_csr
+from repro.core.kernels.expand import (
+    dist_candidates,
+    gather_in,
+    gather_out,
+    spread_candidates,
+)
+from repro.core.kernels.frontier import VectorFrontier
+from repro.core.kernels.state import DenseActivationState, DensePathState
+
+__all__ = ["EmitGate", "effective_batch", "run_si_batched", "run_bidi_batched"]
+
+#: Auto batch size before the ``cancel_check_interval`` cap.
+DEFAULT_BATCH = 32
+
+_BIG = np.iinfo(np.int64).max
+
+
+def effective_batch(params) -> int:
+    """Resolve ``expansion_batch`` (0 = auto) under the cancellation cap."""
+    b = params.expansion_batch or DEFAULT_BATCH
+    return max(1, min(b, params.cancel_check_interval))
+
+
+def _grant(search, want: int) -> int:
+    """Consume ``want`` cooperative ticks; flags the search on firing."""
+    token = search.token
+    if token is None:
+        return want
+    granted = token.tick_many(want)
+    if granted < want:
+        search._stopped_by_cancel = True
+    return granted
+
+
+def _pop_loop_head(search, state: DensePathState, batch, emit) -> None:
+    """The per-pop bookkeeping shared by both engines: stats, flush
+    counter, profiler sample, emit-if-complete — one tick per cursor so
+    counters and trace samples mean what they meant per-pop."""
+    for v in batch.tolist():
+        search.stats.explore()
+        search._pops_since_flush += 1
+        search._profile_tick()
+        if state.is_complete(v):
+            emit(v)
+
+
+def _assign_depths(
+    depth: np.ndarray,
+    scratch: np.ndarray,
+    fresh: np.ndarray,
+    tgt: np.ndarray,
+    src_depth_plus1: np.ndarray,
+) -> None:
+    """First-touch depths for newly discovered nodes: the minimum over
+    the batch edges that reached them (order-free, so every backend
+    agrees); already-known depths are kept (setdefault semantics)."""
+    np.minimum.at(scratch, tgt, src_depth_plus1)
+    depth[fresh] = scratch[fresh]
+    scratch[tgt] = _BIG
+
+
+class EmitGate:
+    """Emission pruning: completion events vastly outnumber answers
+    (a root re-emits on every distance improvement), so before paying
+    for path building + scoring, the kernel backends drop trees that
+    provably cannot enter the released top-k.
+
+    Sound in exact output mode only: release is best-score-first and
+    stops at ``max_results``, so once ``max_results`` distinct answers
+    with scores strictly above a tree's score upper bound
+    (``N_ub**lam / (1 + E)``, with ``E`` the tree's exact edge score)
+    are buffered or released, that tree can never be released — its
+    better rivals would exhaust the quota first.  Tracked scores are
+    never updated on ``improved`` re-adds, keeping the threshold an
+    understatement (pruning less, never wrongly).  Released answers are
+    identical with or without the gate; only ``answers_generated`` /
+    ``duplicates_discarded`` counters shrink.
+    """
+
+    __slots__ = ("enabled", "cap", "scorer", "k", "topk", "_nub_pow", "_block_above")
+
+    def __init__(self, search) -> None:
+        import heapq
+        from math import inf
+
+        self.enabled = search.params.output_mode == "exact"
+        self.cap = search.params.max_results
+        self.scorer = search.scorer
+        self.k = search.k
+        self.topk: list[float] = []
+        self._nub_pow = self.scorer.node_score_upper_bound(self.k) ** self.scorer.lam
+        # Edge scores above this certainly block (inverted threshold,
+        # padded conservatively); the band just below falls through to
+        # the exact upper-bound check.
+        self._block_above = inf
+
+        inner_add = search.output.add
+        topk = self.topk
+        cap = self.cap
+        gate = self
+
+        def tracking_add(tree, *args, **kwargs):
+            status = inner_add(tree, *args, **kwargs)
+            if status == "new":
+                if len(topk) < cap:
+                    heapq.heappush(topk, tree.score)
+                elif tree.score > topk[0]:
+                    heapq.heapreplace(topk, tree.score)
+                else:
+                    return status
+                if len(topk) >= cap:
+                    t = topk[0]
+                    gate._block_above = (
+                        (gate._nub_pow / t - 1.0) * (1.0 + 1e-12) + 1e-12
+                        if t > 0.0
+                        else inf
+                    )
+            return status
+
+        search.output.add = tracking_add
+
+    def blocks(self, edge_score: float) -> bool:
+        """True when no tree with this edge score can be released."""
+        topk = self.topk
+        if not self.enabled or len(topk) < self.cap:
+            return False
+        if edge_score > self._block_above:
+            return True
+        return self.scorer.score_upper_bound(edge_score, self.k) < topk[0]
+
+
+def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
+    gate = EmitGate(search)
+    rows = state.dist_rows
+    k = search.k
+    topk = gate.topk
+    cap = gate.cap
+    enabled = gate.enabled
+
+    def emit(root: int) -> None:
+        e = 0.0
+        for i in range(k):
+            e += rows[i][root]
+        # gate.blocks, inlined: completion events fire per distance
+        # improvement and the blocked case must stay a float compare.
+        if enabled and len(topk) >= cap:
+            if e > gate._block_above:
+                return
+            if gate.scorer.score_upper_bound(e, k) < topk[0]:
+                return
+        paths, dists = state.build_paths(root)
+        search._emit_tree(root, paths, dists)
+
+    return emit
+
+
+# ----------------------------------------------------------------------
+# SI-Backward
+# ----------------------------------------------------------------------
+def run_si_batched(search, backend: str):
+    """Batched SI-Backward: distance-ordered single frontier."""
+    params = search.params
+    csr = graph_csr(search.graph)
+    state = DensePathState(csr, search.keyword_sets)
+    frontier = VectorFrontier(csr.n, kind="min")
+    depth = np.full(csr.n, -1, dtype=np.int64)
+    scratch = np.full(csr.n, _BIG, dtype=np.int64)
+    explored = np.zeros(csr.n, dtype=bool)
+    search._frontier_sizes = lambda: {"queue": len(frontier)}
+    emit = _make_emit(search, state)
+
+    seeds = state.seed_all()
+    if seeds:
+        arr = np.array(seeds, dtype=np.int64)
+        depth[arr] = 0
+        search.stats.touch(
+            frontier.push_many(arr, np.zeros(len(arr), dtype=np.float64))
+        )
+
+    batch_limit = effective_batch(params)
+    budget = params.node_budget
+    while frontier and not search._done:
+        # Ticks consumed == cursors popped (the legacy per-pop rate):
+        # cap the ask at what the frontier can actually deliver.
+        want = min(batch_limit, len(frontier))
+        if budget is not None:
+            room = budget - search.stats.nodes_explored
+            if room <= 0:
+                break
+            want = min(want, room)
+        granted = _grant(search, want)
+        if granted == 0:
+            break
+        batch = frontier.pop_batch(granted)
+        explored[batch] = True
+        _pop_loop_head(search, state, batch, emit)
+
+        expand_nodes = batch[depth[batch] < params.dmax]
+        if len(expand_nodes):
+            state.expanded_in.update(expand_nodes.tolist())
+            tgt, src, w = gather_in(csr, expand_nodes)
+            if len(w):
+                search.stats.explore_edge(len(w))
+                e_idx, i_idx, nd = dist_candidates(
+                    backend, state.dist, tgt, src, w
+                )
+                state.apply_dist_candidates(tgt, src, w, e_idx, i_idx, nd, emit)
+                changed = state.drain_changed()
+                if len(changed):
+                    live = changed[frontier.contains_mask[changed]]
+                    if len(live):
+                        frontier.update_many(live, state.min_dist_of(live))
+                fresh = np.unique(
+                    tgt[~(explored[tgt] | frontier.contains_mask[tgt])]
+                )
+                if len(fresh):
+                    _assign_depths(depth, scratch, fresh, tgt, depth[src] + 1)
+                    search.stats.touch(
+                        frontier.push_many(fresh, state.min_dist_of(fresh))
+                    )
+        if search._stopped_by_cancel:
+            break
+        if search._should_flush():
+            ms = state.frontier_minima(frontier.live_nodes())
+            search._flush(state.nra_bound(ms))
+    return search._finish()
+
+
+# ----------------------------------------------------------------------
+# Bidirectional
+# ----------------------------------------------------------------------
+def _choose_side(
+    rule: str, fin: VectorFrontier, fout: VectorFrontier, batch_limit: int
+) -> str:
+    """Which frontier to expand this batch.
+
+    ``"activation"`` is Figure 3's switch (highest-activation cursor
+    wins, ties favour incoming).  ``"fanout"`` expands the structurally
+    cheaper side: estimated batch fan-out = mean structural degree of
+    the live set x the cursors the batch would actually pop.
+    """
+    if not fout:
+        return "in"
+    if not fin:
+        return "out"
+    if rule == "fanout":
+        est_in = fin.cost_sum / len(fin) * min(batch_limit, len(fin))
+        est_out = fout.cost_sum / len(fout) * min(batch_limit, len(fout))
+        return "in" if est_in <= est_out else "out"
+    pin = fin.peek_priority()
+    pout = fout.peek_priority()
+    return "in" if pout is None or (pin is not None and pin >= pout) else "out"
+
+
+def run_bidi_batched(search, backend: str):
+    """Batched Bidirectional: dual activation-ordered frontiers."""
+    params = search.params
+    csr = graph_csr(search.graph)
+    state = DensePathState(csr, search.keyword_sets)
+    act = DenseActivationState(
+        csr,
+        search.keyword_sets,
+        state,
+        mu=params.mu,
+        combine=params.activation_combine,
+    )
+    fin = VectorFrontier(csr.n, kind="max", cost=csr.in_degree)
+    fout = VectorFrontier(csr.n, kind="max", cost=csr.out_degree)
+    xin = np.zeros(csr.n, dtype=bool)
+    xout = np.zeros(csr.n, dtype=bool)
+    depth = np.full(csr.n, -1, dtype=np.int64)
+    scratch = np.full(csr.n, _BIG, dtype=np.int64)
+    search._frontier_sizes = lambda: {
+        "incoming": len(fin),
+        "outgoing": len(fout),
+    }
+    emit = _make_emit(search, state)
+
+    seeds = state.seed_all()
+    act.seed_all()
+    if seeds:
+        arr = np.array(seeds, dtype=np.int64)
+        depth[arr] = 0
+        search.stats.touch(fin.push_many(arr, act.total[arr]))
+
+    batch_limit = effective_batch(params)
+    budget = params.node_budget
+    while (fin or fout) and not search._done:
+        want = batch_limit
+        if budget is not None:
+            room = budget - search.stats.nodes_explored
+            if room <= 0:
+                break
+            want = min(want, room)
+        incoming = _choose_side(params.frontier_balance, fin, fout, want) == "in"
+        side = fin if incoming else fout
+        # Ticks consumed == cursors popped (the legacy per-pop rate).
+        want = min(want, len(side))
+        granted = _grant(search, want)
+        if granted == 0:
+            break
+        batch = side.pop_batch(granted)
+        (xin if incoming else xout)[batch] = True
+        _pop_loop_head(search, state, batch, emit)
+
+        expand_nodes = batch[depth[batch] < params.dmax]
+        if len(expand_nodes):
+            if incoming:
+                state.expanded_in.update(expand_nodes.tolist())
+                nbr, rep, w = gather_in(csr, expand_nodes)
+                tgt_d, src_d = nbr, rep
+                norm = csr.in_norm[rep]
+            else:
+                state.expanded_out.update(expand_nodes.tolist())
+                nbr, rep, w = gather_out(csr, expand_nodes)
+                # Forward exploration pulls the neighbour's distances
+                # into the expanding node (the payoff of forward search).
+                tgt_d, src_d = rep, nbr
+                norm = csr.out_norm[rep]
+            if len(w):
+                search.stats.explore_edge(len(w))
+                e_idx, i_idx, nd = dist_candidates(
+                    backend, state.dist, tgt_d, src_d, w
+                )
+                state.apply_dist_candidates(
+                    tgt_d, src_d, w, e_idx, i_idx, nd, emit
+                )
+                state.drain_changed()  # priorities are activation-based
+                e_idx, i_idx, contr = spread_candidates(
+                    backend,
+                    act.act,
+                    nbr,
+                    rep,
+                    w,
+                    norm,
+                    params.mu,
+                    params.activation_combine,
+                    act.min_contribution,
+                )
+                act.apply_spread_candidates(nbr, e_idx, i_idx, contr)
+                seen = xin if incoming else xout
+                fresh = np.unique(
+                    nbr[~(seen[nbr] | side.contains_mask[nbr])]
+                )
+                if len(fresh):
+                    _assign_depths(depth, scratch, fresh, nbr, depth[rep] + 1)
+                    search.stats.touch(side.push_many(fresh, act.total[fresh]))
+
+        if incoming:
+            # Every node explored backward is a potential answer root.
+            roots = batch[~(xout[batch] | fout.contains_mask[batch])]
+            if len(roots):
+                search.stats.touch(fout.push_many(roots, act.total[roots]))
+
+        changed = act.drain_changed()
+        if len(changed):
+            live_in = changed[fin.contains_mask[changed]]
+            if len(live_in):
+                fin.update_many(live_in, act.total[live_in])
+            live_out = changed[fout.contains_mask[changed]]
+            if len(live_out):
+                fout.update_many(live_out, act.total[live_out])
+
+        if search._stopped_by_cancel:
+            break
+        if search._should_flush():
+            frontier_nodes = np.concatenate(
+                [fin.live_nodes(), fout.live_nodes()]
+            )
+            ms = state.frontier_minima(frontier_nodes)
+            search._flush(state.nra_bound(ms))
+    return search._finish()

@@ -65,6 +65,28 @@ class SearchParams:
         touched, frontier sizes, elapsed) into the active trace span.
         ``0`` (the default) disables sampling; the end-of-run summary
         attributes are recorded either way whenever a span is active.
+    expansion_backend:
+        Which expansion kernel drives the inner loops:
+        ``"python"`` (the seed's per-pop loops), ``"scalar"`` (the
+        batched engine with pure-python kernels — the parity
+        reference), ``"vectorized"`` (batched engine with numpy
+        kernels) or ``"numba"`` (compiled kernels; silently falls back
+        to ``"vectorized"`` when numba is not installed).  The default
+        ``"auto"`` resolves to the ``REPRO_EXPANSION_BACKEND``
+        environment variable, or ``"python"`` when unset, so existing
+        behaviour is bit-identical unless a backend is opted into.
+    expansion_batch:
+        Cursors popped per iteration by the batched engines.  ``0``
+        (default) auto-selects: 1 for the python backend, otherwise
+        ``min(32, cancel_check_interval)``.  The effective batch is
+        always capped at ``cancel_check_interval`` so a cancelled
+        search still returns within ~2 check intervals of pops.
+    frontier_balance:
+        Bidirectional batched engine's side-selection rule:
+        ``"activation"`` (the paper's Figure 3 switch — expand the
+        queue holding the globally highest-activation cursor) or
+        ``"fanout"`` (expand the structurally cheaper side by
+        estimated batch fan-out; see docs/PERFORMANCE.md).
     """
 
     mu: float = 0.5
@@ -78,6 +100,9 @@ class SearchParams:
     max_combos_per_node: int = 64
     cancel_check_interval: int = 32
     trace_every_n_pops: int = 0
+    expansion_backend: str = "auto"
+    expansion_batch: int = 0
+    frontier_balance: str = "activation"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mu <= 1.0:
@@ -116,6 +141,26 @@ class SearchParams:
             raise ValueError(
                 f"trace_every_n_pops must be >= 0, got "
                 f"{self.trace_every_n_pops!r}"
+            )
+        if self.expansion_backend not in (
+            "auto",
+            "python",
+            "scalar",
+            "vectorized",
+            "numba",
+        ):
+            raise ValueError(
+                "expansion_backend must be one of 'auto', 'python', 'scalar', "
+                f"'vectorized', 'numba', got {self.expansion_backend!r}"
+            )
+        if self.expansion_batch < 0:
+            raise ValueError(
+                f"expansion_batch must be >= 0, got {self.expansion_batch!r}"
+            )
+        if self.frontier_balance not in ("activation", "fanout"):
+            raise ValueError(
+                "frontier_balance must be 'activation' or 'fanout', got "
+                f"{self.frontier_balance!r}"
             )
 
     def with_(self, **changes) -> "SearchParams":

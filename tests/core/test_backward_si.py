@@ -61,8 +61,13 @@ class TestDistanceOrdering:
             5, [(3, 2, 1.0), (2, 1, 1.0), (1, 0, 1.0), (3, 4, 1.0), (4, 0, 1.0)]
         )
         sets = [frozenset({0})]
+        # Inspects the legacy PathTable after the run, so pin the
+        # reference per-pop loop (batched backends keep dense state).
         search = SingleIteratorBackwardSearch(
-            g, ("x",), sets, params=SearchParams(max_results=100)
+            g,
+            ("x",),
+            sets,
+            params=SearchParams(max_results=100, expansion_backend="python"),
         )
         result = search.run()
         # dist(3 -> 0): via 2,1 = 3 hops; via 4 = 2 hops; all weight-1

@@ -35,7 +35,9 @@ def figure4_like(n_papers=30, n_john=14):
 class TestForwardSearch:
     def test_generates_result_before_backward_exhaustion(self):
         graph, sets, co_paper = figure4_like()
-        params = SearchParams(max_results=1)
+        # Pops-to-generate compares per-pop scheduling, so pin the
+        # reference per-pop loop (batched backends pop whole batches).
+        params = SearchParams(max_results=1, expansion_backend="python")
         bidi = BidirectionalSearch(
             graph, ("db", "james", "john"), sets, params=params
         ).run()
@@ -73,8 +75,13 @@ class TestForwardSearch:
 class TestActivationOrdering:
     def test_rare_keyword_expanded_first(self):
         graph, sets, _ = figure4_like()
+        # Spies on the legacy _expand_incoming hook, which the batched
+        # backends bypass — pin the reference per-pop loop.
         search = BidirectionalSearch(
-            graph, ("db", "james", "john"), sets, params=SearchParams(max_results=1)
+            graph,
+            ("db", "james", "john"),
+            sets,
+            params=SearchParams(max_results=1, expansion_backend="python"),
         )
         popped = []
         original = search._expand_incoming
