@@ -13,7 +13,12 @@ Two observability bars:
   than 3% QPS** on top of the traced arm.  The sampler reads
   ``sys._current_frames`` from its own thread — the serving thread
   only pays for brief GIL steals; if this fails, the sampler's fold
-  path got expensive.
+  path got expensive;
+* per-query resource accounting (cost counters + fingerprint sketch,
+  explain **off**) must cost **less than 3% QPS** against the untraced
+  arm.  The counters are plain int adds on paths that already touch
+  the stats object and the sketch is one dict update per request; if
+  this fails, accounting leaked into a per-pop loop.
 
 The workload: ``NUM_QUERIES`` uncached single-shot searches against a
 thread-tier ``QueryService`` over synthetic DBLP, a pool of
@@ -27,7 +32,10 @@ A sample span tree from the traced arm is written to
 so every PR carries a real trace to eyeball.
 
 Env knobs: ``REPRO_SCALE`` scales the dataset; ``BENCH_JSON_OUT``
-appends JSON rows; ``TELEMETRY_SPAN_OUT`` writes the sample span tree.
+appends JSON rows; ``TELEMETRY_SPAN_OUT`` writes the sample span tree;
+``BENCH_ACCOUNTING_OUT`` writes the accounting arm's workload-sketch
+export (JSON) — CI uploads it so every PR carries a real
+``/debug/queries`` payload to eyeball.
 
 Run directly (``python benchmarks/bench_telemetry_overhead.py``) or
 under pytest-benchmark.
@@ -55,12 +63,18 @@ MAX_OVERHEAD = 0.05
 #: The profiler bar: sampling at the default rate may cost at most
 #: this QPS fraction *on top of* the traced arm.
 PROFILER_MAX_OVERHEAD = 0.03
+#: The accounting bar: cost counters + the fingerprint sketch (explain
+#: off) may cost at most this QPS fraction against the untraced arm.
+ACCOUNTING_MAX_OVERHEAD = 0.03
 
-#: Arm name -> QueryService telemetry kwargs.
+#: Arm name -> QueryService telemetry kwargs.  Every arm isolates one
+#: feature against "untraced" (the all-off calibration row perf_trend
+#: normalizes by), so each budget measures its own feature only.
 ARMS = {
-    "untraced": {"tracing": False},
-    "traced": {"tracing": True},
-    "profiled": {"tracing": True, "profiling": True},
+    "untraced": {"tracing": False, "accounting": False},
+    "accounting": {"tracing": False, "accounting": True},
+    "traced": {"tracing": True, "accounting": False},
+    "profiled": {"tracing": True, "profiling": True, "accounting": False},
 }
 
 
@@ -104,6 +118,14 @@ def _dump_sample_span_tree(service: QueryService, queries: list[list[str]]) -> N
         json.dump(tree, handle, indent=2)
 
 
+def _dump_accounting(service: QueryService) -> None:
+    path = os.environ.get("BENCH_ACCOUNTING_OUT")
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(service.query_stats(), handle, indent=2)
+
+
 def run_telemetry_overhead() -> Report:
     bench = build_bench("dblp", 0.4)
     queries = _query_pool(bench)
@@ -120,14 +142,17 @@ def run_telemetry_overhead() -> Report:
             arm["qps"].append(_run_round(arm["service"], queries))
 
     _dump_sample_span_tree(arms["traced"]["service"], queries)
+    _dump_accounting(arms["accounting"]["service"])
     for arm in arms.values():
         arm["service"].close(wait=False)
 
     baseline = max(arms["untraced"]["qps"])
+    accounting = max(arms["accounting"]["qps"])
     traced = max(arms["traced"]["qps"])
     profiled = max(arms["profiled"]["qps"])
     overhead = 1.0 - traced / baseline
     profiler_overhead = 1.0 - profiled / traced
+    accounting_overhead = 1.0 - accounting / baseline
 
     report = Report(
         experiment="telemetry-overhead",
@@ -145,6 +170,7 @@ def run_telemetry_overhead() -> Report:
             "mode": mode,
             "tracing": kwargs.get("tracing", False),
             "profiling": kwargs.get("profiling", False),
+            "accounting": kwargs.get("accounting", False),
             "queries": NUM_QUERIES,
             "rounds": ROUNDS,
             "qps": qps,
@@ -167,6 +193,11 @@ def run_telemetry_overhead() -> Report:
         f"{PROFILER_MAX_OVERHEAD:.0%} budget "
         f"({profiled:.0f} vs {traced:.0f} QPS)"
     )
+    assert accounting_overhead < ACCOUNTING_MAX_OVERHEAD, (
+        f"accounting overhead {accounting_overhead:.1%} exceeds the "
+        f"{ACCOUNTING_MAX_OVERHEAD:.0%} budget "
+        f"({accounting:.0f} vs {baseline:.0f} QPS)"
+    )
     report.notes.append(
         f"tracing QPS overhead at default sampling: {overhead:+.1%} "
         f"(budget < {MAX_OVERHEAD:.0%})"
@@ -174,6 +205,10 @@ def run_telemetry_overhead() -> Report:
     report.notes.append(
         f"profiler QPS overhead at the default rate: "
         f"{profiler_overhead:+.1%} (budget < {PROFILER_MAX_OVERHEAD:.0%})"
+    )
+    report.notes.append(
+        f"accounting QPS overhead with explain off: "
+        f"{accounting_overhead:+.1%} (budget < {ACCOUNTING_MAX_OVERHEAD:.0%})"
     )
     report.notes.append(
         f"dataset scale knob REPRO_SCALE={os.environ.get('REPRO_SCALE', '1.0')}"

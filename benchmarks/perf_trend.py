@@ -222,13 +222,24 @@ def main(argv=None) -> int:
         args.baseline.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
+        # First runs used to leave the history file unwritten (the
+        # early return skipped append_history), so trend charts lost
+        # their very first point — the one every later run is compared
+        # against.  Record it on every path.
+        append_history(args.history, args.commit, normalized)
         print(f"baseline rewritten: {args.baseline}")
         return 0
 
     if not args.baseline.exists():
+        append_history(
+            args.history,
+            args.commit,
+            normalize(raw, ("telemetry-overhead", "untraced")),
+        )
         print(
             f"no baseline at {args.baseline}; run with --update-baseline "
-            f"first",
+            f"first (this run's rows were still appended to "
+            f"{args.history})",
             file=sys.stderr,
         )
         return 1

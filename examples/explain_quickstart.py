@@ -1,0 +1,127 @@
+"""Quickstart for query explain plans and per-query accounting.
+
+Answers the two questions an operator actually asks:
+
+* **"Why did this query return these answers, and why was it slow?"**
+  — run with ``explain=True`` and read the structured report: how each
+  keyword resolved to seed nodes (posting sizes decide backward-search
+  fan-in), how the expansion frontier grew and when the bidirectional
+  scheduler switched directions, and the full score decomposition of
+  every released answer against the paper's Section 2.3 formula
+  ``node_score**lambda / (1 + edge_score)``;
+* **"What is this service actually serving?"** — every request is
+  folded into a heavy-hitter sketch keyed by canonical fingerprint
+  (sorted terms + algorithm + params digest), carrying count, latency
+  and engine cost totals.  The top of that sketch is the workload.
+
+Run:  python examples/explain_quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import QueryRequest, QueryService
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import DblpConfig, make_dblp
+
+QUERIES = [
+    "paper stream",
+    "stream paper",  # same fingerprint: term order is folded away
+    "graph query",
+    "paper query stream",
+]
+
+
+def render_report(report: dict) -> str:
+    """A human-readable rendering of one explain report."""
+    canonical = report["canonical"]
+    lines = [
+        f"algorithm : {canonical['algorithm']}",
+        f"keywords  : {', '.join(canonical['keywords'])}",
+        "seeds     :",
+    ]
+    for seed in canonical["seeds"]:
+        lines.append(
+            f"  {seed['keyword']!r:14s} -> {seed['origin_count']} origin "
+            f"nodes (sample {seed['origin_sample'][:4]})"
+        )
+    lines.append("answers   :")
+    for answer in canonical["answers"]:
+        decomposition = answer["decomposition"]
+        lines.append(
+            f"  #{answer['rank']} root={answer['root']} "
+            f"score={answer['score']:.4f}  "
+            f"[{decomposition['formula']}: N={answer['node_score']:.3f}"
+            f"^{decomposition['lambda']:g}, E={answer['edge_score']:.3f}]"
+        )
+        for path in decomposition["paths"]:
+            lines.append(
+                f"      {path['keyword']!r}: path {path['path']} "
+                f"(weight {path['dist']:.3f})"
+            )
+    switches = [
+        event for event in report["timeline"] if event.get("event") == "switch"
+    ]
+    if switches:
+        lines.append(f"frontier  : {len(switches)} direction switches, first "
+                     f"at pop {switches[0]['pops']} (rule "
+                     f"{switches[0].get('rule')})")
+    costs = report["costs"]
+    lines.append(
+        f"costs     : pops {costs['pops_in']}+{costs['pops_out']} (in+out), "
+        f"{costs['heap_ops']} heap ops, {costs['cascade_touches']} cascade "
+        f"touches, {costs['emit_attempts']} emit attempts"
+    )
+    lines.append(f"elapsed   : {report['timings']['elapsed'] * 1000:.1f} ms")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    engine = KeywordSearchEngine.from_database(
+        make_dblp(DblpConfig().scaled(0.25))
+    )
+    with QueryService(slow_query_threshold=None) as service:
+        service.register_engine("dblp", engine)
+
+        # --- the explain plan -----------------------------------------
+        response = service.search(
+            QueryRequest(
+                dataset="dblp",
+                query="paper stream",
+                k=3,
+                explain=True,
+                request_id="quickstart-1",
+            )
+        )
+        response.raise_for_error()
+        report = response.result.explain
+        print("=== explain: 'paper stream' (k=3) ===")
+        print(render_report(report))
+
+        # The report is retained server-side, keyed by request id —
+        # what GET /debug/explain/<id> serves on the HTTP tier.
+        assert service.explain("quickstart-1") is not None
+
+        # --- the workload view ----------------------------------------
+        for query in QUERIES * 3:
+            service.search(
+                QueryRequest(dataset="dblp", query=query, k=3, use_cache=False)
+            ).raise_for_error()
+
+        print("\n=== top 5 expensive fingerprints (/debug/queries) ===")
+        stats = service.query_stats()
+        print(f"{stats['total']} queries sketched")
+        for entry in stats["entries"][:5]:
+            costs = entry["costs"]
+            pops = costs.get("pops_in", 0) + costs.get("pops_out", 0)
+            print(
+                f"  {entry['key']:50s} x{entry['count']:<4d} "
+                f"{entry['elapsed_total'] * 1000:7.1f} ms total, "
+                f"{pops} pops"
+            )
+
+
+if __name__ == "__main__":
+    main()

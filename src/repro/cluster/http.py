@@ -48,7 +48,15 @@ Routes
     (:func:`~repro.telemetry.trace.render_span_tree`) instead of JSON.
 ``GET /debug/slow``
     The slow-query log, newest first, each entry carrying its dumped
-    span tree.
+    span tree plus its workload ``fingerprint`` and whether an explain
+    report is retained for it.
+``GET /debug/explain/<request_id>``
+    The retained explain report for one ``explain=True`` request (404
+    when unknown or evicted, 501 when the service has accounting off).
+``GET /debug/queries``
+    Workload analytics: the heavy-hitter sketch of query fingerprints
+    with per-fingerprint count, latency and cost totals — merged
+    across every replica on the sharded tier.
 ``GET /debug/events``
     The merged structured event stream (worker logs pulled and
     re-sequenced on the sharded tier): ``{"events": [...],
@@ -219,6 +227,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_trace(path[len("/debug/trace/"):], query)
             elif path == "/debug/slow":
                 self._handle_slow()
+            elif path.startswith("/debug/explain/") and path != "/debug/explain/":
+                self._handle_explain(path[len("/debug/explain/"):])
+            elif path == "/debug/queries":
+                self._handle_queries()
             elif path == "/debug/events":
                 self._handle_events(query)
             elif path == "/debug/profile":
@@ -291,6 +303,33 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send_json(200, {"slow_queries": slow()})
+
+    def _handle_explain(self, request_id: str) -> None:
+        explain = getattr(self.server.service, "explain", None)
+        if not callable(explain):
+            self._send_error_json(
+                501, "service has no explain store", "NotImplemented"
+            )
+            return
+        report = explain(request_id)
+        if report is None:
+            self._send_error_json(
+                404,
+                f"no explain report for request {request_id!r} (run the "
+                f"query with explain=true and a request_id)",
+                "NotFoundError",
+            )
+            return
+        self._send_json(200, report)
+
+    def _handle_queries(self) -> None:
+        stats = getattr(self.server.service, "query_stats", None)
+        if not callable(stats):
+            self._send_error_json(
+                501, "service has no workload analytics", "NotImplemented"
+            )
+            return
+        self._send_json(200, stats())
 
     def _handle_events(self, query: str) -> None:
         events = getattr(self.server.service, "events", None)

@@ -79,8 +79,10 @@ from repro.service.service import (
     QueryResponse,
     coerce_request,
     normalize_search_args,
+    request_fingerprint,
 )
 from repro.service.wire import request_to_dict, response_from_dict
+from repro.telemetry.accounting import ExplainStore, merge_sketch_exports
 from repro.telemetry.dashboard import algorithm_summary
 from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
@@ -174,6 +176,12 @@ class ShardedQueryService:
         ticker (alerts fire into the event log and export ``slo_*``
         gauges).  An empty sequence disables SLOs; ``slo_interval=0``
         keeps evaluate-on-read only.
+    accounting / explain_capacity:
+        Per-query resource accounting (:mod:`repro.telemetry.accounting`),
+        on by default: every worker keeps a workload sketch merged
+        fleet-wide by :meth:`query_stats`, and the supervisor retains
+        the last ``explain_capacity`` explain reports harvested from
+        settled ``explain=True`` responses (:meth:`explain`).
     """
 
     def __init__(
@@ -202,6 +210,8 @@ class ShardedQueryService:
         event_log_capacity: int = 1024,
         slo_objectives: Optional[Sequence[SloObjective]] = None,
         slo_interval: float = 5.0,
+        accounting: bool = True,
+        explain_capacity: int = 128,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -257,6 +267,7 @@ class ShardedQueryService:
                 "profiling": profiling,
                 "profile_interval": profile_interval,
                 "event_log_capacity": event_log_capacity,
+                "accounting": accounting,
             },
             start_method=start_method,
             health_interval=health_interval,
@@ -269,6 +280,14 @@ class ShardedQueryService:
         self._local_metrics = ServiceMetrics(metrics_window, registry=self.registry)
         self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
         self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
+        # Explain reports are harvested supervisor-side from settled
+        # responses (workers are restartable cattle; their stores die
+        # with them), so ``GET /debug/explain/<id>`` works regardless of
+        # which replica ran the query.  Workload sketches stay
+        # worker-side and are merged on demand by :meth:`query_stats`.
+        self.explain_store: Optional[ExplainStore] = (
+            ExplainStore(explain_capacity) if accounting else None
+        )
         self._active_lock = threading.Lock()
         self._active: dict[str, int] = {}
         # Fleet-level request accounting, recorded supervisor-side on
@@ -1268,6 +1287,16 @@ class ShardedQueryService:
         """
         if response.request_id is None:
             response.request_id = request.request_id
+        result = response.result
+        if (
+            self.explain_store is not None
+            and result is not None
+            and result.explain is not None
+            and request.request_id is not None
+        ):
+            # Harvest before any early return: explain retention must
+            # not depend on tracing being enabled.
+            self.explain_store.put(request.request_id, result.explain)
         trace_id = getattr(future, "trace_id", None)
         if self.tracer is None or trace_id is None:
             response.spans = None
@@ -1325,6 +1354,15 @@ class ShardedQueryService:
                 },
                 error_type=response.error_type,
                 span_tree=self.tracer.trace(trace_id),
+                extra={
+                    "fingerprint": request_fingerprint(request),
+                    "explain_available": bool(
+                        self.explain_store is not None
+                        and request.request_id is not None
+                        and self.explain_store.get(request.request_id)
+                        is not None
+                    ),
+                },
             )
         return response
 
@@ -1338,6 +1376,39 @@ class ShardedQueryService:
     def slow_queries(self) -> list[dict]:
         """Supervisor-side slow-query entries, newest first."""
         return self.slow_log.entries()
+
+    def explain(self, request_id: str) -> Optional[dict]:
+        """The retained explain report for ``request_id``, or None.
+
+        Reports are harvested from worker responses as they settle, so
+        they survive worker restarts for as long as the bounded store
+        keeps them.
+        """
+        if self.explain_store is None:
+            return None
+        return self.explain_store.get(request_id)
+
+    def query_stats(self, *, timeout: float = 5.0) -> dict:
+        """The fleet-wide workload-analytics export.
+
+        Broadcasts a sketch pull to every live worker and folds the
+        replies with
+        :func:`repro.telemetry.accounting.merge_sketch_exports` — the
+        mergeable-summaries combine, so per-fingerprint counts stay
+        over-estimates with known error even though each replica only
+        saw its own slice of the workload.  Non-strict: a busy or
+        crashed replica is simply absent from this pull.
+        """
+        results = self._broadcast(
+            self.pool.worker_ids(), "queries", None, timeout=timeout,
+            strict=False,
+        )
+        exports = [
+            payload["queries"]
+            for payload in results.values()
+            if isinstance(payload.get("queries"), dict)
+        ]
+        return merge_sketch_exports(exports)
 
     # ------------------------------------------------------------------
     # operational intelligence
@@ -1503,6 +1574,7 @@ class ShardedQueryService:
             "slo": slo,
             "events": self.event_log.events(limit=50),
             "slow_queries": self.slow_queries()[:10],
+            "queries": self.query_stats(),
             "profile": self.profile_snapshot(),
         }
 

@@ -203,6 +203,11 @@ def _handle_message(
         # Cumulative sampler snapshot (None when profiling is off);
         # the supervisor diffs two of these to get a window.
         return {"profile": service.profile_snapshot()}
+    if kind == "queries":
+        # Workload-analytics sketch export; the supervisor merges the
+        # replicas' exports into the fleet view (mergeable summaries,
+        # like the metrics registry).
+        return {"queries": service.query_stats()}
     if kind == "sleep":
         # Debug/test hook: hold this worker busy for a while, the cheap
         # stand-in for a long search when exercising crash recovery and
@@ -251,6 +256,7 @@ def worker_main(
         profiling=settings.get("profiling", False),
         profile_interval=settings.get("profile_interval", 0.02),
         event_log_capacity=settings.get("event_log_capacity", 512),
+        accounting=settings.get("accounting", True),
         # Workers never evaluate SLOs — the supervisor owns the fleet
         # view; an engine per replica would just burn samples.
         slo_objectives=(),

@@ -60,6 +60,9 @@ class ActivationTable:
         self._act: list[dict[int, float]] = [dict() for _ in range(self.k)]
         self._total: dict[int, float] = {}
         self._on_change = on_activation_change
+        #: Rows written by the ACTIVATE cascades — harvested into
+        #: ``SearchStats.cascade_touches`` by the owning search.
+        self.cascade_touches = 0
 
     # ------------------------------------------------------------------
     def seed_all(self) -> None:
@@ -145,6 +148,7 @@ class ActivationTable:
             self._propagate_up(node, i, parents)
 
     def _set(self, node: int, i: int, value: float) -> None:
+        self.cascade_touches += 1
         current = self._act[i].get(node, 0.0)
         self._act[i][node] = value
         self._total[node] = self._total.get(node, 0.0) + (value - current)

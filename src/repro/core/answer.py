@@ -174,6 +174,10 @@ class SearchResult:
     stats: Optional[SearchStats] = None
     complete: bool = True
     cancel_reason: Optional[str] = None
+    #: Structured explain report (JSON-safe), present only when the
+    #: query ran with explain enabled; see
+    #: :func:`repro.telemetry.accounting.build_explain_report`.
+    explain: Optional[dict] = None
 
     def trees(self) -> list[AnswerTree]:
         return [answer.tree for answer in self.answers]

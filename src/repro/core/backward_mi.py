@@ -55,6 +55,7 @@ class ShortestPathIterator:
         self._frontier = LazyMinHeap()
         self._frontier.push(origin, 0.0)
         self._stats = stats
+        stats.heap_ops += 1
         # Optional CSR fast path: a dense settled mask lets the in-edge
         # scan prefilter settled neighbours in one vectorized mask
         # instead of a dict probe per edge.  Same edges, same order,
@@ -110,6 +111,7 @@ class ShortestPathIterator:
             self.succ[u] = (node, w)
             self._hops[u] = self._hops[node] + 1
             self._frontier.push(u, nd)
+            self._stats.heap_ops += 1
 
     def _expand_csr(self, node: int, dist: float, lo: int, hi: int) -> None:
         """CSR row scan: count every edge, relax unsettled neighbours in
@@ -134,6 +136,7 @@ class ShortestPathIterator:
             self.succ[u] = (node, w)
             self._hops[u] = hops
             frontier.push(u, nd)
+            self._stats.heap_ops += 1
 
     def path_to_origin(self, node: int) -> tuple[int, ...]:
         """The settled path ``node -> ... -> origin`` (forward direction)."""
@@ -215,6 +218,7 @@ class BackwardExpandingSearch(BaseSearch):
             node = iterator.settle_next(self.params.dmax)
             if node is not None:
                 self.stats.explore()
+                self.stats.pops_in += 1
                 self._pops_since_flush += 1
                 self._record_visit(node, idx)
                 self._profile_tick()
@@ -267,6 +271,7 @@ class BackwardExpandingSearch(BaseSearch):
         dists = [iterators[idx].settled[node] for idx in combo]
         gate = self._emit_gate
         if gate is not None and gate.blocks(float(sum(dists))):
+            self.stats.gate_skips += 1
             return
         paths = [iterators[idx].path_to_origin(node) for idx in combo]
         self._emit_tree(node, paths, dists)

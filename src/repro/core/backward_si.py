@@ -61,6 +61,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
         distance (decrease-key via lazy reinsertion)."""
         if node in self._queue and node not in self._explored:
             self._queue.push(node, self._table.min_dist(node))
+            self.stats.heap_ops += 1
 
     def _touch(self, node: int, depth: int) -> None:
         if node in self._explored or node in self._queue:
@@ -68,6 +69,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
         self._depth.setdefault(node, depth)
         self._queue.push(node, self._table.min_dist(node))
         self.stats.touch()
+        self.stats.heap_ops += 1
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
@@ -83,6 +85,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
             self._depth[node] = 0
             self._queue.push(node, 0.0)
             self.stats.touch()
+            self.stats.heap_ops += 1
 
         while self._queue and not self._done and not self._budget_exhausted():
             if self._cancelled():
@@ -92,6 +95,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
                 continue
             self._explored.add(node)
             self.stats.explore()
+            self.stats.pops_in += 1
             self._pops_since_flush += 1
             self._profile_tick()
 
@@ -105,6 +109,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
             if self._should_flush():
                 self._flush(self._edge_bound())
 
+        self.stats.cascade_touches += self._table.cascade_touches
         return self._finish()
 
     def _frontier_sizes(self) -> dict[str, int]:

@@ -77,8 +77,10 @@ class BidirectionalSearch(BaseSearch):
         total = self._act.total(node)
         if node in self._qin:
             self._qin.push(node, total)
+            self.stats.heap_ops += 1
         if node in self._qout:
             self._qout.push(node, total)
+            self.stats.heap_ops += 1
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
@@ -91,10 +93,12 @@ class BidirectionalSearch(BaseSearch):
             return run_bidi_batched(self, backend)
         seeds = self._table.seed_all()
         self._act.seed_all()
+        self._explain_side: Optional[bool] = None
         for node in sorted(seeds):
             self._depth[node] = 0
             self._qin.push(node, self._act.total(node))
             self.stats.touch()
+            self.stats.heap_ops += 1
 
         while (self._qin or self._qout) and not self._done:
             if self._budget_exhausted() or self._cancelled():
@@ -104,13 +108,29 @@ class BidirectionalSearch(BaseSearch):
             # Figure 3's switch: expand whichever queue holds the node
             # with the highest activation (ties favour backward search,
             # which discovers the potential roots).
-            if pin is not None and (pout is None or pin >= pout):
+            incoming = pin is not None and (pout is None or pin >= pout)
+            if self._explain_every and incoming is not self._explain_side:
+                # Record only actual direction changes (with the balance
+                # rule's inputs) — per-pop entries would flood the
+                # bounded timeline with repeats.
+                self._explain_side = incoming
+                self.explain_note(
+                    "switch",
+                    rule="activation",
+                    pin=pin,
+                    pout=pout,
+                    chose="in" if incoming else "out",
+                )
+            if incoming:
                 self._expand_incoming()
             else:
                 self._expand_outgoing()
             self._profile_tick()
             if self._should_flush():
                 self._flush(self._edge_bound())
+        self.stats.cascade_touches += (
+            self._table.cascade_touches + self._act.cascade_touches
+        )
         return self._finish()
 
     def _frontier_sizes(self) -> dict[str, int]:
@@ -123,6 +143,7 @@ class BidirectionalSearch(BaseSearch):
         v, _ = self._qin.pop()
         self._xin.add(v)
         self.stats.explore()
+        self.stats.pops_in += 1
         self._pops_since_flush += 1
 
         if self._table.is_complete(v):
@@ -139,6 +160,7 @@ class BidirectionalSearch(BaseSearch):
                     self._depth.setdefault(u, depth)
                     self._qin.push(u, self._act.total(u))
                     self.stats.touch()
+                    self.stats.heap_ops += 1
             # Spread after the edges are registered so the ACTIVATE
             # cascade sees the freshly explored parent links.
             self._act.spread_backward(v, self._table_parents())
@@ -147,6 +169,7 @@ class BidirectionalSearch(BaseSearch):
         if v not in self._xout and v not in self._qout:
             self._qout.push(v, self._act.total(v))
             self.stats.touch()
+            self.stats.heap_ops += 1
 
     # ------------------------------------------------------------------
     # outgoing iterator (Figure 3 lines 15-23)
@@ -155,6 +178,7 @@ class BidirectionalSearch(BaseSearch):
         u, _ = self._qout.pop()
         self._xout.add(u)
         self.stats.explore()
+        self.stats.pops_out += 1
         self._pops_since_flush += 1
 
         if self._table.is_complete(u):
@@ -173,6 +197,7 @@ class BidirectionalSearch(BaseSearch):
                     self._depth.setdefault(v, depth)
                     self._qout.push(v, self._act.total(v))
                     self.stats.touch()
+                    self.stats.heap_ops += 1
             self._act.spread_forward(u, self._table_parents())
 
     # ------------------------------------------------------------------

@@ -100,6 +100,30 @@ class BaseSearch:
         self._samples: list[dict] = []
         self._emit_seconds = 0.0
         self._t_start = perf_counter() if self.span is not None else 0.0
+        # EXPLAIN mode (off by default): when enabled the loops append a
+        # bounded timeline of sampled frontier states and scheduling
+        # decisions here.  Off, every hook reduces to one falsy check.
+        self._explain_every = 0
+        self._explain_limit = 0
+        self.explain_events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # explain
+    # ------------------------------------------------------------------
+    def enable_explain(self, every: int = 64, limit: int = 256) -> None:
+        """Collect a sampled expansion timeline (one entry per ``every``
+        pops, at most ``limit`` events) into :attr:`explain_events`."""
+        self._explain_every = max(1, int(every))
+        self._explain_limit = max(1, int(limit))
+
+    def explain_note(self, kind: str, **data) -> None:
+        """Append one timeline event (call sites guard on
+        ``self._explain_every`` so disabled explain costs one check)."""
+        if len(self.explain_events) >= self._explain_limit:
+            return
+        data["event"] = kind
+        data["pops"] = self.stats.nodes_explored
+        self.explain_events.append(data)
 
     # ------------------------------------------------------------------
     # profiling
@@ -125,6 +149,14 @@ class BaseSearch:
                     "frontiers": self._frontier_sizes(),
                 }
             )
+        every = self._explain_every
+        if every and self.stats.nodes_explored % every == 0:
+            self.explain_note(
+                "sample",
+                touched=self.stats.nodes_touched,
+                answers_output=self.stats.answers_output,
+                frontiers=self._frontier_sizes(),
+            )
 
     @property
     def emit_seconds(self) -> float:
@@ -147,6 +179,7 @@ class BaseSearch:
             self._emit_seconds += perf_counter() - t0
 
     def _emit_tree_now(self, root, paths, dists) -> None:
+        self.stats.emit_attempts += 1
         if not is_minimal_rooting(root, paths):
             return
         tree = self.scorer.build_tree(root, paths, dists)

@@ -160,6 +160,7 @@ class KeywordSearchEngine:
         k: Optional[int] = None,
         params: Optional[SearchParams] = None,
         token: Optional[CancellationToken] = None,
+        explain: bool = False,
     ) -> SearchResult:
         """Run a keyword search and return its :class:`SearchResult`.
 
@@ -180,6 +181,12 @@ class KeywordSearchEngine:
             stops the search at its next check, which returns the
             bound-certified answers released so far with
             ``complete=False`` (never raises).
+        explain:
+            When True the search collects a sampled expansion timeline
+            and the result carries a structured explain report
+            (``result.explain``) — seed resolution, scheduling
+            decisions, per-answer score decompositions and the cost
+            vector; see :mod:`repro.telemetry.accounting`.
         """
         try:
             search_cls = ALGORITHMS[algorithm]
@@ -202,13 +209,35 @@ class KeywordSearchEngine:
                 scorer=self.scorer_for(run_params.lam),
                 token=token,
             )
-            return search.run()
+            search.stats.resolve_hits = sum(len(s) for s in keyword_sets)
+            if explain:
+                search.enable_explain()
+            result = search.run()
+            if explain:
+                result.explain = self._explain_report(
+                    search, result, keywords, keyword_sets, run_params
+                )
+            return result
         return self._traced_search(
-            parent, search_cls, query, algorithm, run_params, token
+            parent, search_cls, query, algorithm, run_params, token, explain
+        )
+
+    def _explain_report(
+        self, search, result, keywords, keyword_sets, run_params
+    ) -> dict:
+        from repro.telemetry.accounting import build_explain_report
+
+        return build_explain_report(
+            result=result,
+            keywords=keywords,
+            keyword_sets=keyword_sets,
+            params=run_params,
+            graph=self.graph,
+            timeline=search.explain_events,
         )
 
     def _traced_search(
-        self, parent, search_cls, query, algorithm, run_params, token
+        self, parent, search_cls, query, algorithm, run_params, token, explain=False
     ) -> SearchResult:
         """The engine-stage spans: ``resolve`` → ``expand[...]`` →
         ``emit`` as children of the ambient span.
@@ -244,11 +273,18 @@ class KeywordSearchEngine:
                     scorer=self.scorer_for(run_params.lam),
                     token=token,
                 )
+                search.stats.resolve_hits = sum(len(s) for s in keyword_sets)
+                if explain:
+                    search.enable_explain()
                 result = search.run()
         except BaseException:
             expand_span.end(status="error")
             raise
         expand_span.end()
+        if explain:
+            result.explain = self._explain_report(
+                search, result, keywords, keyword_sets, run_params
+            )
         emit_span = parent.child("emit")
         emit_span.set_attributes(
             {

@@ -189,8 +189,10 @@ def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
         # improvement and the blocked case must stay a float compare.
         if enabled and len(topk) >= cap:
             if e > gate._block_above:
+                search.stats.gate_skips += 1
                 return
             if gate.scorer.score_upper_bound(e, k) < topk[0]:
+                search.stats.gate_skips += 1
                 return
         paths, dists = state.build_paths(root)
         search._emit_tree(root, paths, dists)
@@ -217,9 +219,9 @@ def run_si_batched(search, backend: str):
     if seeds:
         arr = np.array(seeds, dtype=np.int64)
         depth[arr] = 0
-        search.stats.touch(
-            frontier.push_many(arr, np.zeros(len(arr), dtype=np.float64))
-        )
+        pushed = frontier.push_many(arr, np.zeros(len(arr), dtype=np.float64))
+        search.stats.touch(pushed)
+        search.stats.heap_ops += pushed
 
     batch_limit = effective_batch(params)
     budget = params.node_budget
@@ -237,6 +239,8 @@ def run_si_batched(search, backend: str):
             break
         batch = frontier.pop_batch(granted)
         explored[batch] = True
+        search.stats.kernel_batches += 1
+        search.stats.pops_in += len(batch)
         _pop_loop_head(search, state, batch, emit)
 
         expand_nodes = batch[depth[batch] < params.dmax]
@@ -248,25 +252,29 @@ def run_si_batched(search, backend: str):
                 e_idx, i_idx, nd = dist_candidates(
                     backend, state.dist, tgt, src, w
                 )
+                search.stats.candidates_generated += len(w)
+                search.stats.candidates_surviving += len(e_idx)
                 state.apply_dist_candidates(tgt, src, w, e_idx, i_idx, nd, emit)
                 changed = state.drain_changed()
                 if len(changed):
                     live = changed[frontier.contains_mask[changed]]
                     if len(live):
                         frontier.update_many(live, state.min_dist_of(live))
+                        search.stats.heap_ops += len(live)
                 fresh = np.unique(
                     tgt[~(explored[tgt] | frontier.contains_mask[tgt])]
                 )
                 if len(fresh):
                     _assign_depths(depth, scratch, fresh, tgt, depth[src] + 1)
-                    search.stats.touch(
-                        frontier.push_many(fresh, state.min_dist_of(fresh))
-                    )
+                    pushed = frontier.push_many(fresh, state.min_dist_of(fresh))
+                    search.stats.touch(pushed)
+                    search.stats.heap_ops += pushed
         if search._stopped_by_cancel:
             break
         if search._should_flush():
             ms = state.frontier_minima(frontier.live_nodes())
             search._flush(state.nra_bound(ms))
+    search.stats.cascade_touches += state.cascade_touches
     return search._finish()
 
 
@@ -325,10 +333,13 @@ def run_bidi_batched(search, backend: str):
     if seeds:
         arr = np.array(seeds, dtype=np.int64)
         depth[arr] = 0
-        search.stats.touch(fin.push_many(arr, act.total[arr]))
+        pushed = fin.push_many(arr, act.total[arr])
+        search.stats.touch(pushed)
+        search.stats.heap_ops += pushed
 
     batch_limit = effective_batch(params)
     budget = params.node_budget
+    explain_side = None
     while (fin or fout) and not search._done:
         want = batch_limit
         if budget is not None:
@@ -337,6 +348,17 @@ def run_bidi_batched(search, backend: str):
                 break
             want = min(want, room)
         incoming = _choose_side(params.frontier_balance, fin, fout, want) == "in"
+        if search._explain_every and incoming is not explain_side:
+            # Record only actual direction changes (mirrors the python
+            # backend) — one note per batch would flood the timeline.
+            explain_side = incoming
+            search.explain_note(
+                "switch",
+                rule=params.frontier_balance,
+                pin=fin.peek_priority(),
+                pout=fout.peek_priority(),
+                chose="in" if incoming else "out",
+            )
         side = fin if incoming else fout
         # Ticks consumed == cursors popped (the legacy per-pop rate).
         want = min(want, len(side))
@@ -345,6 +367,11 @@ def run_bidi_batched(search, backend: str):
             break
         batch = side.pop_batch(granted)
         (xin if incoming else xout)[batch] = True
+        search.stats.kernel_batches += 1
+        if incoming:
+            search.stats.pops_in += len(batch)
+        else:
+            search.stats.pops_out += len(batch)
         _pop_loop_head(search, state, batch, emit)
 
         expand_nodes = batch[depth[batch] < params.dmax]
@@ -366,6 +393,8 @@ def run_bidi_batched(search, backend: str):
                 e_idx, i_idx, nd = dist_candidates(
                     backend, state.dist, tgt_d, src_d, w
                 )
+                search.stats.candidates_generated += len(w)
+                search.stats.candidates_surviving += len(e_idx)
                 state.apply_dist_candidates(
                     tgt_d, src_d, w, e_idx, i_idx, nd, emit
                 )
@@ -381,6 +410,7 @@ def run_bidi_batched(search, backend: str):
                     params.activation_combine,
                     act.min_contribution,
                 )
+                search.stats.candidates_surviving += len(e_idx)
                 act.apply_spread_candidates(nbr, e_idx, i_idx, contr)
                 seen = xin if incoming else xout
                 fresh = np.unique(
@@ -388,22 +418,28 @@ def run_bidi_batched(search, backend: str):
                 )
                 if len(fresh):
                     _assign_depths(depth, scratch, fresh, nbr, depth[rep] + 1)
-                    search.stats.touch(side.push_many(fresh, act.total[fresh]))
+                    pushed = side.push_many(fresh, act.total[fresh])
+                    search.stats.touch(pushed)
+                    search.stats.heap_ops += pushed
 
         if incoming:
             # Every node explored backward is a potential answer root.
             roots = batch[~(xout[batch] | fout.contains_mask[batch])]
             if len(roots):
-                search.stats.touch(fout.push_many(roots, act.total[roots]))
+                pushed = fout.push_many(roots, act.total[roots])
+                search.stats.touch(pushed)
+                search.stats.heap_ops += pushed
 
         changed = act.drain_changed()
         if len(changed):
             live_in = changed[fin.contains_mask[changed]]
             if len(live_in):
                 fin.update_many(live_in, act.total[live_in])
+                search.stats.heap_ops += len(live_in)
             live_out = changed[fout.contains_mask[changed]]
             if len(live_out):
                 fout.update_many(live_out, act.total[live_out])
+                search.stats.heap_ops += len(live_out)
 
         if search._stopped_by_cancel:
             break
@@ -413,4 +449,5 @@ def run_bidi_batched(search, backend: str):
             )
             ms = state.frontier_minima(frontier_nodes)
             search._flush(state.nra_bound(ms))
+    search.stats.cascade_touches += state.cascade_touches + act.cascade_touches
     return search._finish()

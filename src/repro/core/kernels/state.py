@@ -70,6 +70,9 @@ class DensePathState:
         self.expanded_out: set[int] = set()
         self._par = parent_rows(csr)
         self._changed: set[int] = set()
+        #: Rows written by ATTACH cascades — harvested into
+        #: ``SearchStats.cascade_touches`` by the owning engine.
+        self.cascade_touches = 0
 
     # ------------------------------------------------------------------
     # seeding / queries
@@ -170,6 +173,7 @@ class DensePathState:
         weight: float,
         completions: set[int],
     ) -> None:
+        self.cascade_touches += 1
         row = self.dist_rows[i]
         if isinf(row[node]):
             self.finite[node] += 1
@@ -194,6 +198,7 @@ class DensePathState:
         finite = self.finite
         changed = self._changed
         k = self.k
+        touches = 0
         heap = [(row[start], start)]
         while heap:
             d, x = heapq.heappop(heap)
@@ -220,7 +225,9 @@ class DensePathState:
                     sp_child[parent] = x
                     sp_w[parent] = wt
                     changed.add(parent)
+                    touches += 1
                     heapq.heappush(heap, (ndist, parent))
+        self.cascade_touches += touches
 
     def drain_changed(self) -> np.ndarray:
         """Nodes whose distances changed since the last drain, sorted —
@@ -296,6 +303,9 @@ class DenseActivationState:
         self._par = parent_rows(csr)
         self._norm = norm_list(csr)
         self._changed: set[int] = set()
+        #: Rows written by ACTIVATE cascades — harvested into
+        #: ``SearchStats.cascade_touches`` by the owning engine.
+        self.cascade_touches = 0
 
     # ------------------------------------------------------------------
     def seed_all(self) -> None:
@@ -345,6 +355,7 @@ class DenseActivationState:
                 self._propagate_up(node, i)
 
     def _set(self, node: int, i: int, value: float) -> None:
+        self.cascade_touches += 1
         row = self.act_rows[i]
         current = row[node]
         row[node] = value
@@ -364,6 +375,7 @@ class DenseActivationState:
         xout = self._path.expanded_out
         total = self.total
         changed = self._changed
+        touches = 0
         heap = [(-row[start], start)]
         while heap:
             neg, x = heapq.heappop(heap)
@@ -387,7 +399,9 @@ class DenseActivationState:
                     total[parent] += contribution - row[parent]
                     row[parent] = contribution
                     changed.add(parent)
+                    touches += 1
                     heapq.heappush(heap, (-contribution, parent))
+        self.cascade_touches += touches
 
     def _propagate_sum(self, start: int, i: int, delta: float) -> None:
         """Sum-mode ACTIVATE: push added mass upward until the
@@ -399,6 +413,7 @@ class DenseActivationState:
         total = self.total
         changed = self._changed
         floor = self.min_contribution
+        touches = 0
         stack = [(start, delta)]
         while stack:
             x, d = stack.pop()
@@ -419,7 +434,9 @@ class DenseActivationState:
                     total[parent] += contribution
                     row[parent] += contribution
                     changed.add(parent)
+                    touches += 1
                     stack.append((parent, contribution))
+        self.cascade_touches += touches
 
     def drain_changed(self) -> np.ndarray:
         """Nodes whose activation changed since the last drain, sorted —

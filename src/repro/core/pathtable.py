@@ -57,6 +57,9 @@ class PathTable:
         self._parents: dict[int, dict[int, float]] = {}
         self._finite_count: dict[int, int] = {}
         self._on_dist_change = on_dist_change
+        #: Rows written by ATTACH cascades — harvested into
+        #: ``SearchStats.cascade_touches`` by the owning search.
+        self.cascade_touches = 0
 
     # ------------------------------------------------------------------
     # seeding
@@ -168,6 +171,7 @@ class PathTable:
         weight: float,
         completions: set[int],
     ) -> None:
+        self.cascade_touches += 1
         if node not in self._dist[i]:
             self._bump_finite(node)
         self._dist[i][node] = value

@@ -15,7 +15,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["SearchStats"]
+__all__ = ["COST_FIELDS", "SearchStats"]
+
+
+#: The always-on per-query cost vector (beyond the paper's three
+#: metrics): cheap plain-int counters every algorithm and kernel engine
+#: threads through, the feature set the explain layer, the workload
+#: analytics sketch and the future admission controller consume.
+COST_FIELDS = (
+    "pops_in",
+    "pops_out",
+    "kernel_batches",
+    "candidates_generated",
+    "candidates_surviving",
+    "heap_ops",
+    "cascade_touches",
+    "emit_attempts",
+    "gate_skips",
+    "resolve_hits",
+)
 
 
 @dataclass
@@ -28,6 +46,29 @@ class SearchStats:
     answers_generated: int = 0
     answers_output: int = 0
     duplicates_discarded: int = 0
+    #: Pops from the incoming-edge frontier (Qin; every pop for the
+    #: single-frontier backward algorithms).
+    pops_in: int = 0
+    #: Pops from the outgoing-edge frontier (Qout; bidirectional only).
+    pops_out: int = 0
+    #: Batched-expansion loop iterations (0 on the python backend).
+    kernel_batches: int = 0
+    #: Neighbor candidates the expansion produced before the distance /
+    #: activation recheck.
+    candidates_generated: int = 0
+    #: Candidates that survived the recheck and were applied.
+    candidates_surviving: int = 0
+    #: Frontier heap pushes.
+    heap_ops: int = 0
+    #: Rows touched by the ancestor attach/propagate cascades.
+    cascade_touches: int = 0
+    #: Answer-tree emission attempts reaching the minimality/duplicate
+    #: filters.
+    emit_attempts: int = 0
+    #: Emissions dropped earlier still, by the exact-mode emit gate.
+    gate_skips: int = 0
+    #: Total inverted-index posting hits behind the query's keywords.
+    resolve_hits: int = 0
     started_at: float = field(default_factory=time.perf_counter)
     finished_at: Optional[float] = None
 
@@ -54,8 +95,12 @@ class SearchStats:
         """Seconds since the search started; stamps generation/output times."""
         return time.perf_counter() - self.started_at
 
+    def cost_vector(self) -> dict[str, int]:
+        """The always-on accounting counters as a plain dict."""
+        return {name: getattr(self, name) for name in COST_FIELDS}
+
     def as_dict(self) -> dict[str, float]:
-        return {
+        out = {
             "nodes_explored": self.nodes_explored,
             "nodes_touched": self.nodes_touched,
             "edges_explored": self.edges_explored,
@@ -64,3 +109,5 @@ class SearchStats:
             "duplicates_discarded": self.duplicates_discarded,
             "elapsed": self.elapsed,
         }
+        out.update(self.cost_vector())
+        return out

@@ -66,12 +66,12 @@ from collections import deque
 from pathlib import Path
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.core.answer import SearchResult
 from repro.core.cancellation import CancellationToken
-from repro.core.engine import ALGORITHMS, KeywordSearchEngine
+from repro.core.engine import ALGORITHMS, KeywordSearchEngine, parse_query
 from repro.core.params import SearchParams
 from repro.errors import (
     DeadlineExceededError,
@@ -80,6 +80,11 @@ from repro.errors import (
 )
 from repro.service.cache import ResultCache, canonical_cache_key
 from repro.service.metrics import ServiceMetrics
+from repro.telemetry.accounting import (
+    ExplainStore,
+    WorkloadAnalytics,
+    query_fingerprint,
+)
 from repro.telemetry.dashboard import algorithm_summary
 from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
@@ -103,6 +108,7 @@ __all__ = [
     "QueryService",
     "coerce_request",
     "normalize_search_args",
+    "request_fingerprint",
 ]
 
 _MISS = object()
@@ -218,6 +224,14 @@ class QueryRequest:
         the bound-certified answers the search had already released to
         the error response (``result.complete`` is False).  Default
         False: an expired query returns only the structured error.
+    explain:
+        Run the query with the engine's explain mode on: the response's
+        ``result.explain`` carries the structured report (seed
+        resolution, sampled expansion timeline, per-answer score
+        decomposition) and the service retains it in its bounded
+        explain store, keyed by ``request_id``.  Explain requests bypass
+        the cache *read* (a cached result has no report to attach) but
+        still refresh the cache with a report-stripped copy.
     request_id:
         Optional caller-chosen id making the request cancellable
         mid-flight via ``cancel(request_id)`` on either service tier
@@ -242,6 +256,7 @@ class QueryRequest:
     deadline_ms: Optional[float] = None
     use_cache: bool = True
     allow_partial: bool = False
+    explain: bool = False
     request_id: Optional[str] = None
     trace_id: Optional[str] = None
     parent_span_id: Optional[str] = None
@@ -401,6 +416,30 @@ def normalize_search_args(
     )
 
 
+def request_fingerprint(request: QueryRequest) -> str:
+    """Canonical workload fingerprint for a request.
+
+    Normalizes through the engine's own query parser so
+    ``"beer wine"`` and ``("Wine", "beer")`` collapse to one
+    fingerprint, then folds in the algorithm and the shape-affecting
+    knobs (``k`` plus any explicit params override).  Used as the
+    aggregation key of the workload sketch and stamped onto slow-log
+    entries.
+    """
+    try:
+        terms = parse_query(request.query)
+    except Exception:
+        terms = (str(request.query),)
+    return query_fingerprint(
+        terms,
+        algorithm=request.algorithm,
+        params={
+            "k": request.k,
+            "params": asdict(request.params) if request.params else None,
+        },
+    )
+
+
 class QueryService:
     """Facade owning engines, cache, executor and metrics.
 
@@ -441,6 +480,9 @@ class QueryService:
         profile_interval: float = 0.02,
         event_log_capacity: int = 512,
         slo_objectives: Optional[Sequence[SloObjective]] = None,
+        accounting: bool = True,
+        explain_capacity: int = 128,
+        analytics_capacity: int = 64,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -452,6 +494,16 @@ class QueryService:
         self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
         self.slow_log = SlowQueryLog(slow_query_threshold, slow_log_capacity)
         self.event_log = EventLog(event_log_capacity)
+        # Per-query resource accounting: retained explain reports plus a
+        # heavy-hitter sketch of cost/latency per query fingerprint.
+        # ``accounting=False`` is the control arm of
+        # ``benchmarks/bench_telemetry_overhead.py``.
+        self.explain_store: Optional[ExplainStore] = (
+            ExplainStore(explain_capacity) if accounting else None
+        )
+        self.analytics: Optional[WorkloadAnalytics] = (
+            WorkloadAnalytics(analytics_capacity) if accounting else None
+        )
         self.profiler: Optional[SamplingProfiler] = None
         if profiling:
             self.profiler = SamplingProfiler(profile_interval)
@@ -1505,6 +1557,26 @@ class QueryService:
         after = self.profiler.snapshot()
         return render_collapsed(diff_profiles(before, after))
 
+    def explain(self, request_id: str) -> Optional[dict]:
+        """The retained explain report for ``request_id``, or None.
+
+        Reports are kept in a bounded FIFO store; only requests that ran
+        with ``explain=True`` (and carried a request id) leave one.
+        """
+        if self.explain_store is None:
+            return None
+        return self.explain_store.get(request_id)
+
+    def query_stats(self) -> dict:
+        """Workload analytics export: the top-K heavy-hitter sketch of
+        per-fingerprint query counts, latency and cost vectors (the
+        shape :func:`repro.telemetry.accounting.merge_sketch_exports`
+        merges across replicas).  Empty-shaped when accounting is off.
+        """
+        if self.analytics is None:
+            return {"capacity": 0, "total": 0, "floor": 0, "entries": []}
+        return self.analytics.export()
+
     def slo_status(self) -> list[dict]:
         """Evaluate the configured objectives now and return their
         status (burn rates per window, firing state).  Empty when SLOs
@@ -1533,6 +1605,7 @@ class QueryService:
             "slo": self.slo_status(),
             "events": self.event_log.events(limit=50),
             "slow_queries": self.slow_queries()[:10],
+            "queries": self.query_stats(),
             "profile": self.profile_snapshot(),
         }
 
@@ -1765,6 +1838,7 @@ class QueryService:
             response = self._run_request(request, record, token, None)
             response.request_id = request.request_id
             response.trace_id = request.trace_id
+            self._finalize_accounting(request, response)
             return response
         trace_id = request.trace_id or new_trace_id()
         root = tracer.start_span(
@@ -1794,8 +1868,39 @@ class QueryService:
         response.request_id = request.request_id
         response.trace_id = trace_id
         response.spans = tracer.spans_for(trace_id)
+        self._finalize_accounting(request, response)
         self._maybe_record_slow(request, response, trace_id)
         return response
+
+    def _finalize_accounting(
+        self, request: QueryRequest, response: QueryResponse
+    ) -> None:
+        """Fold one finished request into the accounting layer.
+
+        Cache hits are skipped in the workload sketch — their cost was
+        charged when the result was computed; charging the hit again
+        would double-count the fingerprint's resource usage (latency of
+        hits is already visible in the service metrics).
+        """
+        result = response.result
+        if self.analytics is not None and not response.cached:
+            costs = (
+                result.stats.cost_vector()
+                if result is not None and result.stats is not None
+                else None
+            )
+            self.analytics.record(
+                request_fingerprint(request),
+                elapsed=response.elapsed,
+                costs=costs,
+            )
+        if (
+            self.explain_store is not None
+            and result is not None
+            and result.explain is not None
+            and request.request_id is not None
+        ):
+            self.explain_store.put(request.request_id, result.explain)
 
     def _maybe_record_slow(
         self, request: QueryRequest, response: QueryResponse, trace_id: str
@@ -1823,20 +1928,26 @@ class QueryService:
             },
             error_type=response.error_type,
             span_tree=span_tree,
+            extra={
+                "fingerprint": request_fingerprint(request),
+                "explain_available": bool(
+                    self.explain_store is not None
+                    and request.request_id is not None
+                    and self.explain_store.get(request.request_id) is not None
+                ),
+            },
         )
 
     @staticmethod
     def _call_engine(engine, request, run_params, token):
+        # ``explain`` is passed only when asked for, so stub engines in
+        # tests that don't accept the keyword keep working.
+        kwargs = {"algorithm": request.algorithm, "params": run_params}
+        if request.explain:
+            kwargs["explain"] = True
         if token is not None:
-            return engine.search(
-                request.query,
-                algorithm=request.algorithm,
-                params=run_params,
-                token=token,
-            )
-        return engine.search(
-            request.query, algorithm=request.algorithm, params=run_params
-        )
+            kwargs["token"] = token
+        return engine.search(request.query, **kwargs)
 
     def _run_request(
         self,
@@ -1873,7 +1984,10 @@ class QueryService:
             if wal is not None:
                 root.set_attribute("wal_seq", wal.last_seq)
 
-        if request.use_cache:
+        # An explain request must actually run the engine — a cached
+        # result has no report to attach — so it skips the cache *read*
+        # but still refreshes the cache (stripped) on the way out.
+        if request.use_cache and not request.explain:
             cached = self.cache.get(key, _MISS)
             if cached is not _MISS:
                 elapsed = time.perf_counter() - start
@@ -1888,7 +2002,8 @@ class QueryService:
                 )
         if root is not None:
             root.set_attribute(
-                "cache", "miss" if request.use_cache else "bypass"
+                "cache",
+                "miss" if request.use_cache and not request.explain else "bypass",
             )
 
         search = engine.search
@@ -1914,7 +2029,10 @@ class QueryService:
             return self._error_response(request, exc, start, record)
         if not result.complete:
             return self._cancelled_response(request, result, start, record, token)
-        self.cache.put(key, result)
+        self.cache.put(
+            key,
+            replace(result, explain=None) if result.explain is not None else result,
+        )
         elapsed = time.perf_counter() - start
         if record is None or record.claim():
             self._metrics.record_request(

@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.core.answer import AnswerTree, OutputAnswer, SearchResult
 from repro.core.params import SearchParams
-from repro.core.stats import SearchStats
+from repro.core.stats import COST_FIELDS, SearchStats
 from repro.service.service import QueryRequest, QueryResponse
 
 __all__ = [
@@ -93,6 +93,7 @@ def request_to_dict(request: QueryRequest) -> dict:
         "timeout": request.timeout,
         "use_cache": request.use_cache,
         "allow_partial": request.allow_partial,
+        "explain": request.explain,
         "request_id": request.request_id,
         "trace_id": request.trace_id,
         "parent_span_id": request.parent_span_id,
@@ -126,6 +127,7 @@ def request_from_dict(data: dict) -> QueryRequest:
     _check_type(data, "deadline_ms", (int, float), "milliseconds")
     _check_type(data, "use_cache", (bool,), "flag")
     _check_type(data, "allow_partial", (bool,), "flag")
+    _check_type(data, "explain", (bool,), "flag")
     _check_type(data, "request_id", (str,), "request id")
     _check_type(data, "trace_id", (str,), "trace id")
     _check_type(data, "parent_span_id", (str,), "span id")
@@ -160,6 +162,7 @@ def request_from_dict(data: dict) -> QueryRequest:
         deadline_ms=data.get("deadline_ms"),
         use_cache=data.get("use_cache", True),
         allow_partial=data.get("allow_partial", False),
+        explain=data.get("explain", False),
         request_id=data.get("request_id"),
         trace_id=data.get("trace_id"),
         parent_span_id=data.get("parent_span_id"),
@@ -226,6 +229,7 @@ def result_to_dict(result: SearchResult) -> dict:
         "stats": stats.as_dict() if stats is not None else None,
         "complete": result.complete,
         "cancel_reason": result.cancel_reason,
+        "explain": result.explain,
     }
 
 
@@ -243,6 +247,8 @@ def _stats_from_dict(data: Optional[dict]) -> Optional[SearchStats]:
         started_at=0.0,
         finished_at=data.get("elapsed", 0.0),
     )
+    for name in COST_FIELDS:
+        setattr(stats, name, data.get(name, 0))
     return stats
 
 
@@ -255,6 +261,7 @@ def result_from_dict(data: dict) -> SearchResult:
         stats=_stats_from_dict(data.get("stats")),
         complete=data.get("complete", True),
         cancel_reason=data.get("cancel_reason"),
+        explain=data.get("explain"),
     )
 
 

@@ -19,12 +19,25 @@ Stdlib-only observability for the whole serving stack.  Seven pieces:
 * :mod:`repro.telemetry.profile` — ``SamplingProfiler``: an always-on
   collapsed-stack sampler over ``sys._current_frames``;
 * :mod:`repro.telemetry.dashboard` — ``render_dashboard``: the whole
-  fleet on one dependency-free HTML page.
+  fleet on one dependency-free HTML page;
+* :mod:`repro.telemetry.accounting` — explain reports
+  (``build_explain_report`` / ``ExplainStore``), canonical query
+  fingerprints and the mergeable space-saving workload sketch behind
+  ``/debug/queries``.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and the full list
 of exported metric families.
 """
 
+from repro.telemetry.accounting import (
+    ExplainStore,
+    SpaceSavingSketch,
+    WorkloadAnalytics,
+    build_explain_report,
+    canonical_explain_bytes,
+    merge_sketch_exports,
+    query_fingerprint,
+)
 from repro.telemetry.dashboard import render_dashboard
 from repro.telemetry.events import SEVERITIES, EventLog, merge_events
 from repro.telemetry.metrics import (
@@ -66,6 +79,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
     "EventLog",
+    "ExplainStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -74,11 +88,15 @@ __all__ = [
     "SloEngine",
     "SloObjective",
     "SlowQueryLog",
+    "SpaceSavingSketch",
     "Span",
     "Tracer",
     "TraceStore",
+    "WorkloadAnalytics",
+    "build_explain_report",
     "build_span_tree",
     "burn_rate",
+    "canonical_explain_bytes",
     "current_span",
     "default_objectives",
     "diff_profiles",
@@ -86,6 +104,8 @@ __all__ = [
     "merge_events",
     "merge_profiles",
     "merge_registries",
+    "merge_sketch_exports",
+    "query_fingerprint",
     "new_span_id",
     "new_trace_id",
     "render_collapsed",

@@ -282,6 +282,51 @@ def _slow_section(data: Mapping[str, Any]) -> str:
     )
 
 
+def _queries_section(data: Mapping[str, Any]) -> str:
+    queries = data.get("queries") or {}
+    entries = queries.get("entries") or []
+    if not entries:
+        return ""
+    rows = []
+    for entry in entries[:10]:
+        count = entry.get("count") or 0
+        elapsed = entry.get("elapsed_total") or 0.0
+        costs = entry.get("costs") or {}
+        pops = (costs.get("pops_in") or 0) + (costs.get("pops_out") or 0)
+        rows.append(
+            [
+                _esc(entry.get("key")),
+                _fmt_num(count),
+                _fmt_num(entry.get("error")),
+                _fmt_num(elapsed, 3),
+                _fmt_num(elapsed / count if count else None, 4),
+                _fmt_num(pops),
+                _fmt_num(costs.get("heap_ops")),
+            ]
+        )
+    note = (
+        f'<p class="muted">{_fmt_num(queries.get("total"))} queries sketched'
+        f' · counts are over-estimates with the shown error bound'
+        ' · raw: <a href="/debug/queries">/debug/queries</a></p>'
+    )
+    return (
+        "<h2>Top queries (workload analytics)</h2>"
+        + _table(
+            [
+                "fingerprint",
+                "count",
+                "±err",
+                "elapsed s",
+                "s/query",
+                "pops",
+                "heap ops",
+            ],
+            rows,
+        )
+        + note
+    )
+
+
 def _profile_section(data: Mapping[str, Any]) -> str:
     profile = data.get("profile") or {}
     samples = profile.get("samples") or {}
@@ -328,12 +373,14 @@ def render_dashboard(
         _versions_section(data),
         _latency_section(data),
         _slow_section(data),
+        _queries_section(data),
         _profile_section(data),
     ]
     links = (
         '<p class="muted">raw: <a href="/metrics?format=prometheus">prometheus</a>'
         ' · <a href="/debug/events">events</a>'
         ' · <a href="/debug/slow">slow queries</a>'
+        ' · <a href="/debug/queries">top queries</a>'
         ' · <a href="/debug/profile?seconds=2">profile</a></p>'
     )
     return (

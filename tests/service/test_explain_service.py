@@ -1,0 +1,178 @@
+"""Service-tier explain + accounting: report delivery and retention,
+cache interplay, workload sketching, slow-log enrichment, and the wire
+round-trip of the new fields."""
+
+import json
+
+import pytest
+
+from repro.service.service import (
+    QueryRequest,
+    QueryService,
+    request_fingerprint,
+)
+from repro.service.wire import (
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+
+QUERY = "gray transaction"
+
+
+@pytest.fixture
+def service(toy_engine):
+    with QueryService(slow_query_threshold=None) as svc:
+        svc.register_engine("toy", toy_engine)
+        yield svc
+
+
+class TestExplainDelivery:
+    def test_response_embeds_report(self, service):
+        response = service.search(
+            QueryRequest("toy", QUERY, k=3, explain=True, request_id="r1")
+        )
+        response.raise_for_error()
+        report = response.result.explain
+        assert report["canonical"]["keywords"] == ["gray", "transaction"]
+        assert report["costs"]["pops_in"] + report["costs"]["pops_out"] > 0
+
+    def test_report_retained_by_request_id(self, service):
+        service.search(
+            QueryRequest("toy", QUERY, explain=True, request_id="r2")
+        ).raise_for_error()
+        stored = service.explain("r2")
+        assert stored is not None
+        assert stored["canonical"]["keywords"] == ["gray", "transaction"]
+        assert service.explain("never-ran") is None
+
+    def test_plain_request_carries_no_report(self, service):
+        response = service.search(QueryRequest("toy", QUERY))
+        response.raise_for_error()
+        assert response.result.explain is None
+
+
+class TestCacheInterplay:
+    def test_cached_copy_is_stripped(self, service):
+        service.search(
+            QueryRequest("toy", QUERY, explain=True, request_id="warm")
+        ).raise_for_error()
+        # The explain run warmed the cache, but with the report removed
+        # — cached hits must not replay a stale request's report.
+        hit = service.search(QueryRequest("toy", QUERY))
+        hit.raise_for_error()
+        assert hit.cached is True
+        assert hit.result.explain is None
+
+    def test_explain_bypasses_cache_read(self, service):
+        service.search(QueryRequest("toy", QUERY)).raise_for_error()
+        response = service.search(
+            QueryRequest("toy", QUERY, explain=True, request_id="fresh")
+        )
+        response.raise_for_error()
+        assert response.cached is False
+        assert response.result.explain is not None
+
+
+class TestWorkloadAnalytics:
+    def test_sketch_counts_and_costs(self, service):
+        for query in (QUERY, "transaction gray"):
+            service.search(
+                QueryRequest("toy", query, use_cache=False)
+            ).raise_for_error()
+        stats = service.query_stats()
+        assert stats["total"] == 2
+        (entry,) = stats["entries"]
+        # Term order folds into one fingerprint.
+        assert "|gray transaction|" in entry["key"]
+        assert entry["count"] == 2
+        assert entry["costs"]["pops_in"] > 0
+        assert entry["elapsed_total"] > 0.0
+
+    def test_cache_hits_not_double_counted(self, service):
+        service.search(QueryRequest("toy", QUERY)).raise_for_error()
+        hit = service.search(QueryRequest("toy", QUERY))
+        assert hit.cached is True
+        assert service.query_stats()["total"] == 1
+
+    def test_fingerprint_distinguishes_algorithm(self, service):
+        service.search(
+            QueryRequest("toy", QUERY, use_cache=False)
+        ).raise_for_error()
+        service.search(
+            QueryRequest("toy", QUERY, algorithm="si-backward", use_cache=False)
+        ).raise_for_error()
+        keys = {entry["key"] for entry in service.query_stats()["entries"]}
+        assert len(keys) == 2
+
+    def test_request_fingerprint_matches_sketch_key(self, service):
+        request = QueryRequest("toy", QUERY, use_cache=False)
+        service.search(request).raise_for_error()
+        (entry,) = service.query_stats()["entries"]
+        assert entry["key"] == request_fingerprint(request)
+
+
+class TestAccountingDisabled:
+    def test_off_switch_yields_empty_shapes(self, toy_engine):
+        with QueryService(accounting=False) as svc:
+            svc.register_engine("toy", toy_engine)
+            response = svc.search(
+                QueryRequest("toy", QUERY, explain=True, request_id="x")
+            )
+            response.raise_for_error()
+            # The engine still explains (the caller asked), but nothing
+            # is retained or sketched service-side.
+            assert response.result.explain is not None
+            assert svc.explain("x") is None
+            stats = svc.query_stats()
+            assert stats == {
+                "capacity": 0,
+                "total": 0,
+                "floor": 0,
+                "entries": [],
+            }
+
+
+class TestSlowLogEnrichment:
+    def test_entries_carry_fingerprint_and_availability(self, toy_engine):
+        with QueryService(slow_query_threshold=0.0) as svc:
+            svc.register_engine("toy", toy_engine)
+            request = QueryRequest(
+                "toy", QUERY, explain=True, request_id="slow-1"
+            )
+            svc.search(request).raise_for_error()
+            svc.search(QueryRequest("toy", QUERY, use_cache=False))
+            entries = svc.slow_log.entries()
+            by_explain = {
+                entry["explain_available"]: entry for entry in entries
+            }
+            assert by_explain[True]["fingerprint"] == request_fingerprint(
+                request
+            )
+            assert by_explain[False]["fingerprint"]
+
+
+class TestWire:
+    def test_request_round_trip_explain_flag(self):
+        request = QueryRequest("toy", QUERY, explain=True, request_id="w1")
+        data = request_to_dict(request)
+        json.dumps(data)
+        assert data["explain"] is True
+        assert request_from_dict(data) == request
+        assert request_from_dict({"dataset": "toy", "query": "q"}).explain is False
+
+    def test_response_round_trip_report_and_costs(self, service):
+        response = service.search(
+            QueryRequest("toy", QUERY, explain=True, request_id="w2")
+        )
+        response.raise_for_error()
+        data = response_to_dict(response)
+        json.dumps(data)
+        restored = response_from_dict(data)
+        assert restored.result.explain == response.result.explain
+        assert (
+            restored.result.stats.cost_vector()
+            == response.result.stats.cost_vector()
+        )
+        assert restored.result.stats.heap_ops > 0

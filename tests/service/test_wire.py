@@ -189,8 +189,9 @@ def test_error_response_dict_tolerates_malformed_request():
 
 
 def test_search_stats_round_trip_pins_counters():
-    # Pin: cluster responses must keep explored/touched counts and the
-    # elapsed timer across the wire — dashboards aggregate these.
+    # Pin: cluster responses must keep explored/touched counts, the
+    # cost vector, and the elapsed timer across the wire — dashboards
+    # and the workload sketch aggregate these.
     stats = SearchStats(
         nodes_explored=11,
         nodes_touched=29,
@@ -198,6 +199,8 @@ def test_search_stats_round_trip_pins_counters():
         answers_generated=5,
         answers_output=3,
         duplicates_discarded=2,
+        pops_in=7,
+        heap_ops=13,
     )
     stats.finished_at = stats.started_at + 0.125
     data = stats.as_dict()
@@ -208,6 +211,16 @@ def test_search_stats_round_trip_pins_counters():
         "answers_generated": 5,
         "answers_output": 3,
         "duplicates_discarded": 2,
+        "pops_in": 7,
+        "pops_out": 0,
+        "kernel_batches": 0,
+        "candidates_generated": 0,
+        "candidates_surviving": 0,
+        "heap_ops": 13,
+        "cascade_touches": 0,
+        "emit_attempts": 0,
+        "gate_skips": 0,
+        "resolve_hits": 0,
         "elapsed": pytest.approx(0.125),
     }
     wire = result_to_dict(
@@ -219,6 +232,8 @@ def test_search_stats_round_trip_pins_counters():
     assert restored.nodes_explored == 11
     assert restored.nodes_touched == 29
     assert restored.edges_explored == 41
+    assert restored.pops_in == 7
+    assert restored.heap_ops == 13
     assert restored.elapsed == pytest.approx(0.125)
 
 
