@@ -14,6 +14,13 @@ Three ways of pushing the same mixed query stream through a
 
 Loose shape assertions (cache >= 10x cold, batch == sequential results)
 keep a silently broken service layer from benchmarking plausibly.
+
+A second experiment compares the snapshot **storage tiers**
+(docs/STORAGE.md): warmup cost of a full compressed deserialization
+against a mapped (``np.memmap``) load that materializes only the pin
+set, and the steady-state query rate of both tiers once warm.  The
+bars: mapped warmup at least 5x faster, steady-state QPS within 10% —
+the tier trades nothing at runtime, only at load.
 """
 
 import sys
@@ -124,6 +131,110 @@ def run_throughput() -> Report:
     return report
 
 
+def run_storage_tiers() -> Report:
+    import tempfile
+
+    from repro.core.engine import KeywordSearchEngine
+    from repro.service.snapshot import load_snapshot, save_engine
+
+    # Full scale: the tiers differ by a per-load constant (pin-set
+    # materialization), so the speedup ratio is only meaningful when the
+    # compressed deserialization is big enough to dominate it.
+    bench = build_bench("dblp", 1.0)
+    queries = _mixed_queries(bench.engine)
+    stream = [queries[i % len(queries)] for i in range(NUM_REQUESTS)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_path = Path(tmp) / "dblp.snap"
+        v2_path = Path(tmp) / "dblp.snap.v2"
+        save_engine(v1_path, bench.engine)
+        save_engine(v2_path, bench.engine, format="mapped")
+
+        def best_of(loader, repeats: int = 5):
+            # Best-of-N: a load is cheap to repeat and the *minimum* is
+            # the least-noisy estimator of its cost.
+            best_s, best = float("inf"), None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                loaded = loader()
+                elapsed = time.perf_counter() - start
+                if elapsed < best_s:
+                    best_s, best = elapsed, loaded
+            return best_s, best
+
+        ram_warm_s, (ram_graph, ram_index) = best_of(
+            lambda: load_snapshot(v1_path, storage_mode="ram")
+        )
+        map_warm_s, (map_graph, map_index) = best_of(
+            lambda: load_snapshot(v2_path, storage_mode="mapped")
+        )
+
+        engines = {
+            "ram": KeywordSearchEngine(ram_graph, ram_index),
+            "mapped": KeywordSearchEngine(map_graph, map_index),
+        }
+        answers = {}
+        for engine in engines.values():
+            for query in stream:  # fault the working set in before timing
+                engine.search(query, k=5)
+        # Interleave the tiers' timed passes (machine-load drift over a
+        # minutes-long run would otherwise bias whichever tier is
+        # measured last) and keep each *query's* minimum across passes:
+        # a whole-pass minimum only filters noise if an entire pass
+        # dodges it at once, per-query minimums filter it per query.
+        best = {tier: [float("inf")] * len(stream) for tier in engines}
+        for _ in range(3):
+            for tier, engine in engines.items():
+                timed = []
+                for j, query in enumerate(stream):
+                    start = time.perf_counter()
+                    timed.append(engine.search(query, k=5))
+                    elapsed = time.perf_counter() - start
+                    best[tier][j] = min(best[tier][j], elapsed)
+                answers[tier] = timed
+        qps = {tier: NUM_REQUESTS / sum(mins) for tier, mins in best.items()}
+
+    # Identical answers, not just similar speed.
+    for ram_result, map_result in zip(answers["ram"], answers["mapped"]):
+        assert map_result.scores() == ram_result.scores()
+        assert map_result.signatures() == ram_result.signatures()
+    storage = map_graph.storage
+    report = Report(
+        experiment="storage-tiers",
+        title=f"snapshot warmup + steady state, {NUM_REQUESTS} queries "
+        f"(synthetic DBLP, k=5)",
+        headers=["tier", "warmup s", "steady QPS", "resident"],
+    )
+    for tier, warm_s in (("ram", ram_warm_s), ("mapped", map_warm_s)):
+        resident = (
+            f"{storage.resident_bytes / 1024:.0f} KiB est"
+            if tier == "mapped"
+            else "full"
+        )
+        emit_json(
+            {
+                "experiment": "storage-tiers",
+                "tier": tier,
+                "warmup_seconds": warm_s,
+                "qps": qps[tier],
+                "warmup_speedup": ram_warm_s / map_warm_s,
+            }
+        )
+        report.rows.append(
+            [tier, fmt(warm_s, 4), fmt(qps[tier]), resident]
+        )
+    report.notes.append(
+        f"mapped warmup {ram_warm_s / map_warm_s:.1f}x faster than compressed "
+        f"deserialization (pins: {storage.pinned_nodes} rows, "
+        f"{storage.pinned_terms} posting lists)"
+    )
+    report.notes.append(
+        "steady-state rates converge once the query working set is "
+        "materialized; the tier trades load cost, not query cost"
+    )
+    return report
+
+
 def test_service_throughput(benchmark):
     report = run_report(benchmark, run_throughput)
     qps_cold = as_float(cell(report, 0, 2))
@@ -134,5 +245,24 @@ def test_service_throughput(benchmark):
     assert qps_cached >= 10 * qps_cold
 
 
+def test_storage_tier_warmup_and_qps(benchmark):
+    report = run_report(benchmark, run_storage_tiers)
+    ram_warm = as_float(cell(report, 0, 1))
+    map_warm = as_float(cell(report, 1, 1))
+    ram_qps = as_float(cell(report, 0, 2))
+    map_qps = as_float(cell(report, 1, 2))
+    # The acceptance bars: a mapped load must skip nearly all of the
+    # deserialization work, and must cost nothing at steady state.
+    assert map_warm * 5 <= ram_warm, (
+        f"mapped warmup {map_warm:.4f}s not 5x faster than "
+        f"compressed deserialization {ram_warm:.4f}s"
+    )
+    assert map_qps >= 0.9 * ram_qps, (
+        f"mapped steady-state {map_qps:.1f} QPS more than 10% below "
+        f"ram {ram_qps:.1f} QPS"
+    )
+
+
 if __name__ == "__main__":
     print(run_throughput().render())
+    print(run_storage_tiers().render())

@@ -212,6 +212,7 @@ class ShardedQueryService:
         slo_interval: float = 5.0,
         accounting: bool = True,
         explain_capacity: int = 128,
+        storage_mode: Optional[str] = None,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -268,6 +269,12 @@ class ShardedQueryService:
                 "profile_interval": profile_interval,
                 "event_log_capacity": event_log_capacity,
                 "accounting": accounting,
+                # Storage tier every worker loads its snapshots into.
+                # Replacement workers spawned after a crash reuse these
+                # settings, so the tier survives restarts; under
+                # "mapped" all workers mapping one snapshot file share
+                # a single physical copy in the OS page cache.
+                "storage_mode": storage_mode,
             },
             start_method=start_method,
             health_interval=health_interval,

@@ -235,7 +235,8 @@ def worker_main(
         ``{dataset_name: snapshot_path_string}`` for this shard.
     settings:
         Plain dict of ``QueryService`` knobs: ``cache_capacity``,
-        ``cache_ttl``, ``cooperative_cancellation``, ``tracing``.
+        ``cache_ttl``, ``cooperative_cancellation``, ``tracing``,
+        ``storage_mode``.
     request_queue / response_conn:
         The channel pair described in the module docstring.
     cancel_cells:
@@ -257,6 +258,12 @@ def worker_main(
         profile_interval=settings.get("profile_interval", 0.02),
         event_log_capacity=settings.get("event_log_capacity", 512),
         accounting=settings.get("accounting", True),
+        # Storage tier for snapshot loads (ram/mapped/auto; None defers
+        # to the environment).  Set fleet-wide by the supervisor: every
+        # worker — including restart-on-crash replacements, which reuse
+        # this settings dict — maps the same snapshot files, so the OS
+        # page cache holds one physical copy per shard.
+        storage_mode=settings.get("storage_mode"),
         # Workers never evaluate SLOs — the supervisor owns the fleet
         # view; an engine per replica would just burn samples.
         slo_objectives=(),

@@ -100,8 +100,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
             self._profile_tick()
 
             if self._table.is_complete(node):
-                paths, dists = self._table.build_paths(node)
-                self._emit_tree(node, paths, dists)
+                self._emit_root(node)
 
             if self._depth[node] < self.params.dmax:
                 self._expand(node)
@@ -109,6 +108,21 @@ class SingleIteratorBackwardSearch(BaseSearch):
             if self._should_flush():
                 self._flush(self._edge_bound())
 
+        if (
+            not self._queue
+            and not self._done
+            and not self._stopped_by_cancel
+            and not self._budget_exhausted()
+        ):
+            self._tie_sweep(
+                sorted(
+                    node
+                    for node in self._table.seen_nodes()
+                    if self._table.is_complete(node)
+                ),
+                self._table.build_paths,
+                self._table.dist,
+            )
         self.stats.cascade_touches += self._table.cascade_touches
         return self._finish()
 
@@ -116,6 +130,11 @@ class SingleIteratorBackwardSearch(BaseSearch):
         return {"queue": len(self._queue)}
 
     # ------------------------------------------------------------------
+    def _emit_root(self, root: int) -> None:
+        paths, dists = self._table.build_paths(root)
+        self._emit_tree(root, paths, dists)
+        self._emit_tie_alternate(root, paths, self._table.dist)
+
     def _expand(self, v: int) -> None:
         """Traverse incoming edges of ``v``, propagating keyword
         distances backward (the single merged iterator step)."""
@@ -124,8 +143,7 @@ class SingleIteratorBackwardSearch(BaseSearch):
             self.stats.explore_edge()
             completions = self._table.explore_edge(u, v, w)
             for done_node in completions:
-                paths, dists = self._table.build_paths(done_node)
-                self._emit_tree(done_node, paths, dists)
+                self._emit_root(done_node)
             if u not in self._explored:
                 self._touch(u, depth)
 

@@ -128,6 +128,22 @@ class BidirectionalSearch(BaseSearch):
             self._profile_tick()
             if self._should_flush():
                 self._flush(self._edge_bound())
+        if (
+            not self._qin
+            and not self._qout
+            and not self._done
+            and not self._stopped_by_cancel
+            and not self._budget_exhausted()
+        ):
+            self._tie_sweep(
+                sorted(
+                    node
+                    for node in self._table.seen_nodes()
+                    if self._table.is_complete(node)
+                ),
+                self._table.build_paths,
+                self._table.dist,
+            )
         self.stats.cascade_touches += (
             self._table.cascade_touches + self._act.cascade_touches
         )
@@ -204,6 +220,7 @@ class BidirectionalSearch(BaseSearch):
     def _emit_root(self, root: int) -> None:
         paths, dists = self._table.build_paths(root)
         self._emit_tree(root, paths, dists)
+        self._emit_tie_alternate(root, paths, self._table.dist)
 
     def _table_parents(self) -> dict[int, dict[int, float]]:
         return self._table.parents_map()

@@ -27,6 +27,7 @@ from repro.core.output_heap import OutputHeap
 from repro.core.params import SearchParams
 from repro.core.scoring import Scorer
 from repro.core.stats import SearchStats
+from repro.core.ties import tight_decomposition
 from repro.telemetry.trace import current_span
 
 __all__ = ["BaseSearch", "nra_edge_bound", "frontier_minima"]
@@ -193,6 +194,50 @@ class BaseSearch:
             self.stats.duplicates_discarded += 1
         elif status == "new":
             self.stats.answers_generated += 1
+
+    def _emit_tie_alternate(self, root, paths, dist_fn) -> None:
+        """Emit the canonical equal-cost decomposition of ``root`` when
+        it differs from the just-emitted ``sp``-table one.
+
+        Under shortest-path ties the table's decomposition may be a
+        non-minimal chain while an equal-cost minimal star exists; the
+        minimality filter would then discard the root's only tree.  The
+        canonical decomposition (:mod:`repro.core.ties`) is computed
+        from distances and the static graph alone, so the oracle and
+        every backend agree on it.
+        """
+        if not self.params.tie_alternates:
+            return
+        alt = tight_decomposition(self.graph, dist_fn, root, self.k)
+        if alt is None:
+            return
+        alt_paths, alt_dists = alt
+        if alt_paths == list(paths):
+            return
+        self._emit_tree(root, alt_paths, alt_dists)
+
+    def _tie_sweep(self, complete_nodes, build_default, dist_fn) -> None:
+        """At natural exhaustion, re-emit each complete node's canonical
+        equal-cost decomposition from its *final* distances.
+
+        Per-emission alternates can be computed from a descendant's
+        not-yet-final distance (an equal-cost path discovered later
+        changes which edges are tight without re-triggering the root's
+        emission); this sweep closes that gap.  Callers invoke it only
+        when their queues drained naturally — never after a
+        cancellation, budget stop or filled top-k quota.
+        """
+        if not self.params.tie_alternates:
+            return
+        for root in complete_nodes:
+            alt = tight_decomposition(self.graph, dist_fn, root, self.k)
+            if alt is None:
+                continue
+            alt_paths, alt_dists = alt
+            default_paths, _ = build_default(root)
+            if alt_paths == list(default_paths):
+                continue
+            self._emit_tree(root, alt_paths, alt_dists)
 
     # ------------------------------------------------------------------
     # flushing (Section 4.5)

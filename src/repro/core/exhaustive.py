@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 from repro.core.answer import AnswerTree, is_minimal_rooting
 from repro.core.cancellation import CancellationToken
 from repro.core.scoring import Scorer
+from repro.core.ties import tight_decomposition
 from repro.errors import SearchCancelledError
 
 __all__ = ["keyword_distances", "exhaustive_answers"]
@@ -61,16 +62,6 @@ def keyword_distances(
     return dist, sp
 
 
-def _path(root: int, sp: dict[int, tuple[int, float]], dist: dict[int, float]):
-    node = root
-    path = [node]
-    total = 0.0
-    while dist[node] > 0.0:
-        child, w = sp[node]
-        total += w
-        node = child
-        path.append(node)
-    return tuple(path), total
 
 
 def exhaustive_answers(
@@ -95,18 +86,27 @@ def exhaustive_answers(
         keyword_distances(graph, targets, token=token) for targets in keyword_sets
     ]
 
+    dist_maps = [table[0] for table in per_keyword]
+
+    def dist_fn(node: int, i: int) -> float:
+        return dist_maps[i].get(node, inf)
+
     best: dict[object, AnswerTree] = {}
     for root in graph.nodes():
         _tick_or_raise(token)
-        vectors = [table[0].get(root) for table in per_keyword]
+        vectors = [dist_map.get(root) for dist_map in dist_maps]
         if any(d is None for d in vectors):
             continue
-        paths = []
-        dists = []
-        for dist_map, sp_map in per_keyword:
-            path, total = _path(root, sp_map, dist_map)
-            paths.append(path)
-            dists.append(total)
+        # The *canonical* equal-cost decomposition (repro.core.ties),
+        # not the Dijkstra sp pointers: under shortest-path ties the sp
+        # choice is a heap-order accident, while the canonical rule is
+        # reproducible from distances alone — the searches emit exactly
+        # this decomposition for tied roots, making strict oracle
+        # coverage a sound requirement.
+        decomposition = tight_decomposition(graph, dist_fn, root, len(per_keyword))
+        if decomposition is None:  # pragma: no cover - defensive
+            continue
+        paths, dists = decomposition
         if not is_minimal_rooting(root, paths):
             continue
         tree = scorer.build_tree(root, paths, dists)

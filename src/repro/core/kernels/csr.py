@@ -133,17 +133,73 @@ def _build_parents(rows) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     return indptr, src, w
 
 
+def _build_parents_from_arrays(
+    indptr: np.ndarray, src: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`_build_parents` over raw CSR arrays instead of edge rows.
+
+    Same dedup semantics (first-occurrence order, min weight per
+    parallel-edge group); row order is already the graph's, so the
+    result matches the row-based builder exactly."""
+    bounds = indptr.tolist()
+    flat_src = src.tolist()
+    flat_w = w.tolist()
+    n = len(bounds) - 1
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    src_rows: list[list[int]] = []
+    w_rows: list[list[float]] = []
+    for v in range(n):
+        bucket: dict[int, float] = {}
+        for u, weight in zip(
+            flat_src[bounds[v] : bounds[v + 1]], flat_w[bounds[v] : bounds[v + 1]]
+        ):
+            prev = bucket.get(u)
+            if prev is None or weight < prev:
+                bucket[u] = weight
+        src_rows.append(list(bucket.keys()))
+        w_rows.append(list(bucket.values()))
+        out_indptr[v + 1] = out_indptr[v] + len(bucket)
+    m = int(out_indptr[-1])
+    par_src = np.zeros(m, dtype=np.int32)
+    par_w = np.zeros(m, dtype=np.float64)
+    pos = 0
+    for v in range(n):
+        for u, weight in zip(src_rows[v], w_rows[v]):
+            par_src[pos] = u
+            par_w[pos] = weight
+            pos += 1
+    return out_indptr, par_src, par_w
+
+
 def graph_csr(graph) -> GraphCSR:
-    """The graph's kernel CSR, built on first use and cached on it."""
+    """The graph's kernel CSR, built on first use and cached on it.
+
+    Mapped graphs (:class:`~repro.storage.MappedSearchGraph`) expose
+    their on-disk CSR sides directly via ``_mapped_csr_sides()`` —
+    the snapshot stores edges in original graph row order, so those
+    arrays *are* what ``_build_side`` would produce, without
+    materializing a single adjacency row.  Only the parent dedup still
+    walks the in-side edge data (streamed from the map, not retained)."""
     cached = getattr(graph, _CACHE_ATTR, None)
     if cached is not None:
         return cached
     n = graph.num_nodes
-    in_rows = [graph.in_edges(v) for v in range(n)]
-    out_rows = [graph.out_edges(u) for u in range(n)]
-    in_indptr, in_src, in_w = _build_side(in_rows)
-    out_indptr, out_dst, out_w = _build_side(out_rows)
-    par_indptr, par_src, par_w = _build_parents(in_rows)
+    sides = getattr(graph, "_mapped_csr_sides", None)
+    if sides is not None:
+        raw = sides()
+        in_indptr, in_src, in_w = raw["in_indptr"], raw["in_src"], raw["in_w"]
+        out_indptr, out_dst, out_w = (
+            raw["out_indptr"], raw["out_dst"], raw["out_w"],
+        )
+        par_indptr, par_src, par_w = _build_parents_from_arrays(
+            in_indptr, in_src, in_w
+        )
+    else:
+        in_rows = [graph.in_edges(v) for v in range(n)]
+        out_rows = [graph.out_edges(u) for u in range(n)]
+        in_indptr, in_src, in_w = _build_side(in_rows)
+        out_indptr, out_dst, out_w = _build_side(out_rows)
+        par_indptr, par_src, par_w = _build_parents(in_rows)
     csr = GraphCSR(
         n=n,
         in_indptr=in_indptr,

@@ -173,6 +173,17 @@ class EmitGate:
         return self.scorer.score_upper_bound(edge_score, self.k) < topk[0]
 
 
+def _dense_dist_fn(state: DensePathState) -> Callable[[int, int], float]:
+    """``dist_fn(node, i)`` over the authoritative python rows (``inf``
+    marks unknown, matching the tie helpers' convention)."""
+    rows = state.dist_rows
+
+    def dist_fn(node: int, i: int) -> float:
+        return rows[i][node]
+
+    return dist_fn
+
+
 def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
     gate = EmitGate(search)
     rows = state.dist_rows
@@ -180,6 +191,7 @@ def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
     topk = gate.topk
     cap = gate.cap
     enabled = gate.enabled
+    dist_fn = _dense_dist_fn(state)
 
     def emit(root: int) -> None:
         e = 0.0
@@ -187,6 +199,8 @@ def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
             e += rows[i][root]
         # gate.blocks, inlined: completion events fire per distance
         # improvement and the blocked case must stay a float compare.
+        # An equal-cost alternate shares the default's edge score, so
+        # one gate decision covers both emissions.
         if enabled and len(topk) >= cap:
             if e > gate._block_above:
                 search.stats.gate_skips += 1
@@ -196,8 +210,16 @@ def _make_emit(search, state: DensePathState) -> Callable[[int], None]:
                 return
         paths, dists = state.build_paths(root)
         search._emit_tree(root, paths, dists)
+        search._emit_tie_alternate(root, paths, dist_fn)
 
     return emit
+
+
+def _tie_sweep_dense(search, state: DensePathState) -> None:
+    """Exhaustion sweep over dense state (see ``BaseSearch._tie_sweep``)."""
+    k = state.k
+    complete = [node for node, c in enumerate(state.finite) if c == k]
+    search._tie_sweep(complete, state.build_paths, _dense_dist_fn(state))
 
 
 # ----------------------------------------------------------------------
@@ -274,6 +296,13 @@ def run_si_batched(search, backend: str):
         if search._should_flush():
             ms = state.frontier_minima(frontier.live_nodes())
             search._flush(state.nra_bound(ms))
+    if (
+        not frontier
+        and not search._done
+        and not search._stopped_by_cancel
+        and not search._budget_exhausted()
+    ):
+        _tie_sweep_dense(search, state)
     search.stats.cascade_touches += state.cascade_touches
     return search._finish()
 
@@ -449,5 +478,13 @@ def run_bidi_batched(search, backend: str):
             )
             ms = state.frontier_minima(frontier_nodes)
             search._flush(state.nra_bound(ms))
+    if (
+        not fin
+        and not fout
+        and not search._done
+        and not search._stopped_by_cancel
+        and not search._budget_exhausted()
+    ):
+        _tie_sweep_dense(search, state)
     search.stats.cascade_touches += state.cascade_touches + act.cascade_touches
     return search._finish()

@@ -87,6 +87,14 @@ class SearchParams:
         queue holding the globally highest-activation cursor) or
         ``"fanout"`` (expand the structurally cheaper side by
         estimated batch fan-out; see docs/PERFORMANCE.md).
+    tie_alternates:
+        Emit the canonical equal-cost decomposition of a completed root
+        alongside the ``sp``-table one when shortest paths are tied
+        (see :mod:`repro.core.ties`), and re-sweep complete nodes at
+        natural exhaustion — the guarantee that an answer whose path
+        table settled on a non-minimal chain still surfaces as its
+        equal-cost minimal rooting.  On by default; an escape hatch
+        for exact replication of the pre-fix emission stream.
     """
 
     mu: float = 0.5
@@ -103,6 +111,7 @@ class SearchParams:
     expansion_backend: str = "auto"
     expansion_batch: int = 0
     frontier_balance: str = "activation"
+    tie_alternates: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mu <= 1.0:

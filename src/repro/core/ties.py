@@ -1,0 +1,98 @@
+"""Equal-cost shortest-path tie handling for answer emission.
+
+Under shortest-path ties the ``sp`` pointer tables of the searches (and
+the oracle's Dijkstra) each settle on *one* of several equal-cost
+decompositions of a root's answer tree — and which one is an accident
+of exploration order.  That is not just cosmetic: the Section 3
+minimality filter judges the decomposition, not the cost, so a path
+table that settled on a non-minimal chain discards the root's only
+emitted tree even though an equal-cost minimal star exists (the pinned
+counterexample in ``tests/property/test_prop_search.py``).
+
+This module defines one *canonical* decomposition that every consumer
+— the exhaustive oracle, the per-pop python searches and the batched
+kernel engines — can compute independently from nothing but final
+distances and the static graph:
+
+    from each node ``u`` with ``dist_i(u) > 0`` follow the smallest
+    ``(child, weight)`` pair among the **tight** out-edges, i.e. edges
+    ``(u, v, w)`` with ``dist_i(v) + w == dist_i(u)`` exactly.
+
+Exact float equality is deliberate: every producer of these distances
+(the oracle's Dijkstra, :class:`~repro.core.pathtable.PathTable` and
+:class:`~repro.core.kernels.state.DensePathState`) accumulates path
+cost leaf-to-root with the same left-associated additions, so at
+exhaustion the distances agree bit for bit and the winning path's
+first hop always satisfies the equality.  Mid-search the distances may
+not be final; the helpers then either return a valid equal-cost-so-far
+decomposition or ``None``, and callers simply skip the alternate.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Callable, Optional
+
+__all__ = ["tight_first_hop", "tight_decomposition"]
+
+#: ``dist_fn(node, i)`` -> known distance of ``node`` to keyword ``i``
+#: (``inf`` when unknown).
+DistFn = Callable[[int, int], float]
+
+
+def tight_first_hop(
+    graph, dist_fn: DistFn, node: int, i: int
+) -> Optional[tuple[int, float]]:
+    """Canonical first hop of ``node`` toward keyword ``i``.
+
+    The smallest ``(child, weight)`` among the tight out-edges of
+    ``node`` in the full static adjacency (not just explored edges, so
+    every backend enumerates identically), or ``None`` when the current
+    distances admit no tight hop.
+    """
+    du = dist_fn(node, i)
+    best: Optional[tuple[int, float]] = None
+    for v, w, _ in graph.out_edges(node):
+        dv = dist_fn(v, i)
+        if dv != inf and dv + w == du:
+            hop = (v, w)
+            if best is None or hop < best:
+                best = hop
+    return best
+
+
+def tight_decomposition(
+    graph, dist_fn: DistFn, root: int, k: int
+) -> Optional[tuple[list[tuple[int, ...]], list[float]]]:
+    """Canonical equal-cost decomposition of ``root``'s answer tree.
+
+    Follows :func:`tight_first_hop` per keyword until a zero-distance
+    (keyword-matching) node is reached.  Returns ``(paths, dists)``
+    shaped exactly like ``PathTable.build_paths`` — per-keyword path
+    tuples plus re-summed root-to-leaf weights — or ``None`` when any
+    keyword's walk dead-ends or exceeds the node count (possible only
+    on not-yet-consistent mid-search distances).
+    """
+    limit = graph.num_nodes + 1
+    paths: list[tuple[int, ...]] = []
+    dists: list[float] = []
+    for i in range(k):
+        node = root
+        path = [node]
+        total = 0.0
+        while True:
+            d = dist_fn(node, i)
+            if d == inf:
+                return None
+            if d <= 0.0:
+                break
+            hop = tight_first_hop(graph, dist_fn, node, i)
+            if hop is None or len(path) > limit:
+                return None
+            child, w = hop
+            total += w
+            node = child
+            path.append(node)
+        paths.append(tuple(path))
+        dists.append(total)
+    return paths, dists

@@ -233,11 +233,21 @@ class MutableDataset:
         )
 
     @classmethod
-    def from_snapshot(cls, path, **knobs) -> "MutableDataset":
-        """Load a disk snapshot (:mod:`repro.service.snapshot`) and wrap."""
+    def from_snapshot(
+        cls, path, *, storage_mode=None, pin_policy=None, **knobs
+    ) -> "MutableDataset":
+        """Load a disk snapshot (:mod:`repro.service.snapshot`) and wrap.
+
+        ``storage_mode="mapped"`` serves the base tier through
+        ``np.memmap`` — live mutations still overlay in plain RAM (the
+        overlay is built from deltas, never written through), so the
+        mapped base file stays strictly read-only.
+        """
         from repro.service.snapshot import load_snapshot
 
-        graph, index = load_snapshot(path)
+        graph, index = load_snapshot(
+            path, storage_mode=storage_mode, pin_policy=pin_policy
+        )
         return cls(graph, index, **knobs)
 
     @classmethod
@@ -250,6 +260,8 @@ class MutableDataset:
         index: Optional[InvertedIndex] = None,
         start_seq: Optional[int] = None,
         strict: bool = True,
+        storage_mode=None,
+        pin_policy=None,
         **knobs,
     ) -> "MutableDataset":
         """Reconstruct a live dataset by replaying a mutation log onto
@@ -291,7 +303,11 @@ class MutableDataset:
 
             if start_seq is None:
                 start_seq = int(snapshot_info(snapshot).get("dataset_version") or 0)
-            graph, index = load_snapshot(snapshot)
+            # Replay overlays mutations in RAM on top of whatever tier
+            # the base loads into; a mapped base is never written.
+            graph, index = load_snapshot(
+                snapshot, storage_mode=storage_mode, pin_policy=pin_policy
+            )
         elif graph is None or index is None:
             raise ValueError("replay() needs snapshot= or graph=+index=")
         elif start_seq is None:

@@ -483,6 +483,7 @@ class QueryService:
         accounting: bool = True,
         explain_capacity: int = 128,
         analytics_capacity: int = 64,
+        storage_mode: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -526,6 +527,10 @@ class QueryService:
                 error_family="repro_errors_total",
                 latency_family="repro_request_latency_seconds",
             )
+        # Default storage tier for snapshot registrations: None defers
+        # to each load's own resolution (explicit arg, then the
+        # REPRO_SNAPSHOT_MODE environment hook, then "auto").
+        self._storage_mode = storage_mode
         self._max_workers = max_workers
         self._cooperative = cooperative_cancellation
         self._cancel_grace = cancel_grace
@@ -619,6 +624,49 @@ class QueryService:
             "Mutation batches committed",
             labels=("dataset",),
         )
+        # Mapped-storage residency (datasets served from a memory-mapped
+        # snapshot; see docs/STORAGE.md).  Fault counters measure
+        # post-pin demand misses; byte gauges are working-set estimates.
+        storage_mapped = registry.gauge(
+            "repro_storage_mapped_bytes",
+            "Bytes of snapshot data served via memory mapping per dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        storage_resident = registry.gauge(
+            "repro_storage_resident_bytes",
+            "Estimated bytes of materialized (resident) mapped rows per dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        storage_pinned_nodes = registry.gauge(
+            "repro_storage_pinned_nodes",
+            "Adjacency rows pinned at load time per mapped dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        storage_pinned_terms = registry.gauge(
+            "repro_storage_pinned_terms",
+            "Posting lists pinned at load time per mapped dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        storage_pinned_bytes = registry.gauge(
+            "repro_storage_pinned_bytes",
+            "Estimated bytes of load-time pinned rows per mapped dataset",
+            labels=("dataset",),
+            merge="max",
+        )
+        storage_row_faults = registry.counter(
+            "repro_storage_row_faults_total",
+            "Adjacency rows materialized on demand per mapped dataset",
+            labels=("dataset",),
+        )
+        storage_posting_faults = registry.counter(
+            "repro_storage_posting_faults_total",
+            "Posting lists materialized on demand per mapped dataset",
+            labels=("dataset",),
+        )
 
         def collect() -> None:
             stats = self.cache.stats()
@@ -656,6 +704,23 @@ class QueryService:
                 )
                 wal_replayed.set_total(
                     wal_stats.get("replayed_records", 0), dataset=name
+                )
+            with self._registry_lock:
+                engines = dict(self._engines)
+            for name, engine in engines.items():
+                # Tolerate engine doubles without a graph (tests).
+                storage = getattr(getattr(engine, "graph", None), "storage", None)
+                if storage is None:
+                    continue
+                counters = storage.snapshot()
+                storage_mapped.set(counters["mapped_bytes"], dataset=name)
+                storage_resident.set(counters["resident_bytes"], dataset=name)
+                storage_pinned_nodes.set(counters["pinned_nodes"], dataset=name)
+                storage_pinned_terms.set(counters["pinned_terms"], dataset=name)
+                storage_pinned_bytes.set(counters["pinned_bytes"], dataset=name)
+                storage_row_faults.set_total(counters["row_faults"], dataset=name)
+                storage_posting_faults.set_total(
+                    counters["posting_faults"], dataset=name
                 )
 
         registry.add_collector(collect)
@@ -821,11 +886,27 @@ class QueryService:
         )
 
     def register_snapshot(
-        self, name: str, path, *, params: Optional[SearchParams] = None
+        self,
+        name: str,
+        path,
+        *,
+        params: Optional[SearchParams] = None,
+        storage_mode: Optional[str] = None,
+        pin_policy=None,
     ) -> None:
-        """Register a disk snapshot; loading replaces ``from_database``."""
+        """Register a disk snapshot; loading replaces ``from_database``.
+
+        ``storage_mode`` picks the tier the lazy build loads into
+        (``ram`` / ``mapped`` / ``auto``); omitted, it falls back to the
+        service-wide default from the constructor, then the usual
+        per-load resolution.  ``pin_policy`` is forwarded to mapped
+        loads (see :class:`repro.storage.PinPolicy`).
+        """
         from repro.errors import SnapshotError
         from repro.service.snapshot import load_engine, snapshot_info
+
+        if storage_mode is None:
+            storage_mode = self._storage_mode
 
         def factory():
             # Record the digest of the file actually loaded (the file
@@ -837,7 +918,12 @@ class QueryService:
                 digest = snapshot_info(path).get("content_digest")
             except SnapshotError:
                 digest = None
-            engine = load_engine(path, params=params)
+            engine = load_engine(
+                path,
+                params=params,
+                storage_mode=storage_mode,
+                pin_policy=pin_policy,
+            )
             with self._registry_lock:
                 # Stamp only while this path is still the registered
                 # source — a build that lost a re-registration race
@@ -861,6 +947,8 @@ class QueryService:
         *,
         params: Optional[SearchParams] = None,
         force: bool = False,
+        storage_mode: Optional[str] = None,
+        pin_policy=None,
     ) -> dict:
         """Re-register ``name`` from ``path`` without a process restart.
 
@@ -898,7 +986,13 @@ class QueryService:
         # file they are unreplayable history, and a stale dataset's
         # in-flight commit must fail loudly against a closed log —
         # never land an old-lineage batch in the new one.
-        self.register_snapshot(name, path, params=params)
+        self.register_snapshot(
+            name,
+            path,
+            params=params,
+            storage_mode=storage_mode,
+            pin_policy=pin_policy,
+        )
         self._close_detached_wals()
         with self._registry_lock:
             self._snapshot_digests[name] = digest

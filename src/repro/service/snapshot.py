@@ -10,8 +10,11 @@ edge order), its prestige vector and the
 :class:`~repro.index.InvertedIndex`, so a warm start skips
 ``KeywordSearchEngine.from_database`` entirely.
 
-Format (version 1): a single zip container (``numpy.savez_compressed``)
-of flat arrays —
+Two physical layouts share one logical content model (and one
+``content_digest``):
+
+**Compressed (format version 1, the default save format)** — a single
+zip container (``numpy.savez_compressed``) of flat arrays:
 
 * ``meta``: UTF-8 JSON bytes (uint8): format magic, version, node
   labels/tables/refs, index terms and counts.  Everything that is text.
@@ -25,12 +28,37 @@ of flat arrays —
   concatenated postings per index term (sorted node ids; postings are
   sets, so order carries no meaning).
 
-No pickle anywhere — ``numpy.load`` runs with ``allow_pickle=False`` —
-so loading a snapshot executes no code from the file.  Incompatible or
-corrupt files raise :class:`~repro.errors.SnapshotError`.  Snapshots
-capture frozen state: they are written once and never invalidated
-(rebuild and re-save to pick up new data), mirroring the engine's own
-"index is frozen" contract.
+**Mapped (format version 2,** ``save_snapshot(..., format="mapped")``
+**)** — the same arrays, uncompressed and page-aligned: a magic
+preamble, one *small* JSON header (counts, digest, an array table of
+``{offset, dtype, shape}`` and save-time pin hints — O(1) in dataset
+size), then each array's raw C-contiguous bytes at a 4096-aligned
+offset.  The O(n) text metadata (labels, tables, refs and the term
+vocabularies) lives in the data region too, as one JSON blob
+(``text_json``) that a mapped load leaves on disk until a query first
+reads a label or resolves a term — that deferral is what makes a
+mapped warmup O(pin set) instead of O(dataset).  The layout is what
+``np.memmap`` needs: :func:`load_snapshot` with ``storage_mode=
+"mapped"`` returns a :class:`~repro.storage.MappedSearchGraph` /
+:class:`~repro.storage.MappedInvertedIndex` pair whose adjacency rows
+and posting lists page in on demand — bigger-than-RAM datasets serve
+from the OS page cache, shared physically across worker processes.
+``docs/STORAGE.md`` documents the layout and the trade-offs.
+
+The ``storage_mode`` knob (``ram`` / ``mapped`` / ``auto``, env hook
+``REPRO_SNAPSHOT_MODE``) works for **both** layouts: a v2 file loads
+fully into RAM under ``ram`` (bit-identical to a v1 load of the same
+content), and a v1 file under ``mapped`` is converted once into a
+``<path>.mapped`` sidecar (digest-stamped, rebuilt only when the
+source file changes) and served from there.
+
+No pickle anywhere — ``numpy.load`` runs with ``allow_pickle=False``
+and the v2 header is plain JSON — so loading a snapshot executes no
+code from the file.  Incompatible or corrupt files raise
+:class:`~repro.errors.SnapshotError`.  Snapshots capture frozen state:
+they are written once and never invalidated (rebuild and re-save to
+pick up new data), mirroring the engine's own "index is frozen"
+contract.
 """
 
 from __future__ import annotations
@@ -39,28 +67,54 @@ import hashlib
 import io
 import json
 import os
+import struct
 import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import SnapshotError
 from repro.graph.searchgraph import SearchGraph
 from repro.index.inverted import InvertedIndex
+from repro.storage.stats import PinPolicy, StorageStats, resolve_storage_mode
 
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "MAPPED_SNAPSHOT_VERSION",
     "save_snapshot",
     "load_snapshot",
     "save_engine",
     "load_engine",
     "snapshot_info",
+    "mapped_sidecar_path",
 ]
 
 SNAPSHOT_FORMAT = "repro-engine-snapshot"
 SNAPSHOT_VERSION = 1
+MAPPED_SNAPSHOT_VERSION = 2
+
+#: Preamble of a mapped (v2) snapshot.  Deliberately starts with a
+#: non-ASCII byte (like numpy's own ``\x93NUMPY``) so no text file or
+#: zip container (``PK``) can collide with it.
+MAPPED_MAGIC = b"\x93REPROMAP2\n"
+#: Array offsets in a mapped snapshot are multiples of this (one page).
+MAPPED_ALIGNMENT = 4096
+
+#: Every data array of the format, in on-disk order.
+_ARRAY_NAMES = (
+    "out_indptr", "out_dst", "out_weight", "out_fwd",
+    "in_indptr", "in_src", "in_weight", "in_fwd",
+    "prestige", "in_invw", "out_invw",
+    "post_indptr", "post_nodes", "rel_indptr", "rel_nodes",
+)
+
+#: Text metadata fields that move out of the v2 header into the
+#: lazily-decoded ``text_json`` data array.
+_TEXT_FIELDS = ("labels", "tables", "refs", "post_terms", "rel_terms")
+
+_FORMATS = ("compressed", "mapped")
 
 
 # ----------------------------------------------------------------------
@@ -84,7 +138,7 @@ def _pack_adjacency(adjacency) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.n
     return indptr, dst, weight, fwd
 
 
-def _pack_postings(postings: dict) -> tuple[list[str], np.ndarray, np.ndarray]:
+def _pack_postings(postings) -> tuple[list[str], np.ndarray, np.ndarray]:
     terms = sorted(postings)
     indptr = np.zeros(len(terms) + 1, dtype=np.int64)
     total = sum(len(postings[term]) for term in terms)
@@ -121,10 +175,12 @@ def _content_digest(meta: dict, arrays: dict) -> str:
     """Deterministic sha256 over the snapshot's logical content.
 
     Computed from the packed arrays and text metadata, **not** the file
-    bytes (the zip container embeds timestamps), so two snapshots of
-    the same dataset state digest identically across machines and runs
-    — what lets a worker reload no-op when it already holds the epoch.
-    The ``dataset_version`` field is deliberately excluded: version is
+    bytes (the zip container embeds timestamps, and the two physical
+    layouts differ), so snapshots of the same dataset state digest
+    identically across machines, runs *and formats* — what lets a
+    worker reload no-op when it already holds the epoch, and what lets
+    a mapped sidecar prove it matches its compressed source.  The
+    ``dataset_version`` field is deliberately excluded: version is
     provenance, digest is content.
     """
     hasher = hashlib.sha256()
@@ -138,26 +194,11 @@ def _content_digest(meta: dict, arrays: dict) -> str:
     return hasher.hexdigest()
 
 
-def save_snapshot(
-    path: Union[str, os.PathLike],
-    graph: SearchGraph,
-    index: InvertedIndex,
-    *,
-    version: int = 0,
-) -> Path:
-    """Serialize ``graph`` + ``index`` (+ prestige) to ``path``.
-
-    The write goes through a temporary sibling file and an atomic rename,
-    so a crash mid-save never leaves a truncated snapshot behind.
-    Returns the path written.
-
-    ``version`` records the dataset's epoch (``dataset_version`` in the
-    header), and a ``content_digest`` over the packed arrays is stored
-    alongside it — together they let a worker reload decide it already
-    holds the current state and no-op (:func:`snapshot_info` surfaces
-    both without decompressing the graph).
-    """
-    path = Path(path)
+def _pack_state(
+    graph: SearchGraph, index: InvertedIndex, version: int
+) -> tuple[dict, dict]:
+    """Pack graph + index into the format's (meta, arrays) pair, with
+    the content digest already stamped into meta."""
     out_indptr, out_dst, out_weight, out_fwd = _pack_adjacency(graph._out)
     in_indptr, in_src, in_weight, in_fwd = _pack_adjacency(graph._in)
     postings, relation_nodes = index._export_postings()
@@ -176,50 +217,58 @@ def save_snapshot(
         "rel_terms": rel_terms,
         "dataset_version": int(version),
     }
-    meta["content_digest"] = _content_digest(
-        meta,
-        {
-            "out_indptr": out_indptr,
-            "out_dst": out_dst,
-            "out_weight": out_weight,
-            "out_fwd": out_fwd,
-            "in_indptr": in_indptr,
-            "in_src": in_src,
-            "in_weight": in_weight,
-            "in_fwd": in_fwd,
-            "prestige": np.asarray(graph.prestige, dtype=np.float64),
-            "in_invw": np.asarray(graph._in_inv_weight_sum, dtype=np.float64),
-            "out_invw": np.asarray(graph._out_inv_weight_sum, dtype=np.float64),
-            "post_indptr": post_indptr,
-            "post_nodes": post_nodes,
-            "rel_indptr": rel_indptr,
-            "rel_nodes": rel_nodes,
-        },
-    )
+    arrays = {
+        "out_indptr": out_indptr,
+        "out_dst": out_dst,
+        "out_weight": out_weight,
+        "out_fwd": out_fwd,
+        "in_indptr": in_indptr,
+        "in_src": in_src,
+        "in_weight": in_weight,
+        "in_fwd": in_fwd,
+        "prestige": np.asarray(graph.prestige, dtype=np.float64),
+        "in_invw": np.asarray(graph._in_inv_weight_sum, dtype=np.float64),
+        "out_invw": np.asarray(graph._out_inv_weight_sum, dtype=np.float64),
+        "post_indptr": post_indptr,
+        "post_nodes": post_nodes,
+        "rel_indptr": rel_indptr,
+        "rel_nodes": rel_nodes,
+    }
+    meta["content_digest"] = _content_digest(meta, arrays)
+    return meta, arrays
+
+
+def _align(offset: int) -> int:
+    return -(-offset // MAPPED_ALIGNMENT) * MAPPED_ALIGNMENT
+
+
+def _pin_hints(meta: dict, arrays: dict) -> dict:
+    """Save-time pin hints stamped into the mapped header.
+
+    A small sample of the hottest rows (top prestige nodes, largest
+    posting lists) — enough for ``snapshot info`` to summarize the pin
+    set without touching a single data array, and for operators to see
+    *what* a replica pins.  The load-time
+    :class:`~repro.storage.PinPolicy` recomputes the full set from the
+    resident indptr/prestige arrays; the hints are advisory.
+    """
+    prestige = arrays["prestige"]
+    top_nodes = np.argsort(-prestige, kind="stable")[: min(32, len(prestige))]
+    freq = np.diff(arrays["post_indptr"]).tolist()
+    terms = meta["post_terms"]
+    ranked = sorted(range(len(terms)), key=lambda i: (-freq[i], terms[i]))
+    return {
+        "nodes": [int(u) for u in top_nodes],
+        "terms": [terms[i] for i in ranked[:16]],
+    }
+
+
+def _write_compressed(path: Path, meta: dict, arrays: dict) -> Path:
     meta_bytes = np.frombuffer(
         json.dumps(meta, ensure_ascii=False).encode("utf-8"), dtype=np.uint8
     )
-
     buffer = io.BytesIO()
-    np.savez_compressed(
-        buffer,
-        meta=meta_bytes,
-        out_indptr=out_indptr,
-        out_dst=out_dst,
-        out_weight=out_weight,
-        out_fwd=out_fwd,
-        in_indptr=in_indptr,
-        in_src=in_src,
-        in_weight=in_weight,
-        in_fwd=in_fwd,
-        prestige=np.asarray(graph.prestige, dtype=np.float64),
-        in_invw=np.asarray(graph._in_inv_weight_sum, dtype=np.float64),
-        out_invw=np.asarray(graph._out_inv_weight_sum, dtype=np.float64),
-        post_indptr=post_indptr,
-        post_nodes=post_nodes,
-        rel_indptr=rel_indptr,
-        rel_nodes=rel_nodes,
-    )
+    np.savez_compressed(buffer, meta=meta_bytes, **arrays)
     tmp = path.with_name(path.name + ".tmp")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -229,6 +278,109 @@ def save_snapshot(
         tmp.unlink(missing_ok=True)
         raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
     return path
+
+
+def _write_mapped(
+    path: Path, meta: dict, arrays: dict, *, source: Optional[dict] = None
+) -> Path:
+    """Write the page-aligned (v2) layout atomically.
+
+    ``source`` records provenance when the file is a sidecar conversion
+    of a compressed snapshot (its size + mtime), which is how the next
+    ``mapped`` load decides the sidecar is still current.  The tmp name
+    embeds the pid so concurrent converters (a worker fleet warming up)
+    never clobber each other's partial writes; the ``os.replace`` race
+    is benign — both write identical content.
+
+    The header carries only O(1) state (counts, digest, array table,
+    pin hints).  The O(n) text metadata is serialized as one JSON blob
+    into the ``text_json`` data array, so a mapped load can leave it on
+    disk until first use.
+    """
+    text_blob = json.dumps(
+        {field: meta[field] for field in _TEXT_FIELDS}, ensure_ascii=False
+    ).encode("utf-8")
+    contiguous = {
+        name: np.ascontiguousarray(arrays[name]) for name in _ARRAY_NAMES
+    }
+    contiguous["text_json"] = np.frombuffer(text_blob, dtype=np.uint8)
+    names = _ARRAY_NAMES + ("text_json",)
+    table = {}
+    offset = 0
+    for name in names:
+        arr = contiguous[name]
+        table[name] = {
+            "offset": offset,
+            "dtype": str(arr.dtype),
+            "shape": [int(dim) for dim in arr.shape],
+        }
+        offset = _align(offset + arr.nbytes)
+    header = {
+        key: value for key, value in meta.items() if key not in _TEXT_FIELDS
+    }
+    header["version"] = MAPPED_SNAPSHOT_VERSION
+    header["index_terms"] = len(meta["post_terms"])
+    header["relation_terms"] = len(meta["rel_terms"])
+    header["arrays"] = table
+    header["pin_hints"] = _pin_hints(meta, arrays)
+    if source is not None:
+        header["source"] = source
+    header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+    data_start = _align(len(MAPPED_MAGIC) + 8 + len(header_bytes))
+
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as fh:
+            fh.write(MAPPED_MAGIC)
+            fh.write(struct.pack("<Q", len(header_bytes)))
+            fh.write(header_bytes)
+            for name in names:
+                arr = contiguous[name]
+                if arr.nbytes:
+                    fh.seek(data_start + table[name]["offset"])
+                    fh.write(arr.tobytes())
+        os.replace(tmp, path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
+    return path
+
+
+def save_snapshot(
+    path: Union[str, os.PathLike],
+    graph: SearchGraph,
+    index: InvertedIndex,
+    *,
+    version: int = 0,
+    format: str = "compressed",
+) -> Path:
+    """Serialize ``graph`` + ``index`` (+ prestige) to ``path``.
+
+    The write goes through a temporary sibling file and an atomic rename,
+    so a crash mid-save never leaves a truncated snapshot behind.
+    Returns the path written.
+
+    ``format`` picks the physical layout: ``"compressed"`` (the v1 zip
+    container, the default) or ``"mapped"`` (the v2 page-aligned layout
+    ``np.memmap`` can serve directly).  Both stamp the same
+    ``content_digest``, so the two layouts of one state are provably
+    the same content.
+
+    ``version`` records the dataset's epoch (``dataset_version`` in the
+    header); together with the digest it lets a worker reload decide it
+    already holds the current state and no-op (:func:`snapshot_info`
+    surfaces both without reading the graph).
+    """
+    if format not in _FORMATS:
+        raise ValueError(
+            f"unknown snapshot format {format!r}; expected one of {_FORMATS}"
+        )
+    path = Path(path)
+    meta, arrays = _pack_state(graph, index, version)
+    if format == "mapped":
+        return _write_mapped(path, meta, arrays)
+    return _write_compressed(path, meta, arrays)
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +416,20 @@ def _decode_refs(encoded: list) -> list:
     return refs
 
 
+def _detect_format(path: Union[str, os.PathLike]) -> str:
+    """``"mapped"`` (v2 magic) or ``"compressed"`` (anything else —
+    the zip reader produces its own diagnostics for non-snapshots)."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(MAPPED_MAGIC))
+    except FileNotFoundError:
+        raise SnapshotError(f"snapshot file {path} does not exist") from None
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    return "mapped" if head == MAPPED_MAGIC else "compressed"
+
+
 def _read_archive(
     path: Union[str, os.PathLike], *, only_meta: bool = False
 ) -> tuple[dict, dict]:
@@ -297,57 +463,150 @@ def _read_archive(
     return meta, arrays
 
 
-def snapshot_info(path: Union[str, os.PathLike]) -> dict:
-    """Cheap header inspection: versions, digest and size counters.
+def _read_mapped_header(path: Union[str, os.PathLike]) -> tuple[dict, int]:
+    """Parse a mapped snapshot's preamble + JSON header.
 
-    ``dataset_version`` and ``content_digest`` are None for snapshots
-    written before they existed (the format is otherwise unchanged —
-    old files load fine).
+    Reads only the header region — never the data arrays — so callers
+    like :func:`snapshot_info` stay O(header) regardless of dataset
+    size.  Returns ``(header, data_start)``.
     """
-    meta, _ = _read_archive(path, only_meta=True)
-    return {
-        "format": meta["format"],
-        "version": meta["version"],
-        "dataset_version": meta.get("dataset_version"),
-        "content_digest": meta.get("content_digest"),
-        "num_nodes": meta["num_nodes"],
-        "num_forward_edges": meta["num_forward_edges"],
-        "index_terms": len(meta["post_terms"]),
-        "relation_terms": len(meta["rel_terms"]),
-        "file_bytes": Path(path).stat().st_size,
-    }
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(MAPPED_MAGIC))
+            if magic != MAPPED_MAGIC:
+                raise SnapshotError(
+                    f"{path} is not a mapped {SNAPSHOT_FORMAT} file"
+                )
+            raw = fh.read(8)
+            if len(raw) != 8:
+                raise SnapshotError(f"{path} is truncated (no header length)")
+            (header_len,) = struct.unpack("<Q", raw)
+            if header_len > 1 << 31:
+                raise SnapshotError(f"{path} has an implausible header length")
+            header_bytes = fh.read(header_len)
+            if len(header_bytes) != header_len:
+                raise SnapshotError(f"{path} is truncated (incomplete header)")
+    except FileNotFoundError:
+        raise SnapshotError(f"snapshot file {path} does not exist") from None
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has a corrupt header: {exc}") from exc
+    if header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} has format {header.get('format')!r}, "
+            f"expected {SNAPSHOT_FORMAT!r}"
+        )
+    if header.get("version") != MAPPED_SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path} is mapped-snapshot version {header.get('version')!r}; "
+            f"this build reads version {MAPPED_SNAPSHOT_VERSION}"
+        )
+    data_start = _align(len(MAPPED_MAGIC) + 8 + header_len)
+    return header, data_start
 
 
-def load_snapshot(
-    path: Union[str, os.PathLike],
-) -> tuple[SearchGraph, InvertedIndex]:
-    """Restore the ``(graph, index)`` pair saved by :func:`save_snapshot`."""
-    meta, arrays = _read_archive(path)
-    required = (
-        "out_indptr", "out_dst", "out_weight", "out_fwd",
-        "in_indptr", "in_src", "in_weight", "in_fwd",
-        "prestige", "in_invw", "out_invw",
-        "post_indptr", "post_nodes", "rel_indptr", "rel_nodes",
-    )
-    missing = [name for name in required if name not in arrays]
+def _open_mapped_arrays(path: Path, header: dict, data_start: int) -> dict:
+    """Map the file once and carve every data array out of it as a
+    read-only view, bounds-checked against the real file size so a
+    truncated file fails here, not as a SIGBUS mid-search.
+
+    One ``np.memmap`` for the whole file, not one per array: memmap
+    construction resolves the path and stats the file each time, which
+    at 16 arrays per snapshot is a measurable slice of a lazy load.
+    The views are plain ``ndarray``s (``np.asarray`` strips the memmap
+    subclass), so the per-slice bookkeeping the subclass does —
+    ``__array_finalize__``, filename tracking — never runs on the hot
+    row-materialization path; the pages underneath still fault in
+    lazily through the OS mapping.
+    """
+    table = header.get("arrays")
+    if not isinstance(table, dict):
+        raise SnapshotError(f"{path} has no array table in its header")
+    names = _ARRAY_NAMES + ("text_json",)
+    missing = [name for name in names if name not in table]
     if missing:
         raise SnapshotError(f"{path} is missing arrays: {', '.join(missing)}")
+    file_bytes = path.stat().st_size
+    raw = np.asarray(np.memmap(path, dtype=np.uint8, mode="r"))
+    arrays = {}
+    for name in names:
+        entry = table[name]
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            offset = data_start + int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path} has a malformed array-table entry for {name}: {exc}"
+            ) from exc
+        count = 1
+        for dim in shape:
+            if dim < 0:
+                raise SnapshotError(f"{path} array {name} has a negative shape")
+            count *= dim
+        nbytes = dtype.itemsize * count
+        if nbytes == 0:
+            # Empty arrays carry no data; their (aligned) offset may sit
+            # at or past EOF when nothing was written after them.
+            arrays[name] = np.zeros(shape, dtype=dtype)
+        elif offset < 0 or offset + nbytes > file_bytes:
+            raise SnapshotError(
+                f"{path} array {name} extends past the end of the file "
+                f"(truncated snapshot?)"
+            )
+        else:
+            arrays[name] = (
+                raw[offset : offset + nbytes].view(dtype).reshape(shape)
+            )
+    return arrays
 
+
+def _validate_arrays(
+    meta: dict, arrays: dict, path, *, deep: bool = True
+) -> None:
+    """Structural validation shared by every load path.
+
+    A corrupt file must fail here, not as an IndexError (or a silent
+    negative-index mis-score or mis-slice) deep inside a later search.
+    Adjacency and postings use the same CSR shape, so one checker
+    covers all four array pairs.  ``deep=False`` (the mapped load)
+    checks only the O(n) indptr invariants and skips the O(E) node-id
+    range scan — touching every data page at load time would defeat
+    lazy warmup; the trade-off is documented in ``docs/STORAGE.md``.
+
+    ``meta`` is either a full v1 meta dict (text lists inline) or a v2
+    header (counts only, text in the undecoded blob — which validates
+    its own lengths against the header when first decoded).
+    """
+    missing = [name for name in _ARRAY_NAMES if name not in arrays]
+    if missing:
+        raise SnapshotError(f"{path} is missing arrays: {', '.join(missing)}")
     num_nodes = int(meta["num_nodes"])
-    for field in ("labels", "tables", "refs"):
-        if len(meta[field]) != num_nodes:
-            raise SnapshotError(f"{path} metadata is inconsistent: bad {field} length")
+    if "labels" in meta:
+        for field in ("labels", "tables", "refs"):
+            if len(meta[field]) != num_nodes:
+                raise SnapshotError(
+                    f"{path} metadata is inconsistent: bad {field} length"
+                )
     if len(arrays["prestige"]) != num_nodes:
         raise SnapshotError(f"{path} metadata is inconsistent with its arrays")
-    # A corrupt file must fail here, not as an IndexError (or a silent
-    # negative-index mis-score or mis-slice) deep inside a later search.
-    # Adjacency and postings use the same CSR shape, so one checker
-    # covers all four array pairs.
+    num_terms = (
+        len(meta["post_terms"]) if "post_terms" in meta
+        else int(meta["index_terms"])
+    )
+    num_rel_terms = (
+        len(meta["rel_terms"]) if "rel_terms" in meta
+        else int(meta["relation_terms"])
+    )
     csr_pairs = (
         ("out_indptr", "out_dst", num_nodes),
         ("in_indptr", "in_src", num_nodes),
-        ("post_indptr", "post_nodes", len(meta["post_terms"])),
-        ("rel_indptr", "rel_nodes", len(meta["rel_terms"])),
+        ("post_indptr", "post_nodes", num_terms),
+        ("rel_indptr", "rel_nodes", num_rel_terms),
     )
     for indptr_name, ids_name, num_rows in csr_pairs:
         indptr, ids = arrays[indptr_name], arrays[ids_name]
@@ -358,11 +617,22 @@ def load_snapshot(
             or np.any(np.diff(indptr) < 0)
         ):
             raise SnapshotError(f"{path} has a malformed {indptr_name} array")
-        if ids.size and (ids.min() < 0 or ids.max() >= num_nodes):
+        if deep and ids.size and (ids.min() < 0 or ids.max() >= num_nodes):
             raise SnapshotError(
                 f"{path} has out-of-range node ids in {ids_name} "
                 f"(expected [0, {num_nodes}))"
             )
+
+
+def _build_ram_state(
+    meta: dict, arrays: dict, path
+) -> tuple[SearchGraph, InvertedIndex]:
+    """Materialize the fully-resident (RAM) graph + index pair.
+
+    The one construction path for RAM loads of *both* formats — which
+    is what makes a ``storage_mode="ram"`` load of a mapped file
+    bit-identical to loading the equivalent compressed file.
+    """
     try:
         graph = SearchGraph._from_adjacency(
             out=_unpack_adjacency(
@@ -394,24 +664,237 @@ def load_snapshot(
     return graph, index
 
 
+def _decode_text_blob(raw, path) -> dict:
+    """Decode the ``text_json`` array back into the five text fields
+    (refs left in their encoded form, as v1 meta carries them)."""
+    try:
+        text = json.loads(bytes(np.asarray(raw)).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has a corrupt text block: {exc}") from exc
+    missing = [field for field in _TEXT_FIELDS if field not in text]
+    if missing:
+        raise SnapshotError(
+            f"{path} text block is missing fields: {', '.join(missing)}"
+        )
+    return text
+
+
+def _load_mapped_state(
+    path: Path, pin_policy
+) -> tuple[SearchGraph, InvertedIndex]:
+    from repro.storage.mapped import (
+        MappedInvertedIndex,
+        MappedSearchGraph,
+        _LazyTextField,
+        _TextBlob,
+        apply_pin_policy,
+    )
+
+    header, data_start = _read_mapped_header(path)
+    arrays = _open_mapped_arrays(path, header, data_start)
+    _validate_arrays(header, arrays, path, deep=False)
+    num_nodes = int(header["num_nodes"])
+    blob = _TextBlob(
+        arrays["text_json"],
+        num_nodes=num_nodes,
+        index_terms=int(header["index_terms"]),
+        relation_terms=int(header["relation_terms"]),
+        path=str(path),
+        decode_refs=_decode_refs,
+    )
+    stats = StorageStats(mode="mapped", path=str(path))
+    stats.mapped_bytes = sum(int(arr.nbytes) for arr in arrays.values())
+    try:
+        graph = MappedSearchGraph._from_mapped(
+            out_indptr=arrays["out_indptr"],
+            out_dst=arrays["out_dst"],
+            out_weight=arrays["out_weight"],
+            out_fwd=arrays["out_fwd"],
+            in_indptr=arrays["in_indptr"],
+            in_src=arrays["in_src"],
+            in_weight=arrays["in_weight"],
+            in_fwd=arrays["in_fwd"],
+            labels=_LazyTextField(blob, "labels", num_nodes),
+            tables=_LazyTextField(blob, "tables", num_nodes),
+            refs=_LazyTextField(blob, "refs", num_nodes),
+            num_forward_edges=header["num_forward_edges"],
+            prestige=arrays["prestige"],
+            in_inv_weight_sum=arrays["in_invw"],
+            out_inv_weight_sum=arrays["out_invw"],
+            stats=stats,
+        )
+    except ValueError as exc:
+        raise SnapshotError(f"{path} is corrupt: {exc}") from exc
+    index = MappedInvertedIndex._from_mapped(
+        blob=blob,
+        post_indptr=arrays["post_indptr"],
+        post_nodes=arrays["post_nodes"],
+        rel_indptr=arrays["rel_indptr"],
+        rel_nodes=arrays["rel_nodes"],
+        stats=stats,
+    )
+    apply_pin_policy(graph, index, PinPolicy.coerce(pin_policy), stats)
+    return graph, index
+
+
+def mapped_sidecar_path(path: Union[str, os.PathLike]) -> Path:
+    """Where a compressed snapshot's mapped conversion lives."""
+    path = Path(path)
+    return path.with_name(path.name + ".mapped")
+
+
+def _ensure_mapped_sidecar(path: Path) -> Path:
+    """Convert a compressed snapshot into its mapped sidecar (once).
+
+    The sidecar header records the source file's size + mtime; a
+    matching record means the existing sidecar is current and the
+    conversion cost is skipped — so a worker fleet under
+    ``REPRO_SNAPSHOT_MODE=mapped`` pays one conversion per snapshot
+    rewrite, not one per process.  The write is atomic with a
+    pid-unique tmp, making the convert race between workers benign.
+    """
+    sidecar = mapped_sidecar_path(path)
+    stat = path.stat()
+    source = {"bytes": stat.st_size, "mtime_ns": stat.st_mtime_ns}
+    if sidecar.exists():
+        try:
+            header, _ = _read_mapped_header(sidecar)
+        except SnapshotError:
+            header = None  # damaged or half-written sidecar: rebuild
+        if header is not None and header.get("source") == source:
+            return sidecar
+    meta, arrays = _read_archive(path)
+    _validate_arrays(meta, arrays, path)
+    _write_mapped(
+        sidecar,
+        meta,
+        {name: arrays[name] for name in _ARRAY_NAMES},
+        source=source,
+    )
+    return sidecar
+
+
+def snapshot_info(path: Union[str, os.PathLike]) -> dict:
+    """Cheap header inspection: versions, digest, storage and size
+    counters.
+
+    Works for both layouts without touching a data array: the
+    compressed reader decompresses only the ``meta`` block, the mapped
+    reader parses only the JSON header.  ``dataset_version`` and
+    ``content_digest`` are None for snapshots written before they
+    existed (the format is otherwise unchanged — old files load fine).
+    ``storage`` names the layout; ``pin_hint_nodes``/``pin_hint_terms``
+    count the save-time pin hints a mapped header carries (0 for
+    compressed files — the pin set is a mapped-tier concept).
+    """
+    if _detect_format(path) == "mapped":
+        header, _ = _read_mapped_header(path)
+        hints = header.get("pin_hints") or {}
+        meta, storage = header, "mapped"
+        pin_nodes = len(hints.get("nodes") or ())
+        pin_terms = len(hints.get("terms") or ())
+    else:
+        meta, _ = _read_archive(path, only_meta=True)
+        storage, pin_nodes, pin_terms = "compressed", 0, 0
+    return {
+        "format": meta["format"],
+        "version": meta["version"],
+        "storage": storage,
+        "dataset_version": meta.get("dataset_version"),
+        "content_digest": meta.get("content_digest"),
+        "num_nodes": meta["num_nodes"],
+        "num_forward_edges": meta["num_forward_edges"],
+        # v2 headers carry the counts directly; v1 meta carries the lists.
+        "index_terms": (
+            meta["index_terms"] if "index_terms" in meta
+            else len(meta["post_terms"])
+        ),
+        "relation_terms": (
+            meta["relation_terms"] if "relation_terms" in meta
+            else len(meta["rel_terms"])
+        ),
+        "pin_hint_nodes": pin_nodes,
+        "pin_hint_terms": pin_terms,
+        "file_bytes": Path(path).stat().st_size,
+    }
+
+
+def load_snapshot(
+    path: Union[str, os.PathLike],
+    *,
+    storage_mode: Optional[str] = None,
+    pin_policy=None,
+) -> tuple[SearchGraph, InvertedIndex]:
+    """Restore the ``(graph, index)`` pair saved by :func:`save_snapshot`.
+
+    ``storage_mode`` picks the tier (``None`` falls back to the
+    ``REPRO_SNAPSHOT_MODE`` environment variable, then ``"auto"``):
+
+    * ``"ram"`` — fully materialize (every format; the classic load);
+    * ``"mapped"`` — serve lazily via ``np.memmap``.  A compressed
+      file is converted once to a ``<path>.mapped`` sidecar;
+    * ``"auto"`` — the file's native tier: RAM for compressed files,
+      mapped for v2 files.
+
+    ``pin_policy`` (a :class:`~repro.storage.PinPolicy`, dict or None
+    for defaults) controls which rows a mapped load faults in eagerly.
+    Answers and scores are bit-identical across every mode — only
+    residency and warmup cost differ.
+    """
+    mode = resolve_storage_mode(storage_mode)
+    fmt = _detect_format(path)
+    if fmt == "compressed":
+        if mode == "mapped":
+            return _load_mapped_state(_ensure_mapped_sidecar(Path(path)), pin_policy)
+        meta, arrays = _read_archive(path)
+        _validate_arrays(meta, arrays, path)
+        return _build_ram_state(meta, arrays, path)
+    if mode == "ram":
+        header, data_start = _read_mapped_header(path)
+        mapped = _open_mapped_arrays(Path(path), header, data_start)
+        arrays = {name: np.array(arr) for name, arr in mapped.items()}
+        meta = dict(header)
+        meta.update(_decode_text_blob(arrays.pop("text_json"), path))
+        _validate_arrays(meta, arrays, path)
+        return _build_ram_state(meta, arrays, path)
+    return _load_mapped_state(Path(path), pin_policy)
+
+
 # ----------------------------------------------------------------------
 # engine conveniences
 # ----------------------------------------------------------------------
-def save_engine(path: Union[str, os.PathLike], engine, *, version: int = 0) -> Path:
+def save_engine(
+    path: Union[str, os.PathLike],
+    engine,
+    *,
+    version: int = 0,
+    format: str = "compressed",
+) -> Path:
     """Snapshot a :class:`~repro.core.engine.KeywordSearchEngine`'s state.
 
     Search parameters are *not* stored — they are run-time configuration,
     not dataset state — so :func:`load_engine` accepts them explicitly.
-    ``version`` stamps the dataset epoch into the header.
+    ``version`` stamps the dataset epoch into the header; ``format``
+    picks the physical layout (see :func:`save_snapshot`).
     """
-    return save_snapshot(path, engine.graph, engine.index, version=version)
+    return save_snapshot(
+        path, engine.graph, engine.index, version=version, format=format
+    )
 
 
-def load_engine(path: Union[str, os.PathLike], *, params=None):
+def load_engine(
+    path: Union[str, os.PathLike],
+    *,
+    params=None,
+    storage_mode: Optional[str] = None,
+    pin_policy=None,
+):
     """Rebuild a ready-to-query engine from a snapshot file."""
     from repro.core.engine import KeywordSearchEngine
 
-    graph, index = load_snapshot(path)
+    graph, index = load_snapshot(
+        path, storage_mode=storage_mode, pin_policy=pin_policy
+    )
     return KeywordSearchEngine(graph, index, params=params)
 
 
@@ -447,14 +930,17 @@ def main(argv=None) -> int:
     """``python -m repro.service.snapshot`` — inspect and create snapshots.
 
     ``info <path>`` prints the versioned header fields from
-    :func:`snapshot_info` plus, when a sibling ``<path>.wal`` mutation
-    log exists, its last durable sequence number and the count of
-    commits the log holds beyond this snapshot's ``dataset_version`` —
-    the at-a-glance "does the WAL carry unsnapshotted state" check.
+    :func:`snapshot_info` — including the storage layout and, for
+    mapped files, the save-time pin-hint summary — without reading any
+    data array, plus, when a sibling ``<path>.wal`` mutation log
+    exists, its last durable sequence number and the count of commits
+    the log holds beyond this snapshot's ``dataset_version`` — the
+    at-a-glance "does the WAL carry unsnapshotted state" check.
     ``save <dataset> <path>`` builds a synthetic dataset (``dblp`` /
     ``imdb`` / ``patents``, optionally ``--scale``d) and writes its
-    engine snapshot, so a shard fleet can be provisioned entirely from
-    the shell.
+    engine snapshot in either layout (``--format mapped`` for the
+    memmap-servable one), so a shard fleet can be provisioned entirely
+    from the shell.
     """
     import argparse
 
@@ -479,6 +965,13 @@ def main(argv=None) -> int:
         type=float,
         default=1.0,
         help="dataset size multiplier (default 1.0)",
+    )
+    save_cmd.add_argument(
+        "--format",
+        choices=_FORMATS,
+        default="compressed",
+        help="physical layout: compressed zip (default) or page-aligned "
+        "mapped (np.memmap-servable)",
     )
     args = parser.parse_args(argv)
 
@@ -510,9 +1003,9 @@ def main(argv=None) -> int:
 
     db = _make_dataset(args.dataset, args.scale)
     engine = KeywordSearchEngine.from_database(db)
-    written = save_engine(args.path, engine)
+    written = save_engine(args.path, engine, format=args.format)
     print(
-        f"wrote {written} ({written.stat().st_size} bytes): "
+        f"wrote {written} ({written.stat().st_size} bytes, {args.format}): "
         f"{engine.graph.num_nodes} nodes, "
         f"{engine.graph.num_forward_edges} forward edges"
     )

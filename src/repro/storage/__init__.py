@@ -1,0 +1,42 @@
+"""Storage tiers for built engine state.
+
+The service's snapshot files come in two physical layouts (see
+:mod:`repro.service.snapshot`): the compressed zip container (format
+v1, deserialized fully into RAM) and the page-aligned mapped container
+(format v2, loaded lazily through ``np.memmap``).  This package holds
+the *runtime* side of the mapped tier:
+
+* :class:`~repro.storage.mapped.MappedSearchGraph` /
+  :class:`~repro.storage.mapped.MappedInvertedIndex` — drop-in
+  read-only implementations of the graph/index contracts whose
+  adjacency rows and posting lists materialize on first touch;
+* :class:`PinPolicy` — which rows are faulted in eagerly at load time
+  (high-prestige and high-degree nodes, hot posting lists);
+* :class:`StorageStats` — per-dataset fault/pin/residency counters the
+  telemetry registry exports;
+* :func:`resolve_storage_mode` — the ``ram`` / ``mapped`` / ``auto``
+  knob resolution shared by every load path (explicit argument beats
+  the ``REPRO_SNAPSHOT_MODE`` environment hook beats ``auto``).
+"""
+
+from repro.storage.stats import (
+    STORAGE_MODES,
+    PinPolicy,
+    StorageStats,
+    resolve_storage_mode,
+)
+from repro.storage.mapped import (
+    MappedInvertedIndex,
+    MappedSearchGraph,
+    apply_pin_policy,
+)
+
+__all__ = [
+    "STORAGE_MODES",
+    "MappedInvertedIndex",
+    "MappedSearchGraph",
+    "PinPolicy",
+    "StorageStats",
+    "apply_pin_policy",
+    "resolve_storage_mode",
+]

@@ -1,0 +1,541 @@
+"""Memory-mapped graph and index: lazy rows over snapshot arrays.
+
+:class:`MappedSearchGraph` and :class:`MappedInvertedIndex` are
+read-only subclasses of the in-RAM classes whose bulk state —
+adjacency rows, posting lists, and the per-node/per-term text metadata
+— stays in the snapshot file and materializes on first touch through
+``np.memmap`` slices.  Only what every query needs (indptr bounds,
+prestige, activation normalizers) is resident from the start; adjacency
+and postings page in per row, and the text block (labels, tables, refs,
+term vocabularies) decodes once on the first metadata or vocabulary
+access.
+
+Bit-identity contract: a materialized row is built through the exact
+``tolist()``/``zip`` pipeline the compressed loader uses
+(:func:`repro.service.snapshot._unpack_adjacency`), so every neighbor
+id is the same Python int, every weight the same Python float, and
+every search over a mapped graph scores answers bit-identically to the
+same search over the RAM-loaded graph — the property
+``tests/property/test_prop_storage.py`` pins across algorithms and
+expansion backends.
+
+Materialized rows are cached and never evicted: the Python working set
+grows with the rows a workload actually touches (counted by
+:class:`~repro.storage.stats.StorageStats`), while the OS page cache
+underneath holds the raw arrays and stays evictable *and shared* —
+N worker processes mapping one snapshot keep one physical copy of the
+cold data, which is the bigger-than-RAM story.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.graph.searchgraph import Edge, SearchGraph
+from repro.index.inverted import InvertedIndex
+from repro.storage.stats import PinPolicy, StorageStats
+
+__all__ = [
+    "MappedInvertedIndex",
+    "MappedSearchGraph",
+    "apply_pin_policy",
+]
+
+
+class _TextBlob:
+    """The snapshot's text metadata, decoded once on first access.
+
+    The v2 layout stores labels, tables, refs and the two term
+    vocabularies as one JSON blob in the *data* region rather than the
+    header — parsing it is O(n) text work that a lazy load should not
+    pay before a query actually reads a label or looks up a term.
+    """
+
+    __slots__ = ("_raw", "_expect", "_path", "_decode_refs", "_data")
+
+    def __init__(
+        self,
+        raw,
+        *,
+        num_nodes: int,
+        index_terms: int,
+        relation_terms: int,
+        path: str,
+        decode_refs: Callable[[list], list],
+    ) -> None:
+        self._raw = raw
+        self._expect = (num_nodes, index_terms, relation_terms)
+        self._path = path
+        self._decode_refs = decode_refs
+        self._data: Optional[dict] = None
+
+    def load(self) -> dict:
+        data = self._data
+        if data is None:
+            try:
+                data = json.loads(bytes(np.asarray(self._raw)).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise SnapshotError(
+                    f"{self._path} has a corrupt text block: {exc}"
+                ) from exc
+            num_nodes, index_terms, relation_terms = self._expect
+            if (
+                len(data.get("labels", ())) != num_nodes
+                or len(data.get("tables", ())) != num_nodes
+                or len(data.get("refs", ())) != num_nodes
+                or len(data.get("post_terms", ())) != index_terms
+                or len(data.get("rel_terms", ())) != relation_terms
+            ):
+                raise SnapshotError(
+                    f"{self._path} text block is inconsistent with its header"
+                )
+            data["refs"] = self._decode_refs(data["refs"])
+            self._data = data
+        return data
+
+
+class _LazyTextField(Sequence):
+    """One list out of a :class:`_TextBlob`, decoded on first access."""
+
+    __slots__ = ("_blob", "_key", "_len")
+
+    def __init__(self, blob: _TextBlob, key: str, length: int) -> None:
+        self._blob = blob
+        self._key = key
+        self._len = length
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, i):
+        return self._blob.load()[self._key][i]
+
+    def __iter__(self):
+        return iter(self._blob.load()[self._key])
+
+
+class _LazyAdjacency(Sequence):
+    """One adjacency side as a lazily materialized sequence of rows.
+
+    Quacks like the ``tuple[tuple[Edge, ...], ...]`` the base
+    :class:`SearchGraph` stores: ``len()`` is the node count and
+    ``[u]`` is ``u``'s row as a tuple of ``(neighbor, weight,
+    is_forward)`` tuples, built from the mapped arrays on first access
+    and cached thereafter.
+    """
+
+    __slots__ = ("_bounds", "_ids", "_weights", "_fwd", "_rows", "_stats")
+
+    def __init__(self, indptr, ids, weights, fwd, stats: StorageStats) -> None:
+        # Bounds are O(n) and consulted on every access: keep them as a
+        # resident Python list (int64 scalars would leak numpy types
+        # into slice arithmetic anyway).
+        self._bounds = np.asarray(indptr).tolist()
+        self._ids = ids
+        self._weights = weights
+        self._fwd = fwd
+        self._rows: dict[int, tuple[Edge, ...]] = {}
+        self._stats = stats
+
+    def __len__(self) -> int:
+        return len(self._bounds) - 1
+
+    def __getitem__(self, u: int) -> tuple[Edge, ...]:
+        row = self._rows.get(u)
+        if row is None:
+            if not 0 <= u < len(self):
+                raise IndexError(u)
+            lo, hi = self._bounds[u], self._bounds[u + 1]
+            # Same tolist()/zip pipeline as the compressed loader: the
+            # resulting Python ints/floats/bools are bit-identical to a
+            # RAM load of the same file.
+            row = tuple(
+                zip(
+                    self._ids[lo:hi].tolist(),
+                    self._weights[lo:hi].tolist(),
+                    self._fwd[lo:hi].astype(bool).tolist(),
+                )
+            )
+            self._rows[u] = row
+            self._stats.note_row(hi - lo)
+        return row
+
+    def __iter__(self) -> Iterator[tuple[Edge, ...]]:
+        # Full iteration (snapshot re-save, compaction) faults every
+        # row; that is inherent to the operation, not an accident.
+        return (self[u] for u in range(len(self)))
+
+    def row_length(self, u: int) -> int:
+        """Degree of ``u`` without materializing the row."""
+        return self._bounds[u + 1] - self._bounds[u]
+
+    def pin_rows(self, nodes) -> None:
+        """Materialize many rows in one vectorized pass.
+
+        Per-row materialization costs three array slices and three
+        ``tolist`` calls of Python overhead; for a pin set of hundreds
+        of rows that overhead dominates a lazy load's warmup.  This
+        gathers every pinned edge with one fancy-index per side array
+        and cuts the flat lists back into rows — the element pipeline
+        (``tolist``/``zip``/``tuple``) is unchanged, so the cached rows
+        are bit-identical to demand-faulted ones.
+        """
+        rows = self._rows
+        todo = [u for u in nodes if u not in rows]
+        if not todo:
+            return
+        bounds = self._bounds
+        lo = np.array([bounds[u] for u in todo], dtype=np.int64)
+        lengths = np.array(
+            [bounds[u + 1] - bounds[u] for u in todo], dtype=np.int64
+        )
+        total = int(lengths.sum())
+        if total:
+            starts = np.repeat(
+                lo - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths
+            )
+            pos = np.arange(total, dtype=np.int64) + starts
+            ids = self._ids[pos].tolist()
+            weights = self._weights[pos].tolist()
+            fwd = self._fwd[pos].astype(bool).tolist()
+        else:
+            ids = weights = fwd = []
+        offset = 0
+        for u, length in zip(todo, lengths.tolist()):
+            end = offset + length
+            rows[u] = tuple(
+                zip(ids[offset:end], weights[offset:end], fwd[offset:end])
+            )
+            self._stats.note_row(length)
+            offset = end
+
+
+class MappedSearchGraph(SearchGraph):
+    """A :class:`SearchGraph` whose adjacency lives in a mapped snapshot.
+
+    Prestige and the activation normalizers are resident; the two
+    adjacency sides are :class:`_LazyAdjacency` objects and the
+    per-node text metadata decodes from the snapshot's text blob on
+    first access.  Every read accessor of the base class works
+    unchanged through the sequence protocols; the overrides below are
+    exactly the base members that would otherwise iterate all rows
+    (``num_edges``, ``csr_arrays``) or forget the subclass
+    (``with_prestige``).
+    """
+
+    @classmethod
+    def _from_mapped(
+        cls,
+        *,
+        out_indptr,
+        out_dst,
+        out_weight,
+        out_fwd,
+        in_indptr,
+        in_src,
+        in_weight,
+        in_fwd,
+        labels,
+        tables,
+        refs,
+        num_forward_edges: int,
+        prestige,
+        in_inv_weight_sum,
+        out_inv_weight_sum,
+        stats: StorageStats,
+    ) -> "MappedSearchGraph":
+        n = len(labels)
+        if len(tables) != n or len(refs) != n:
+            raise ValueError("adjacency and per-node metadata lengths disagree")
+        g = cls()
+        g._out = _LazyAdjacency(out_indptr, out_dst, out_weight, out_fwd, stats)
+        g._in = _LazyAdjacency(in_indptr, in_src, in_weight, in_fwd, stats)
+        if len(g._out) != n or len(g._in) != n:
+            raise ValueError("adjacency and per-node metadata lengths disagree")
+        # Possibly-lazy sequences: stored as given, never tuple()d (that
+        # would force the text blob at load time).
+        g._labels = labels
+        g._tables = tables
+        g._refs = refs
+        g._num_forward_edges = int(num_forward_edges)
+        g._prestige = cls._validate_prestige(np.asarray(prestige), n)
+        g._in_inv_weight_sum = tuple(np.asarray(in_inv_weight_sum).tolist())
+        g._out_inv_weight_sum = tuple(np.asarray(out_inv_weight_sum).tolist())
+        if len(g._in_inv_weight_sum) != n or len(g._out_inv_weight_sum) != n:
+            raise ValueError("inv-weight-sum lengths disagree with adjacency")
+        g._num_edges = int(g._out._bounds[-1])
+        g.storage = stats
+        return g
+
+    @property
+    def num_edges(self) -> int:
+        # The base class sums row lengths, which would fault every row;
+        # the stored indptr already knows the total.
+        return self._num_edges
+
+    def with_prestige(self, prestige) -> "MappedSearchGraph":
+        g = MappedSearchGraph()
+        g._out = self._out
+        g._in = self._in
+        g._labels = self._labels
+        g._tables = self._tables
+        g._refs = self._refs
+        g._num_forward_edges = self._num_forward_edges
+        g._in_inv_weight_sum = self._in_inv_weight_sum
+        g._out_inv_weight_sum = self._out_inv_weight_sum
+        g._prestige = self._validate_prestige(prestige, self.num_nodes)
+        g._ref_to_node = self._ref_to_node
+        g._num_edges = self._num_edges
+        g.storage = self.storage
+        return g
+
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        # Same contents as the base builder, straight from the mapped
+        # arrays (the v2 format stores rows in original graph order, so
+        # no per-edge loop is needed): indptr/dst copy verbatim, the
+        # float64 weights narrow to float32 exactly as the per-element
+        # assignment would.
+        if self._csr_cache is None:
+            out = self._out
+            self._csr_cache = {
+                "indptr": np.array(out._bounds, dtype=np.int64),
+                "dst": np.array(out._ids, dtype=np.int32),
+                "weight": np.array(out._weights, dtype=np.float32),
+                "prestige": self._prestige.astype(np.float64),
+            }
+        return self._csr_cache
+
+    def _mapped_csr_sides(self) -> dict[str, np.ndarray]:
+        """Raw both-sides arrays for the kernel CSR fast path
+        (:func:`repro.core.kernels.csr.graph_csr`)."""
+        return {
+            "in_indptr": np.array(self._in._bounds, dtype=np.int64),
+            "in_src": np.array(self._in._ids, dtype=np.int32),
+            "in_w": np.array(self._in._weights, dtype=np.float64),
+            "out_indptr": np.array(self._out._bounds, dtype=np.int64),
+            "out_dst": np.array(self._out._ids, dtype=np.int32),
+            "out_w": np.array(self._out._weights, dtype=np.float64),
+        }
+
+
+class _LazyPostings(Mapping):
+    """Term -> posting-set mapping over concatenated snapshot arrays.
+
+    Materializes one term's node set on first access (same
+    ``tolist()`` pipeline as the compressed loader, so members are the
+    same Python ints) and caches it.  Iteration order matches the
+    compressed loader's dict order: the snapshot stores terms sorted,
+    and ``_unpack_postings`` inserts them in that order.
+
+    The term list itself comes from the text blob, decoded on the
+    first *by-name* access; posting rows pinned at load time via
+    :meth:`pin_row` cache by row index and need no term names at all.
+    """
+
+    __slots__ = (
+        "_terms_thunk", "_terms", "_positions",
+        "_bounds", "_nodes", "_sets", "_by_index", "_stats",
+    )
+
+    def __init__(
+        self,
+        terms_thunk: Callable[[], list],
+        indptr,
+        nodes,
+        stats: StorageStats,
+    ) -> None:
+        self._terms_thunk = terms_thunk
+        self._terms: Optional[list[str]] = None
+        self._positions: Optional[dict[str, int]] = None
+        self._bounds = np.asarray(indptr).tolist()
+        self._nodes = nodes
+        self._sets: dict[str, set[int]] = {}
+        self._by_index: dict[int, set[int]] = {}
+        self._stats = stats
+
+    def _ensure_terms(self) -> list[str]:
+        terms = self._terms
+        if terms is None:
+            terms = list(self._terms_thunk())
+            if len(terms) != len(self._bounds) - 1:
+                raise SnapshotError(
+                    "posting indptr and term vocabulary lengths disagree"
+                )
+            self._terms = terms
+            self._positions = {term: i for i, term in enumerate(terms)}
+        return terms
+
+    def _row_set(self, i: int) -> set[int]:
+        nodes = self._by_index.get(i)
+        if nodes is None:
+            lo, hi = self._bounds[i], self._bounds[i + 1]
+            nodes = set(self._nodes[lo:hi].tolist())
+            self._by_index[i] = nodes
+            self._stats.note_postings(hi - lo)
+        return nodes
+
+    def pin_row(self, i: int) -> None:
+        """Materialize the ``i``-th posting row (no term name needed)."""
+        self._row_set(i)
+
+    def __getitem__(self, term: str) -> set[int]:
+        nodes = self._sets.get(term)
+        if nodes is None:
+            self._ensure_terms()
+            i = self._positions[term]  # KeyError for unknown terms
+            nodes = self._row_set(i)
+            self._sets[term] = nodes
+        return nodes
+
+    def __contains__(self, term: object) -> bool:
+        # The Mapping default probes __getitem__, which would fault the
+        # posting list just to answer a membership test.
+        self._ensure_terms()
+        return term in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ensure_terms())
+
+    def __len__(self) -> int:
+        return len(self._bounds) - 1
+
+    def frequency_of(self, i: int) -> int:
+        """Posting size of the ``i``-th term without materializing it."""
+        return self._bounds[i + 1] - self._bounds[i]
+
+
+class MappedInvertedIndex(InvertedIndex):
+    """An :class:`InvertedIndex` whose text postings live in a mapped
+    snapshot.
+
+    The text posting map is a :class:`_LazyPostings`; relation-name
+    postings (a handful of table-name terms) materialize from the text
+    blob on first index read.  The inherited ``lookup`` memoization
+    works unchanged — it only uses the mapping protocol — and the
+    ``add_*`` mutators are disabled: mapped state is read-only, live
+    mutations go through :class:`~repro.live.overlay.OverlayIndex`
+    deltas in RAM.
+    """
+
+    @classmethod
+    def _from_mapped(
+        cls,
+        *,
+        blob: _TextBlob,
+        post_indptr,
+        post_nodes,
+        rel_indptr,
+        rel_nodes,
+        stats: StorageStats,
+    ) -> "MappedInvertedIndex":
+        # Bypass __init__: ``_relation_nodes`` is a lazy property here,
+        # and the base constructor would try to assign over it.
+        index = cls.__new__(cls)
+        index._postings = _LazyPostings(
+            lambda: blob.load()["post_terms"], post_indptr, post_nodes, stats
+        )
+        index._blob = blob
+        index._rel_bounds = np.asarray(rel_indptr).tolist()
+        index._rel_nodes_flat = rel_nodes
+        index._rel_materialized = None
+        index._lookup_cache = {}
+        index.storage = stats
+        return index
+
+    @property
+    def _relation_nodes(self) -> dict[str, set[int]]:
+        rel = self._rel_materialized
+        if rel is None:
+            bounds = self._rel_bounds
+            flat = np.asarray(self._rel_nodes_flat).tolist()
+            rel = {
+                term: set(flat[bounds[i] : bounds[i + 1]])
+                for i, term in enumerate(self._blob.load()["rel_terms"])
+            }
+            self._rel_materialized = rel
+        return rel
+
+    def _read_only(self, what: str):
+        raise TypeError(
+            f"{what}: a mapped snapshot index is read-only; apply live "
+            f"mutations through an overlay (repro.live), not in place"
+        )
+
+    def add_text(self, node: int, text: str) -> None:
+        self._read_only("add_text")
+
+    def add_term(self, node: int, term: str) -> None:
+        self._read_only("add_term")
+
+    def add_relation_node(self, relation: str, node: int) -> None:
+        self._read_only("add_relation_node")
+
+    def terms_by_frequency(self) -> list[tuple[str, int]]:
+        # Posting sizes come from the indptr bounds — the base
+        # implementation would materialize every posting set.
+        postings = self._postings
+        return sorted(
+            (
+                (term, postings.frequency_of(i))
+                for i, term in enumerate(postings._ensure_terms())
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+
+def apply_pin_policy(
+    graph: MappedSearchGraph,
+    index: MappedInvertedIndex,
+    policy: Optional[PinPolicy],
+    stats: StorageStats,
+) -> None:
+    """Fault in the policy's pin set and record it in ``stats``.
+
+    Node selection: union of the top-``policy.nodes`` rows by prestige
+    and by combined (in+out) degree, ties broken by node id — both
+    rankings deterministic, so every replica pins the same set.  Term
+    selection: the ``policy.terms`` largest text posting lists, ties by
+    row index — which is term order, since the snapshot stores terms
+    sorted; pinning by row index keeps the text blob untouched at load
+    time.  Counters are zeroed afterwards so ``row_faults`` /
+    ``posting_faults`` measure post-warmup demand misses, while the pin
+    set itself is reported through ``pinned_*``.
+    """
+    policy = PinPolicy.coerce(policy)
+    before = stats.resident_bytes
+
+    pinned_nodes: set[int] = set()
+    n = graph.num_nodes
+    k = min(policy.nodes, n)
+    if k > 0:
+        order = np.argsort(-graph.prestige, kind="stable")
+        pinned_nodes.update(order[:k].tolist())
+        degree = np.diff(np.asarray(graph._out._bounds)) + np.diff(
+            np.asarray(graph._in._bounds)
+        )
+        order = np.argsort(-degree, kind="stable")
+        pinned_nodes.update(order[:k].tolist())
+    ordered = sorted(pinned_nodes)
+    graph._out.pin_rows(ordered)
+    graph._in.pin_rows(ordered)
+
+    postings = index._postings
+    pinned_terms = 0
+    if policy.terms > 0 and len(postings):
+        ranked = sorted(
+            range(len(postings)),
+            key=lambda i: (-postings.frequency_of(i), i),
+        )
+        for i in ranked[: policy.terms]:
+            postings.pin_row(i)
+            pinned_terms += 1
+
+    stats.pinned_nodes = len(pinned_nodes)
+    stats.pinned_terms = pinned_terms
+    stats.pinned_bytes = stats.resident_bytes - before
+    stats.row_faults = 0
+    stats.posting_faults = 0

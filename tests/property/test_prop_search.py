@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.core.backward_mi import BackwardExpandingSearch
 from repro.core.backward_si import SingleIteratorBackwardSearch
 from repro.core.bidirectional import BidirectionalSearch
-from repro.core.exhaustive import exhaustive_answers, keyword_distances
+from repro.core.exhaustive import exhaustive_answers
 from repro.core.params import SearchParams
 from repro.graph.digraph import DataGraph
 
@@ -99,44 +99,12 @@ def test_search_invariants(cls, case):
     assert result.stats.nodes_explored <= result.stats.nodes_touched + n
 
 
-def _has_shortest_path_tie(graph, keyword_sets, tree):
-    """True when some node on the tree's paths has more than one
-    equal-cost first hop toward a keyword.
-
-    Under such a tie the searches' path tables may legitimately settle
-    on a different decomposition than the oracle's Dijkstra — including
-    one that is a non-minimal chain and is therefore (correctly)
-    discarded by the Section 3 minimality filter, so the oracle's
-    representative never surfaces.  Coverage is only a sound
-    requirement for trees whose shortest-path decomposition is unique.
-
-    Precision note: the check walks only the *missed tree's own* path
-    nodes per keyword (not the whole graph), so a miss is excused only
-    when that tree's decomposition genuinely admits an alternative.
-    On uniformly-weighted graphs ties are still common, so this is a
-    deliberate weakening of strict set inclusion — the companion
-    invariants test keeps the top-score-equals-oracle guarantee
-    unconditional.
-    """
-    for i, targets in enumerate(keyword_sets):
-        dist, _ = keyword_distances(graph, targets)
-        for node in tree.paths[i][:-1]:
-            ways = sum(
-                1
-                for v, w, _ in graph.out_edges(node)
-                if dist.get(v) is not None
-                and abs(dist[v] + w - dist[node]) < 1e-9
-            )
-            if ways > 1:
-                return True
-    return False
-
-
 # The pinned example: node 2 reaches both keywords through two
-# equal-cost paths; Bidirectional's table picks the chain through node
-# 1 for both, the minimality filter discards it, and the oracle's
-# equally-scored star through nodes 0 and 1 never surfaces.  Found by
-# hypothesis; kept as a permanent regression example for the tie rule.
+# equal-cost paths; Bidirectional's table used to pick the chain
+# through node 1 for both, the minimality filter discarded it, and the
+# oracle's equally-scored star through nodes 0 and 1 never surfaced.
+# Found by hypothesis; kept as a permanent regression example for the
+# canonical tie-decomposition emission (repro.core.ties).
 @example(
     case=(
         3,
@@ -152,10 +120,10 @@ def test_oracle_answers_covered(case):
     additionally contain superseded-path trees — emission fires on
     every path-length update (Figure 3), and activation ordering can
     discover a worse path before a better one — so set equality does
-    not hold; coverage of the oracle does.  The one exception: a tree
-    some of whose shortest paths are *tied* may be represented by a
-    different (possibly non-minimal, hence discarded) decomposition in
-    a search's path table — see :func:`_has_shortest_path_tie`."""
+    not hold; coverage of the oracle does, *unconditionally*: under
+    shortest-path ties the searches emit the same canonical equal-cost
+    decomposition the oracle builds (repro.core.ties), so tied trees
+    are no longer excused."""
     n, edges, keyword_sets = case
     graph = build_graph_from(n, edges)
     keywords = tuple(f"k{i}" for i in range(len(keyword_sets)))
@@ -167,12 +135,12 @@ def test_oracle_answers_covered(case):
     bidi = BidirectionalSearch(graph, keywords, keyword_sets, params=EXHAUST).run()
     for result in (si, bidi):
         missing = oracle_signatures - set(result.signatures())
-        for tree in oracle:
-            if tree.signature() in missing:
-                assert _has_shortest_path_tie(graph, keyword_sets, tree), (
-                    f"{result.algorithm} missed oracle tree {tree} "
-                    f"with a unique shortest-path decomposition"
-                )
+        assert not missing, (
+            f"{result.algorithm} missed oracle trees: "
+            + "; ".join(
+                str(tree) for tree in oracle if tree.signature() in missing
+            )
+        )
 
 
 @given(case=search_cases(), budget=st.integers(min_value=1, max_value=20))

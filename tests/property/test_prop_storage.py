@@ -1,0 +1,73 @@
+"""Property: the mapped storage tier is bit-identical to RAM.
+
+For hypothesis-generated graphs and keyword sets, a snapshot loaded
+through ``storage_mode="mapped"`` must produce exactly the answers —
+same scores, same tree signatures, same order — as the same snapshot
+loaded into RAM, for all three algorithms and every expansion backend.
+Storage tiers change residency and warmup cost, never results.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backward_mi import BackwardExpandingSearch
+from repro.core.backward_si import SingleIteratorBackwardSearch
+from repro.core.bidirectional import BidirectionalSearch
+from repro.core.params import SearchParams
+from repro.index.inverted import InvertedIndex
+from repro.service.snapshot import load_snapshot, save_snapshot
+from repro.storage import MappedSearchGraph, PinPolicy
+
+from tests.property.test_prop_search import build_graph_from, search_cases
+
+ALGORITHMS = (
+    BidirectionalSearch,
+    SingleIteratorBackwardSearch,
+    BackwardExpandingSearch,
+)
+BACKENDS = ("python", "scalar", "vectorized")
+PARAMS = SearchParams(max_results=50, dmax=20, max_combos_per_node=64)
+
+
+def build_index(keyword_sets) -> InvertedIndex:
+    index = InvertedIndex()
+    for i, nodes in enumerate(keyword_sets):
+        for node in nodes:
+            index.add_term(node, f"k{i}")
+    return index
+
+
+@pytest.mark.parametrize("fmt", ["compressed", "mapped"])
+@given(case=search_cases())
+@settings(max_examples=15, deadline=None)
+def test_mapped_answers_bit_identical_to_ram(fmt, case):
+    n, edges, keyword_sets = case
+    graph = build_graph_from(n, edges)
+    index = build_index(keyword_sets)
+    keywords = tuple(f"k{i}" for i in range(len(keyword_sets)))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "case.snap"
+        save_snapshot(path, graph, index, format=fmt)
+        ram_graph, ram_index = load_snapshot(path, storage_mode="ram")
+        map_graph, map_index = load_snapshot(
+            path, storage_mode="mapped", pin_policy=PinPolicy(nodes=2, terms=1)
+        )
+        assert isinstance(map_graph, MappedSearchGraph)
+        assert not isinstance(ram_graph, MappedSearchGraph)
+
+        ram_sets = [ram_index.lookup(kw) for kw in keywords]
+        map_sets = [map_index.lookup(kw) for kw in keywords]
+        assert ram_sets == map_sets
+
+        for cls in ALGORITHMS:
+            for backend in BACKENDS:
+                params = PARAMS.with_(expansion_backend=backend)
+                a = cls(ram_graph, keywords, ram_sets, params=params).run()
+                b = cls(map_graph, keywords, map_sets, params=params).run()
+                assert b.scores() == a.scores(), (cls.__name__, backend)
+                assert b.signatures() == a.signatures(), (cls.__name__, backend)
